@@ -1,0 +1,55 @@
+//! Criterion bench for the distributed engine: pooled execution across
+//! simulated devices and the pairwise half-exchange primitive itself.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgear_cluster::comm::exchange_buffers;
+use qgear_cluster::{ClusterTopology, DistributedState};
+use qgear_ir::fusion::fuse;
+use qgear_num::C64;
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+fn bench_cluster(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_distributed");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+
+    // Pooled execution at 12 qubits over 1/2/4 devices.
+    let circ = generate_random_gate_list(&RandomCircuitSpec {
+        num_qubits: 12,
+        num_blocks: 150,
+        seed: 5,
+        measure: false,
+    });
+    let prog = fuse(&circ, 4);
+    for devices in [1usize, 2, 4] {
+        group.bench_with_input(BenchmarkId::new("mgpu-run-12q", devices), &prog, |b, prog| {
+            b.iter(|| {
+                let mut dist: DistributedState<f32> =
+                    DistributedState::zero(12, devices, ClusterTopology::default());
+                dist.run_program(prog);
+                std::hint::black_box(dist.swaps())
+            })
+        });
+    }
+
+    // The channel-based exchange primitive at realistic buffer sizes.
+    for amps in [1usize << 12, 1 << 16] {
+        group.bench_with_input(
+            BenchmarkId::new("pairwise-exchange", amps),
+            &amps,
+            |b, &amps| {
+                b.iter(|| {
+                    let a = vec![C64::ONE; amps];
+                    let bbuf = vec![C64::ZERO; amps];
+                    let (x, y) = exchange_buffers(a, bbuf);
+                    std::hint::black_box((x.len(), y.len()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster);
+criterion_main!(benches);

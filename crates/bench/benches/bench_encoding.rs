@@ -1,0 +1,60 @@
+//! Criterion bench backing Appendix C: tensor encoding and container I/O.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgear::storage;
+use qgear_hdf5lite::Compression;
+use qgear_ir::{Circuit, TensorEncoding};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+fn circuits(blocks: usize) -> Vec<Circuit> {
+    (0..64)
+        .map(|i| {
+            generate_random_gate_list(&RandomCircuitSpec {
+                num_qubits: 16,
+                num_blocks: blocks,
+                seed: i,
+                measure: false,
+            })
+        })
+        .collect()
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let mut group = c.benchmark_group("appendix_c_encoding");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // Fixed capacity: encode time should be ~constant vs gate count.
+    for blocks in [64usize, 512] {
+        let batch = circuits(blocks);
+        group.bench_with_input(
+            BenchmarkId::new("tensor-encode-cap4096", blocks),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    std::hint::black_box(TensorEncoding::encode(batch, Some(4096)).unwrap())
+                })
+            },
+        );
+    }
+    // Container serialization with and without compression.
+    let batch = circuits(512);
+    let enc = TensorEncoding::encode(&batch, Some(2048)).unwrap();
+    let h5 = storage::encoding_to_h5(&enc).unwrap();
+    for (name, codec) in [("raw", Compression::None), ("shuffle-rle", Compression::ShuffleRle)] {
+        group.bench_with_input(BenchmarkId::new("h5-write", name), &h5, |b, h5| {
+            b.iter(|| std::hint::black_box(h5.to_bytes(codec).len()))
+        });
+    }
+    // QPY-lite round-trip for comparison.
+    group.bench_function("qpy-roundtrip", |b| {
+        b.iter(|| {
+            let bytes = qgear_ir::qpy::write(&batch);
+            std::hint::black_box(qgear_ir::qpy::read(&bytes).unwrap().len())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_encoding);
+criterion_main!(benches);

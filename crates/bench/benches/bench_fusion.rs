@@ -1,0 +1,38 @@
+//! Criterion bench for the fusion ablation: kernel construction cost and
+//! the end-to-end effect of the window width on execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgear_ir::fusion;
+use qgear_statevec::{GpuDevice, RunOptions, RunOutput, Simulator};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+fn bench_fusion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_fusion");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let spec = RandomCircuitSpec { num_qubits: 14, num_blocks: 300, seed: 11, measure: false };
+    let circ = generate_random_gate_list(&spec);
+
+    // Fusion pass cost itself (front-end work, independent of 2^n).
+    for width in [2usize, 5] {
+        group.bench_with_input(BenchmarkId::new("fuse-pass", width), &circ, |b, circ| {
+            b.iter(|| std::hint::black_box(fusion::fuse(circ, width).blocks.len()))
+        });
+    }
+
+    // Execution at each window width.
+    for width in [1usize, 3, 5] {
+        let opts = RunOptions { fusion_width: width, keep_state: false, ..Default::default() };
+        group.bench_with_input(BenchmarkId::new("execute-width", width), &circ, |b, circ| {
+            b.iter(|| {
+                let out: RunOutput<f32> = GpuDevice::a100_40gb().run(circ, &opts).unwrap();
+                std::hint::black_box(out.stats.kernels_launched)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench backing Fig. 5: QCrank encode → simulate → sample →
+//! decode at small image sizes, on both engines, plus the sampling phase
+//! alone (whose serial-GPU vs parallel-CPU asymmetry drives the figure's
+//! shrinking speedup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgear_statevec::sampling::multinomial;
+use qgear_statevec::{AerCpuBackend, GpuDevice, RunOptions, RunOutput, Simulator};
+use qgear_workloads::images::synthetic;
+use qgear_workloads::qcrank::{QcrankCodec, QcrankConfig};
+
+fn bench_qcrank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_qcrank");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (addr, data) in [(6u32, 4u32), (8, 4)] {
+        let config = QcrankConfig { addr_qubits: addr, data_qubits: data };
+        let codec = QcrankCodec::new(config);
+        let img = synthetic(1 << (addr - 2), 4 * data, 3);
+        assert!(img.len() <= config.capacity());
+        let circ = codec.encode_image(&img);
+        let opts = RunOptions { shots: 30_000, keep_state: false, ..Default::default() };
+        let label = format!("{addr}a{data}d");
+        group.bench_with_input(BenchmarkId::new("gpu-engine", &label), &circ, |b, circ| {
+            b.iter(|| {
+                let out: RunOutput<f64> = GpuDevice::a100_40gb().run(circ, &opts).unwrap();
+                std::hint::black_box(out.counts.map(|c| c.total()))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("aer-engine", &label), &circ, |b, circ| {
+            b.iter(|| {
+                let out: RunOutput<f64> = AerCpuBackend.run(circ, &opts).unwrap();
+                std::hint::black_box(out.counts.map(|c| c.total()))
+            })
+        });
+    }
+
+    // Sampling alone: millions of shots from a fixed distribution.
+    let probs: Vec<f64> = (0..4096).map(|i| (i as f64 + 1.0)).collect();
+    let total: f64 = probs.iter().sum();
+    let probs: Vec<f64> = probs.into_iter().map(|p| p / total).collect();
+    for shots in [1_000_000u64, 10_000_000] {
+        group.bench_with_input(
+            BenchmarkId::new("multinomial-sampling", shots),
+            &shots,
+            |b, &shots| b.iter(|| std::hint::black_box(multinomial(&probs, shots, 7))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qcrank);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion bench backing Fig. 4c: QFT execution, fused Q-Gear engine vs
+//! the unfused Pennylane-like backend, plus the AQFT pruning variant.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgear::PennylaneLikeBackend;
+use qgear_ir::transpile::decompose_to_native;
+use qgear_statevec::{GpuDevice, RunOptions, RunOutput, Simulator};
+use qgear_workloads::qft::{qft_circuit, QftOptions};
+
+fn bench_qft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4c_qft");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let opts = RunOptions { keep_state: false, ..Default::default() };
+    for n in [12u32, 14, 16] {
+        let circ = qft_circuit(n, &QftOptions::default());
+        let (native, _) = decompose_to_native(&circ);
+        group.bench_with_input(BenchmarkId::new("qgear-fused", n), &native, |b, circ| {
+            b.iter(|| {
+                let out: RunOutput<f32> = GpuDevice::a100_40gb().run(circ, &opts).unwrap();
+                std::hint::black_box(out.stats.kernels_launched)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("pennylane-unfused", n), &native, |b, circ| {
+            b.iter(|| {
+                let out: RunOutput<f32> =
+                    PennylaneLikeBackend::default().run(circ, &opts).unwrap();
+                std::hint::black_box(out.stats.kernels_launched)
+            })
+        });
+        // AQFT: prune the deep ladder's tiny rotations.
+        let aqft = qft_circuit(
+            n,
+            &QftOptions { approx_threshold: Some(0.01), ..Default::default() },
+        );
+        let (native_aqft, _) = decompose_to_native(&aqft);
+        group.bench_with_input(BenchmarkId::new("qgear-aqft", n), &native_aqft, |b, circ| {
+            b.iter(|| {
+                let out: RunOutput<f32> = GpuDevice::a100_40gb().run(circ, &opts).unwrap();
+                std::hint::black_box(out.stats.kernels_launched)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_qft);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Criterion bench backing Fig. 4a: random CX-block unitaries on the
+//! unfused Aer-like baseline vs the fused simulated-GPU engine, across
+//! qubit counts. Absolute times are this machine's; the *ratio* and the
+//! ~2^n scaling are the quantities the figure relies on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qgear_statevec::{AerCpuBackend, GpuDevice, RunOptions, RunOutput, Simulator};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4a_random_unitaries");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let opts = RunOptions { keep_state: false, ..Default::default() };
+    for n in [12u32, 14, 16] {
+        let spec = RandomCircuitSpec { num_qubits: n, num_blocks: 100, seed: 1, measure: false };
+        let circ = generate_random_gate_list(&spec);
+        group.bench_with_input(BenchmarkId::new("aer-cpu-short", n), &circ, |b, circ| {
+            b.iter(|| {
+                let out: RunOutput<f64> = AerCpuBackend.run(circ, &opts).unwrap();
+                std::hint::black_box(out.stats.gates_applied)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("qgear-gpu-short", n), &circ, |b, circ| {
+            b.iter(|| {
+                let out: RunOutput<f32> = GpuDevice::a100_40gb().run(circ, &opts).unwrap();
+                std::hint::black_box(out.stats.kernels_launched)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

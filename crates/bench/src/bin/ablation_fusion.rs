@@ -1,0 +1,74 @@
+//! Ablation: gate-fusion window width (1–5).
+//!
+//! DESIGN.md calls out fusion as the main reason the kernel path beats
+//! the unfused baseline. This bin measures, on real executions, how the
+//! window width changes kernel count, bytes swept, and wall-clock — and
+//! what the paper's `gate fusion = 5` choice buys over narrower windows.
+//!
+//! Usage: `cargo run -p qgear-bench --bin ablation_fusion` (use
+//! `--release` for meaningful wall-clock).
+
+use qgear_bench::report::{human_time, Report};
+use qgear_ir::fusion;
+use qgear_statevec::{GpuDevice, RunOptions, Simulator};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+use std::time::Instant;
+
+fn main() {
+    let mut report = Report::new("ablation_fusion", "fusion window width 1-5");
+    let spec = RandomCircuitSpec { num_qubits: 18, num_blocks: 400, seed: 77, measure: false };
+    let circ = generate_random_gate_list(&spec);
+    println!(
+        "workload: {} qubits, {} gates\n",
+        circ.num_qubits(),
+        circ.len()
+    );
+    println!(
+        "{:>6} {:>9} {:>12} {:>14} {:>12}",
+        "width", "kernels", "gates/kernel", "bytes swept", "wall-clock"
+    );
+
+    let mut baseline = None;
+    for width in 1..=5usize {
+        let program = fusion::fuse(&circ, width);
+        let opts = RunOptions { fusion_width: width, keep_state: false, ..Default::default() };
+        let start = Instant::now();
+        let out: qgear_statevec::RunOutput<f64> =
+            GpuDevice::a100_40gb().run(&circ, &opts).unwrap();
+        let dt = start.elapsed().as_secs_f64();
+        println!(
+            "{width:>6} {:>9} {:>12.2} {:>14} {:>12}",
+            program.blocks.len(),
+            program.compression_ratio(),
+            out.stats.bytes_touched,
+            human_time(dt)
+        );
+        report.measured(&format!("width-{width}-seconds"), width as f64, dt);
+        report.push(
+            &format!("width-{width}-kernels"),
+            width as f64,
+            program.blocks.len() as f64,
+            "kernels",
+            "measured",
+            None,
+            None,
+        );
+        if width == 1 {
+            baseline = Some((dt, program.blocks.len()));
+        } else if width == 5 {
+            let (t1, k1) = baseline.unwrap();
+            println!(
+                "\nwidth 5 vs width 1: {:.2}x fewer kernels, {:.2}x wall-clock ratio on this machine",
+                k1 as f64 / program.blocks.len() as f64,
+                t1 / dt
+            );
+            println!(
+                "note: on this flops-bound single core, wide kernels trade O(2^k) flops/amplitude\n\
+                 for fewer sweeps, so the local optimum sits at width ~2. On a bandwidth-bound\n\
+                 A100 (the perfmodel regime) sweeps cost bytes, not flops, and width 5 wins —\n\
+                 which is exactly why the paper sets gate fusion = 5 on the GPU."
+            );
+        }
+    }
+    report.finish();
+}

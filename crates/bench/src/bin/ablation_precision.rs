@@ -1,0 +1,73 @@
+//! Ablation: fp32 vs fp64.
+//!
+//! The paper runs its big GPU experiments at fp32 (memory halves, one
+//! more qubit per device) and QCrank at fp64. This bin quantifies the
+//! trade on real executions: wall-clock, memory footprint, and the
+//! numerical deviation fp32 accumulates over deep circuits.
+//!
+//! Usage: `cargo run -p qgear-bench --bin ablation_precision`
+
+use qgear_bench::report::{human_time, Report};
+use qgear_num::scalar::Precision;
+use qgear_statevec::{GpuDevice, RunOptions, Simulator, StateVector};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+use std::time::Instant;
+
+fn main() {
+    let mut report = Report::new("ablation_precision", "fp32 vs fp64");
+    println!(
+        "{:>7} {:>8} {:>12} {:>14} {:>14} {:>12}",
+        "qubits", "blocks", "precision", "state bytes", "wall-clock", "1-fidelity"
+    );
+    for &(n, blocks) in &[(14u32, 200usize), (16, 400), (18, 800)] {
+        let spec = RandomCircuitSpec { num_qubits: n, num_blocks: blocks, seed: 3, measure: false };
+        let circ = generate_random_gate_list(&spec);
+        let opts = RunOptions::default();
+        let dev = GpuDevice::a100_40gb();
+
+        let start = Instant::now();
+        let out64: qgear_statevec::RunOutput<f64> = dev.run(&circ, &opts).unwrap();
+        let t64 = start.elapsed().as_secs_f64();
+        let s64 = out64.state.unwrap();
+
+        let start = Instant::now();
+        let out32: qgear_statevec::RunOutput<f32> = dev.run(&circ, &opts).unwrap();
+        let t32 = start.elapsed().as_secs_f64();
+        let s32: StateVector<f64> = out32.state.unwrap().cast();
+
+        let infidelity = 1.0 - s64.fidelity(&s32);
+        println!(
+            "{n:>7} {blocks:>8} {:>12} {:>14} {:>14} {:>12}",
+            "fp64",
+            s64.byte_len(),
+            human_time(t64),
+            "-"
+        );
+        println!(
+            "{n:>7} {blocks:>8} {:>12} {:>14} {:>14} {:>12.2e}",
+            "fp32",
+            s64.byte_len() / 2,
+            human_time(t32),
+            infidelity
+        );
+        report.measured(&format!("fp64-{n}q"), n as f64, t64);
+        report.measured(&format!("fp32-{n}q"), n as f64, t32);
+        report.push(
+            &format!("fp32-infidelity-{n}q"),
+            n as f64,
+            infidelity,
+            "",
+            "measured",
+            None,
+            None,
+        );
+        assert!(infidelity < 1e-6, "fp32 drift beyond tolerance at {n}q: {infidelity}");
+    }
+
+    // The capacity side of the trade (the paper's reason for fp32).
+    println!("\ncapacity: one A100-40GB holds {} qubits at fp32 vs {} at fp64",
+        GpuDevice::a100_40gb().max_qubits(Precision::Fp32.bytes_per_amplitude() as u128),
+        GpuDevice::a100_40gb().max_qubits(Precision::Fp64.bytes_per_amplitude() as u128),
+    );
+    report.finish();
+}

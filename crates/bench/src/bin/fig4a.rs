@@ -1,0 +1,113 @@
+//! Fig. 4a regenerator: random non-Clifford unitary simulation time vs
+//! qubit count (28–34), Qiskit-CPU baseline vs Q-Gear on 1 and 4 A100s,
+//! for "short" (100-block) and "long" (10 000-block) unitaries at fp32 on
+//! the GPU / fp64 on Aer, 3 000 shots (Table 1).
+//!
+//! Usage: `cargo run -p qgear-bench --bin fig4a [--measured]`
+//!
+//! Default mode projects the paper-scale points through the calibrated
+//! testbed model (exact operation counts, analytic seconds). `--measured`
+//! adds a real wall-clock sweep at laptop scale (14–20 qubits) validating
+//! the exponential ~2^n shape on real execution. (Wall-clock ratios do not
+//! transfer from this flops-bound single core to a bandwidth-bound A100 —
+//! see the fusion ablation; the model converts operation counts instead.)
+
+use qgear_bench::modeled::{random_blocks_point, ModelPoint};
+use qgear_bench::report::{human_time, Report};
+use qgear_bench::{measured, Row};
+use qgear_num::scalar::Precision;
+use qgear_perfmodel::calibration::fit_exponential;
+use qgear_perfmodel::project::ModelTarget;
+use qgear_perfmodel::CostModel;
+use qgear_workloads::random::{LONG_BLOCKS, SHORT_BLOCKS};
+
+fn main() {
+    let measured_mode = std::env::args().any(|a| a == "--measured");
+    let model = CostModel::paper_testbed();
+    let mut report = Report::new("fig4a", "random-unitary simulation time vs qubits");
+
+    let targets: [(&str, ModelTarget, Precision); 3] = [
+        ("qiskit-cpu", ModelTarget::QiskitCpu, Precision::Fp64),
+        ("qgear-1gpu", ModelTarget::QGearGpu { devices: 1 }, Precision::Fp32),
+        ("qgear-4gpu", ModelTarget::QGearGpu { devices: 4 }, Precision::Fp32),
+    ];
+    let sizes: [(&str, usize); 2] = [("short", SHORT_BLOCKS), ("long", LONG_BLOCKS)];
+
+    for (size_name, blocks) in sizes {
+        for (target_name, target, precision) in targets {
+            for n in 28..=34u32 {
+                let series = format!("{target_name}-{size_name}");
+                match random_blocks_point(&model, n, blocks, target, precision, 3000) {
+                    ModelPoint::Time(t) => report.modeled(&series, n as f64, t.total()),
+                    ModelPoint::Infeasible(reason) => {
+                        report.infeasible(&series, n as f64, reason)
+                    }
+                }
+            }
+        }
+    }
+
+    // Headline checks the paper states for this figure.
+    let value_at = |rows: &[Row], series: &str, n: f64| -> Option<f64> {
+        rows.iter()
+            .find(|r| r.series == series && r.x == n && !r.value.is_nan())
+            .map(|r| r.value)
+    };
+    report.finish();
+    let rows = report.rows().to_vec();
+
+    println!("\n--- paper-shape checks ---");
+    if let (Some(cpu), Some(gpu)) = (
+        value_at(&rows, "qiskit-cpu-short", 32.0),
+        value_at(&rows, "qgear-1gpu-short", 32.0),
+    ) {
+        println!(
+            "GPU speedup at 32q (short): {:.0}x  (paper: ~400x consistent speedup)",
+            cpu / gpu
+        );
+    }
+    if let (Some(short), Some(long)) = (
+        value_at(&rows, "qiskit-cpu-short", 32.0),
+        value_at(&rows, "qiskit-cpu-long", 32.0),
+    ) {
+        println!("long/short CPU ratio at 32q: {:.0}x  (paper: ~100x)", long / short);
+    }
+    if let Some(t) = value_at(&rows, "qgear-4gpu-long", 34.0) {
+        println!(
+            "34-qubit long unitary on 4 GPUs: {}  (paper: ~1 min; CPU extrapolation ~24 h)",
+            human_time(t)
+        );
+    }
+    // Exponential scaling exponent of the CPU baseline.
+    let pts: Vec<(f64, f64)> = (28..=33)
+        .filter_map(|n| value_at(&rows, "qiskit-cpu-short", n as f64).map(|v| (n as f64, v)))
+        .collect();
+    if pts.len() >= 2 {
+        let (_, b) = fit_exponential(&pts);
+        println!("CPU scaling fit: t ∝ 2^({b:.3}·n)  (paper: ~2^n)");
+    }
+
+    if measured_mode {
+        println!("\n--- measured mode (this machine, laptop scale) ---");
+        let mut m = Report::new("fig4a_measured", "real wall-clock, small n");
+        for n in 14..=20u32 {
+            let (aer, gpu) = measured::random_blocks_measured(n, SHORT_BLOCKS, 2);
+            m.measured("aer-cpu-short", n as f64, aer);
+            m.measured("qgear-gpu-short", n as f64, gpu);
+            println!(
+                "n={n}: unfused {}  fused {}",
+                human_time(aer),
+                human_time(gpu),
+            );
+        }
+        let pts: Vec<(f64, f64)> = m
+            .rows()
+            .iter()
+            .filter(|r| r.series == "aer-cpu-short")
+            .map(|r| (r.x, r.value))
+            .collect();
+        let (_, b) = fit_exponential(&pts);
+        println!("measured unfused-baseline scaling fit: t ∝ 2^({b:.3}·n) — the paper's ~2^n shape, on real execution");
+        m.finish();
+    }
+}

@@ -1,0 +1,89 @@
+//! Fig. 4b regenerator: scaling of 3 000-block random circuits, 30–42
+//! qubits, on clusters of 4–1024 A100s (fp32, 10 000 shots — Table 1).
+//!
+//! Usage: `cargo run -p qgear-bench --bin fig4b`
+//!
+//! Reports the full (n, P) grid with memory-infeasible cells marked, the
+//! best cluster size per width, and the paper's highlighted observation:
+//! at 40 qubits the 1024-GPU cluster has *lower* throughput than the
+//! 256-GPU cluster (rack-boundary communication).
+
+use qgear_bench::modeled::{random_blocks_point, ModelPoint};
+use qgear_bench::report::{human_time, Report};
+use qgear_num::scalar::Precision;
+use qgear_perfmodel::project::ModelTarget;
+use qgear_perfmodel::CostModel;
+use qgear_workloads::random::INTERMEDIATE_BLOCKS;
+
+fn main() {
+    let model = CostModel::paper_testbed();
+    let mut report = Report::new("fig4b", "cluster scaling, 3000-block circuits, 30-42 qubits");
+    let gpu_counts = [4usize, 16, 64, 256, 1024];
+
+    let mut grid: Vec<(u32, usize, f64)> = Vec::new();
+    for n in 30..=42u32 {
+        for &devices in &gpu_counts {
+            let series = format!("qgear-{devices}gpu");
+            let point = random_blocks_point(
+                &model,
+                n,
+                INTERMEDIATE_BLOCKS,
+                ModelTarget::QGearGpu { devices },
+                Precision::Fp32,
+                10_000,
+            );
+            match point {
+                ModelPoint::Time(t) => {
+                    report.modeled(&series, n as f64, t.total());
+                    grid.push((n, devices, t.total()));
+                }
+                ModelPoint::Infeasible(reason) => report.infeasible(&series, n as f64, reason),
+            }
+        }
+    }
+    report.finish();
+
+    println!("\n--- grid (rows: qubits, cols: GPUs) ---");
+    print!("{:>4}", "n");
+    for &d in &gpu_counts {
+        print!("{d:>12}");
+    }
+    println!();
+    for n in 30..=42u32 {
+        print!("{n:>4}");
+        for &d in &gpu_counts {
+            let cell = grid
+                .iter()
+                .find(|&&(gn, gd, _)| gn == n && gd == d)
+                .map_or("OOM".to_owned(), |&(_, _, t)| human_time(t));
+            print!("{cell:>12}");
+        }
+        println!();
+    }
+
+    println!("\n--- paper-shape checks ---");
+    let at = |n: u32, d: usize| grid.iter().find(|&&(gn, gd, _)| gn == n && gd == d).map(|&(_, _, t)| t);
+    if let (Some(t256), Some(t1024)) = (at(40, 256), at(40, 1024)) {
+        println!(
+            "40 qubits: 256 GPUs {} vs 1024 GPUs {} — 1024-GPU throughput {} (paper: lower beyond the 39→40 region)",
+            human_time(t256),
+            human_time(t1024),
+            if t1024 > t256 { "LOWER ✓" } else { "higher ✗" }
+        );
+    }
+    if let Some(t42) = at(42, 1024) {
+        println!(
+            "42 qubits on 1024 GPUs: {} (paper: 'a reasonable time of approximately 10 min'; our comm model is deliberately pessimistic — see EXPERIMENTS.md)",
+            human_time(t42)
+        );
+    }
+    // More GPUs help in the compute-bound region.
+    if let (Some(t4), Some(t64)) = (at(30, 4), at(30, 64)) {
+        println!(
+            "30 qubits: 4 GPUs {} vs 64 GPUs {} — scaling {}",
+            human_time(t4),
+            human_time(t64),
+            if t64 < t4 { "helps ✓" } else { "saturated" }
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 4c regenerator: QFT execution time on 4×A100, Q-Gear vs Pennylane
+//! lightning.gpu, 16–33 qubits, 100 shots (Table 1).
+//!
+//! Usage: `cargo run -p qgear-bench --bin fig4c [--measured]`
+//!
+//! `--measured` adds a real small-n sweep on this machine comparing the
+//! fused engine against the unfused Pennylane-like backend.
+
+use qgear::PennylaneLikeBackend;
+use qgear_bench::report::{human_time, Report};
+use qgear_bench::measured::time_engine;
+use qgear_num::scalar::Precision;
+use qgear_perfmodel::calibration::geometric_mean_speedup;
+use qgear_perfmodel::project::{project_circuit, ModelTarget, ProjectOptions};
+use qgear_perfmodel::CostModel;
+use qgear_statevec::{GpuDevice, RunOptions};
+use qgear_workloads::qft::{qft_circuit, QftOptions};
+
+fn main() {
+    let measured_mode = std::env::args().any(|a| a == "--measured");
+    let model = CostModel::paper_testbed();
+    let mut report = Report::new("fig4c", "QFT on 4xA100: Q-Gear vs Pennylane");
+
+    let opts = ProjectOptions { precision: Precision::Fp32, shots: 100, fusion_width: 5 };
+    let mut qgear_series = Vec::new();
+    let mut penny_series = Vec::new();
+    for n in (16..=33u32).step_by(1) {
+        let mut circ = qft_circuit(n, &QftOptions { reverse: true, ..Default::default() });
+        circ.measure_all();
+        // Both run the transpiled (native-set) circuit, like the pipeline.
+        let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
+        let qgear_t =
+            project_circuit(&model, &native, ModelTarget::QGearGpu { devices: 4 }, &opts).total();
+        let penny_t =
+            project_circuit(&model, &native, ModelTarget::PennylaneGpu { devices: 4 }, &opts)
+                .total();
+        report.modeled("qgear-4gpu", n as f64, qgear_t);
+        report.modeled("pennylane-4gpu", n as f64, penny_t);
+        qgear_series.push(qgear_t);
+        penny_series.push(penny_t);
+    }
+    report.finish();
+
+    println!("\n--- paper-shape checks ---");
+    let mean = geometric_mean_speedup(&penny_series, &qgear_series);
+    println!("geometric-mean Pennylane/Q-Gear ratio over 16-33q: {mean:.1}x (paper: 'consistently outperforms … significantly faster runtimes')");
+    let small_ratio = penny_series[0] / qgear_series[0];
+    let large_ratio = penny_series.last().unwrap() / qgear_series.last().unwrap();
+    let small_gap = penny_series[0] - qgear_series[0];
+    let large_gap = penny_series.last().unwrap() - qgear_series.last().unwrap();
+    let faster_everywhere = penny_series.iter().zip(&qgear_series).all(|(p, q)| p > q);
+    println!(
+        "Q-Gear faster at every size: {} (paper: 'consistently outperforms')",
+        if faster_everywhere { "yes ✓" } else { "no ✗" }
+    );
+    println!(
+        "ratio at 16q: {small_ratio:.1}x (transpile-overhead dominated); at 33q: {large_ratio:.1}x (fusion-ratio dominated)"
+    );
+    println!(
+        "absolute gap: {:.2}s at 16q → {:.2}s at 33q — {}",
+        small_gap,
+        large_gap,
+        if large_gap > small_gap {
+            "grows with circuit size ✓ (paper: 'better scaling with increasing circuit size')"
+        } else {
+            "shrinks ✗"
+        }
+    );
+    println!("33-qubit QFT: qgear {}, pennylane {}", human_time(*qgear_series.last().unwrap()), human_time(*penny_series.last().unwrap()));
+
+    if measured_mode {
+        println!("\n--- measured mode (this machine) ---");
+        let mut m = Report::new("fig4c_measured", "real QFT wall-clock, small n");
+        for n in 12..=18u32 {
+            let circ = qft_circuit(n, &QftOptions { reverse: true, ..Default::default() });
+            let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
+            let run_opts = RunOptions { keep_state: false, ..Default::default() };
+            let fused = time_engine::<f64, _>(&GpuDevice::a100_40gb(), &native, &run_opts, 2);
+            let unfused =
+                time_engine::<f64, _>(&PennylaneLikeBackend::default(), &native, &run_opts, 2);
+            m.measured("fused", n as f64, fused);
+            m.measured("unfused-pennylane-like", n as f64, unfused);
+            println!(
+                "n={n}: fused {}  unfused {}  ratio {:.1}x",
+                human_time(fused),
+                human_time(unfused),
+                unfused / fused
+            );
+        }
+        m.finish();
+    }
+}

@@ -1,0 +1,118 @@
+//! Fig. 5 regenerator: QCrank image-encoding runtime, Qiskit on the CPU
+//! node vs Q-Gear on one A100, for the Table 2 image roster (fp64,
+//! 3M–98M shots).
+//!
+//! Usage: `cargo run -p qgear-bench --bin fig5 [--measured]`
+//!
+//! Modeled mode projects all six Table 2 rows. `--measured` really runs
+//! the smallest row (Finger: 15 qubits, ~10k gates, 3.07M shots) end to
+//! end on both engines on this machine.
+
+use qgear_bench::report::{human_time, Report};
+use qgear_num::scalar::Precision;
+use qgear_perfmodel::project::{project_circuit, ModelTarget, ProjectOptions};
+use qgear_perfmodel::CostModel;
+use qgear_statevec::{AerCpuBackend, GpuDevice, RunOptions, Simulator};
+use qgear_workloads::images;
+use qgear_workloads::qcrank::{mean_abs_error, paper_configs, QcrankCodec};
+
+fn main() {
+    let measured_mode = std::env::args().any(|a| a == "--measured");
+    let model = CostModel::paper_testbed();
+    let mut report = Report::new("fig5", "QCrank runtime: Qiskit-CPU vs Q-Gear 1xA100");
+
+    for row in paper_configs() {
+        let img = images::paper_image(row.image).expect("paper image");
+        let codec = QcrankCodec::new(row.config);
+        let circ = codec.encode_image(&img);
+        let opts = ProjectOptions {
+            precision: Precision::Fp64,
+            shots: row.shots(),
+            fusion_width: 5,
+        };
+        let cpu = project_circuit(&model, &circ, ModelTarget::QiskitCpu, &opts).total();
+        let gpu =
+            project_circuit(&model, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
+        let label = format!("{}-{}a{}d", row.image, row.config.addr_qubits, row.config.data_qubits);
+        let pixels = row.pixels() as f64;
+        report.modeled(&format!("qiskit-cpu/{label}"), pixels, cpu);
+        report.modeled(&format!("qgear-1gpu/{label}"), pixels, gpu);
+        println!(
+            "{label:<16} {:>7} px {:>10} shots: cpu {:>10} gpu {:>10} speedup {:>6.1}x",
+            row.pixels(),
+            row.shots(),
+            human_time(cpu),
+            human_time(gpu),
+            cpu / gpu
+        );
+    }
+    report.finish();
+
+    println!("\n--- paper-shape checks ---");
+    let rows = report.rows();
+    let speedup_of = |needle: &str| -> Option<f64> {
+        let cpu = rows.iter().find(|r| r.series.starts_with("qiskit-cpu") && r.series.contains(needle))?;
+        let gpu = rows.iter().find(|r| r.series.starts_with("qgear-1gpu") && r.series.contains(needle))?;
+        Some(cpu.value / gpu.value)
+    };
+    if let (Some(small), Some(large)) = (speedup_of("finger"), speedup_of("zebra-15a3d")) {
+        println!(
+            "speedup small image (finger): {small:.0}x (paper: ~two orders of magnitude)\n\
+             speedup largest row (zebra 15a/3d): {large:.0}x — {}",
+            if large < small {
+                "decreases for larger images ✓ (paper: sampling time grows with shots; GPU samples serially)"
+            } else {
+                "did not decrease ✗"
+            }
+        );
+    }
+
+    if measured_mode {
+        println!("\n--- measured mode: Finger row executed for real ---");
+        let row = &paper_configs()[0];
+        let img = images::paper_image(row.image).unwrap();
+        let codec = QcrankCodec::new(row.config);
+        let circ = codec.encode_image(&img);
+        println!(
+            "circuit: {} qubits, {} gates, {} shots",
+            circ.num_qubits(),
+            circ.len(),
+            row.shots()
+        );
+        let opts = RunOptions { shots: row.shots(), keep_state: false, ..Default::default() };
+        let mut m = Report::new("fig5_measured", "finger row, real execution");
+
+        let start = std::time::Instant::now();
+        let gpu_out: qgear_statevec::RunOutput<f64> =
+            GpuDevice::a100_40gb().run(&circ, &opts).unwrap();
+        let gpu_t = start.elapsed().as_secs_f64();
+        m.measured("qgear-gpu-engine", row.pixels() as f64, gpu_t);
+
+        let start = std::time::Instant::now();
+        let cpu_out: qgear_statevec::RunOutput<f64> = AerCpuBackend.run(&circ, &opts).unwrap();
+        let cpu_t = start.elapsed().as_secs_f64();
+        m.measured("aer-cpu-engine", row.pixels() as f64, cpu_t);
+
+        println!(
+            "fused engine: {} ({} kernels)  unfused baseline: {} ({} sweeps)",
+            human_time(gpu_t),
+            gpu_out.stats.kernels_launched,
+            human_time(cpu_t),
+            cpu_out.stats.kernels_launched
+        );
+        println!(
+            "note: at 15 qubits the state fits in cache on this 1-core VM, so the unfused\n\
+             baseline's specialized cx/rz loops win locally; the fused engine's advantage\n\
+             ({}x fewer state sweeps) is what the bandwidth-bound A100 model converts into\n\
+             the Fig. 5 speedup.",
+            cpu_out.stats.kernels_launched / gpu_out.stats.kernels_launched.max(1)
+        );
+
+        // Reconstruction sanity from the real 3M-shot sample.
+        let decoded = codec.decode(gpu_out.counts.as_ref().unwrap(), img.len());
+        let err = mean_abs_error(&img.normalized(), &decoded);
+        println!("mean |reconstruction error| at {} shots: {err:.4}", row.shots());
+        let _ = cpu_out;
+        m.finish();
+    }
+}

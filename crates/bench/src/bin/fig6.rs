@@ -1,0 +1,113 @@
+//! Fig. 6 regenerator: QCrank encoding/reconstruction quality for four
+//! grayscale images — reconstruction correlation, error distribution, and
+//! shot-scaling behaviour.
+//!
+//! The paper's panel uses the full-resolution images at 3M–98M shots;
+//! executing the 25-qubit rows is infeasible here, so each image runs at
+//! a reduced register (documented per row) with the Table 2 shots-per-
+//! address rule (3000·2^m) preserved — the quantity that controls
+//! per-pixel reconstruction noise, so the quality metrics remain
+//! representative.
+//!
+//! Usage: `cargo run -p qgear-bench --bin fig6`
+
+use qgear_bench::report::Report;
+use qgear_statevec::{GpuDevice, RunOptions, Simulator};
+use qgear_workloads::images::GrayImage;
+use qgear_workloads::qcrank::{
+    correlation, max_abs_error, mean_abs_error, QcrankCodec, QcrankConfig,
+};
+
+/// Downsample an image to the target dimensions by box averaging.
+fn downsample(img: &GrayImage, w: u32, h: u32) -> GrayImage {
+    let mut pixels = Vec::with_capacity((w * h) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let x0 = x * img.width / w;
+            let x1 = ((x + 1) * img.width / w).max(x0 + 1);
+            let y0 = y * img.height / h;
+            let y1 = ((y + 1) * img.height / h).max(y0 + 1);
+            let mut acc = 0u64;
+            let mut cnt = 0u64;
+            for yy in y0..y1 {
+                for xx in x0..x1 {
+                    acc += img.at(xx, yy) as u64;
+                    cnt += 1;
+                }
+            }
+            pixels.push((acc / cnt) as u8);
+        }
+    }
+    GrayImage { width: w, height: h, pixels }
+}
+
+fn main() {
+    let mut report = Report::new("fig6", "QCrank reconstruction quality per image");
+
+    // (name, source dims, reduced dims, addr, data)
+    let rows: [(&str, (u32, u32), (u32, u32), u32, u32); 4] = [
+        ("finger", (64, 80), (32, 40), 8, 5),
+        ("shoes", (128, 128), (32, 32), 8, 4),
+        ("building", (192, 128), (48, 32), 8, 6),
+        ("zebra", (384, 256), (48, 32), 9, 3),
+    ];
+
+    println!(
+        "{:<10} {:>9} {:>6} {:>6} {:>10} {:>12} {:>10} {:>10}",
+        "image", "pixels", "addr", "data", "shots", "correlation", "mean|err|", "max|err|"
+    );
+    for (name, src, red, addr, data) in rows {
+        let full = qgear_workloads::images::paper_image(name).unwrap();
+        assert_eq!((full.width, full.height), src);
+        let img = downsample(&full, red.0, red.1);
+        let config = QcrankConfig { addr_qubits: addr, data_qubits: data };
+        assert!(config.capacity() >= img.len(), "{name}: config too small");
+        let codec = QcrankCodec::new(config);
+        let circ = codec.encode_image(&img);
+        let shots = config.shots();
+        let opts = RunOptions { shots, seed: 0xF16_6 + addr as u64, keep_state: true, ..Default::default() };
+        let out: qgear_statevec::RunOutput<f64> =
+            GpuDevice::a100_40gb().run(&circ, &opts).unwrap();
+
+        let truth = img.normalized();
+        let shot_rec = codec.decode(out.counts.as_ref().unwrap(), img.len());
+        let exact_rec = codec.decode_exact(out.state.as_ref().unwrap(), img.len());
+
+        let corr = correlation(&truth, &shot_rec);
+        let mae = mean_abs_error(&truth, &shot_rec);
+        let mx = max_abs_error(&truth, &shot_rec);
+        let exact_mae = mean_abs_error(&truth, &exact_rec);
+        println!(
+            "{name:<10} {:>9} {addr:>6} {data:>6} {shots:>10} {corr:>12.4} {mae:>10.4} {mx:>10.4}",
+            img.len()
+        );
+        report.push(&format!("{name}-correlation"), img.len() as f64, corr, "", "measured", None, None);
+        report.push(&format!("{name}-mean-abs-err"), img.len() as f64, mae, "", "measured", None, None);
+        report.push(&format!("{name}-max-abs-err"), img.len() as f64, mx, "", "measured", None, None);
+        report.push(&format!("{name}-exact-mean-abs-err"), img.len() as f64, exact_mae, "", "measured", None, None);
+
+        assert!(exact_mae < 1e-9, "{name}: infinite-shot reconstruction must be exact");
+        assert!(corr > 0.9, "{name}: correlation collapsed ({corr})");
+    }
+
+    // Shot-scaling panel: reconstruction error vs shots for one image.
+    println!("\n--- shot scaling (finger 32x40, 8 addr / 5 data) ---");
+    let img = downsample(&qgear_workloads::images::paper_image("finger").unwrap(), 32, 40);
+    let config = QcrankConfig { addr_qubits: 8, data_qubits: 5 };
+    let codec = QcrankCodec::new(config);
+    let circ = codec.encode_image(&img);
+    let truth = img.normalized();
+    for mult in [1u64, 4, 16, 64] {
+        let shots = 12_000 * mult; // ~47..3000 shots per address
+        let opts = RunOptions { shots, seed: 0xAB + mult, keep_state: false, ..Default::default() };
+        let out: qgear_statevec::RunOutput<f64> =
+            GpuDevice::a100_40gb().run(&circ, &opts).unwrap();
+        let rec = codec.decode(out.counts.as_ref().unwrap(), img.len());
+        let mae = mean_abs_error(&truth, &rec);
+        println!("shots {shots:>9}: mean|err| {mae:.4}");
+        report.push("finger-shot-scaling", shots as f64, mae, "", "measured", None, None);
+    }
+
+    report.finish();
+    println!("\nshape check: error should fall ~1/sqrt(shots) between rows (16x shots → ~4x smaller error).");
+}

@@ -1,0 +1,48 @@
+//! Table 2 regenerator: QCrank circuit configurations for the grayscale
+//! image roster — dimensions, pixel counts, qubit splits, and the
+//! `shots = 3000 · 2^m` budgets, derived from the actual codec and image
+//! generator.
+//!
+//! Usage: `cargo run -p qgear-bench --bin table2`
+
+use qgear_workloads::images;
+use qgear_workloads::qcrank::{paper_configs, QcrankCodec, SHOTS_PER_ADDRESS};
+
+fn main() {
+    println!("=== Table 2: QCrank configurations (s = {SHOTS_PER_ADDRESS} shots/address) ===\n");
+    println!(
+        "{:<10} {:>11} {:>12} {:>14} {:>11} {:>12} {:>10} {:>9}",
+        "Image", "Dimensions", "Gray Pixels", "Address Qubits", "Data Qubits", "Shots", "CX gates", "Qubits"
+    );
+    for row in paper_configs() {
+        let img = images::paper_image(row.image).expect("image");
+        assert_eq!((img.width, img.height), row.dimensions);
+        // Build the real circuit and verify the CX-per-pixel identity.
+        let codec = QcrankCodec::new(row.config);
+        let circ = codec.encode_image(&img);
+        let cx = circ.count_kind(qgear_ir::GateKind::Cx);
+        assert_eq!(cx, row.config.capacity(), "CX count equals encoded capacity");
+        println!(
+            "{:<10} {:>11} {:>12} {:>14} {:>11} {:>12} {:>10} {:>9}",
+            row.image,
+            format!("{}x{}", row.dimensions.0, row.dimensions.1),
+            row.pixels(),
+            row.config.addr_qubits,
+            row.config.data_qubits,
+            row.shots(),
+            cx,
+            row.config.num_qubits()
+        );
+    }
+
+    // Shot-budget law.
+    println!("\nshots = s * 2^m check:");
+    for row in paper_configs() {
+        let expect = SHOTS_PER_ADDRESS << row.config.addr_qubits;
+        assert_eq!(row.shots(), expect);
+        println!(
+            "  {}a: 3000 * 2^{} = {:>11} ✓",
+            row.config.addr_qubits, row.config.addr_qubits, expect
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Modeled-mode helpers: project paper-scale configurations through the
+//! calibrated cost model, with the memory-feasibility rules of Fig. 4a.
+
+use qgear_num::scalar::Precision;
+use qgear_perfmodel::memory;
+use qgear_perfmodel::project::{project_circuit, ModelTarget, ProjectOptions};
+use qgear_perfmodel::{CostModel, TimeBreakdown};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+/// A point in a modeled sweep: either a projected time or an infeasible
+/// marker with its reason.
+#[derive(Debug, Clone)]
+pub enum ModelPoint {
+    /// Feasible: projected breakdown.
+    Time(TimeBreakdown),
+    /// Infeasible on this target.
+    Infeasible(&'static str),
+}
+
+impl ModelPoint {
+    /// Total seconds, `NaN` when infeasible.
+    pub fn seconds(&self) -> f64 {
+        match self {
+            ModelPoint::Time(t) => t.total(),
+            ModelPoint::Infeasible(_) => f64::NAN,
+        }
+    }
+}
+
+/// Project a random-CX-block run (the Fig. 4a/4b workload) on a target,
+/// enforcing the paper's memory walls.
+pub fn random_blocks_point(
+    model: &CostModel,
+    num_qubits: u32,
+    blocks: usize,
+    target: ModelTarget,
+    precision: Precision,
+    shots: u64,
+) -> ModelPoint {
+    // Feasibility first.
+    match target {
+        ModelTarget::QiskitCpu => {
+            if num_qubits > memory::max_qubits_cpu(&model.cpu) {
+                return ModelPoint::Infeasible("CPU node RAM exhausted");
+            }
+        }
+        ModelTarget::QGearGpu { devices } | ModelTarget::PennylaneGpu { devices } => {
+            if !memory::cluster_feasible(&model.gpu, precision, devices, num_qubits) {
+                return ModelPoint::Infeasible("GPU memory exhausted");
+            }
+        }
+    }
+    let spec = RandomCircuitSpec {
+        num_qubits,
+        num_blocks: blocks,
+        seed: 0xF16_4A + num_qubits as u64,
+        measure: shots > 0,
+    };
+    let circ = generate_random_gate_list(&spec);
+    let opts = ProjectOptions { precision, shots, fusion_width: 5 };
+    ModelPoint::Time(project_circuit(model, &circ, target, &opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_walls_enforced() {
+        let m = CostModel::paper_testbed();
+        // CPU wall at 34 qubits.
+        assert!(matches!(
+            random_blocks_point(&m, 34, 100, ModelTarget::QiskitCpu, Precision::Fp32, 0),
+            ModelPoint::Infeasible(_)
+        ));
+        assert!(matches!(
+            random_blocks_point(&m, 33, 100, ModelTarget::QiskitCpu, Precision::Fp32, 0),
+            ModelPoint::Time(_)
+        ));
+        // Single GPU wall at 33 qubits fp32.
+        assert!(matches!(
+            random_blocks_point(
+                &m,
+                33,
+                100,
+                ModelTarget::QGearGpu { devices: 1 },
+                Precision::Fp32,
+                0
+            ),
+            ModelPoint::Infeasible(_)
+        ));
+        // 4 GPUs reach 34.
+        assert!(matches!(
+            random_blocks_point(
+                &m,
+                34,
+                100,
+                ModelTarget::QGearGpu { devices: 4 },
+                Precision::Fp32,
+                0
+            ),
+            ModelPoint::Time(_)
+        ));
+    }
+
+    #[test]
+    fn infeasible_is_nan() {
+        assert!(ModelPoint::Infeasible("x").seconds().is_nan());
+    }
+}

@@ -1,0 +1,579 @@
+//! The pooled-memory distributed state vector (`nvidia-mgpu`).
+//!
+//! Amplitude `i` of the `2^n`-element state lives on device
+//! `r = i >> (n - p)` at local offset `i mod 2^(n-p)`, for `P = 2^p`
+//! devices. Kernels on *local* qubits (bit positions `< n-p`) run
+//! device-parallel with no communication. Kernels touching *global*
+//! qubits are preceded by a **qubit remap**: the global bit is swapped
+//! with a free local bit via a pairwise half-exchange between partner
+//! devices, after which the kernel is local. The logical→physical qubit
+//! layout is tracked so remaps persist across kernels (cheaper than
+//! swapping back, and the default; see [`DistributedState::set_restore_layout`]
+//! for the ablation).
+
+use crate::comm::{exchange_buffers, ClusterTopology, TrafficStats};
+use crate::layout::QubitLayout;
+use qgear_ir::fusion::{FusedBlock, FusedProgram};
+use qgear_num::{Complex, Scalar};
+use qgear_statevec::gpu::GpuDevice;
+use qgear_statevec::StateVector;
+
+/// A state vector partitioned over `2^p` simulated devices.
+#[derive(Debug, Clone)]
+pub struct DistributedState<T: Scalar> {
+    num_qubits: u32,
+    /// log2 of the device count.
+    p: u32,
+    /// Per-device amplitude slices, each of length `2^(n-p)`.
+    parts: Vec<Vec<Complex<T>>>,
+    /// Logical↔physical qubit assignment, shared with the dry-run planner.
+    layout: QubitLayout,
+    /// Interconnect layout for traffic classification.
+    topology: ClusterTopology,
+    /// Accumulated exchange traffic.
+    traffic: TrafficStats,
+    /// Number of global↔local bit swaps performed.
+    swaps: u64,
+    /// Restore the identity layout after every block (ablation mode;
+    /// costs extra exchanges).
+    restore_layout: bool,
+}
+
+impl<T: Scalar> DistributedState<T> {
+    /// `|0…0⟩` over `num_qubits`, split across `num_devices` (a power of
+    /// two, at most `2^num_qubits`).
+    pub fn zero(num_qubits: u32, num_devices: usize, topology: ClusterTopology) -> Self {
+        assert!(num_devices.is_power_of_two(), "device count must be a power of two");
+        let p = num_devices.trailing_zeros();
+        assert!(p <= num_qubits, "more device index bits than qubits");
+        let local_len = 1usize << (num_qubits - p);
+        let mut parts = vec![vec![Complex::ZERO; local_len]; num_devices];
+        parts[0][0] = Complex::ONE;
+        DistributedState {
+            num_qubits,
+            p,
+            parts,
+            layout: QubitLayout::identity(num_qubits, num_qubits - p),
+            topology,
+            traffic: TrafficStats::default(),
+            swaps: 0,
+            restore_layout: false,
+        }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Device count.
+    pub fn num_devices(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Width of the local index (qubits resident on one device).
+    pub fn local_width(&self) -> u32 {
+        self.num_qubits - self.p
+    }
+
+    /// Per-device amplitude bytes.
+    pub fn local_bytes(&self) -> u128 {
+        (self.parts[0].len() as u128) * 2 * T::BYTES as u128
+    }
+
+    /// Accumulated exchange traffic.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Global↔local swaps performed so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Enable the remap-and-restore ablation: after each block, swap the
+    /// layout back to identity (doubling exchange traffic on global-qubit
+    /// blocks).
+    pub fn set_restore_layout(&mut self, restore: bool) {
+        self.restore_layout = restore;
+    }
+
+    /// Physical bit position of a logical qubit.
+    pub fn physical(&self, logical: u32) -> u32 {
+        self.layout.physical(logical)
+    }
+
+    /// Swap physical bit positions `a` (must be local) and `b` (must be
+    /// global): pairwise half-exchange between partner devices, plus a
+    /// local bit permutation. Updates the layout.
+    fn swap_local_global(&mut self, local: u32, global: u32) {
+        let lw = self.local_width();
+        debug_assert!(local < lw && global >= lw);
+        let b = global - lw;
+        let lmask = 1usize << local;
+        let local_len = self.parts[0].len();
+        let half = local_len / 2;
+        let amp_bytes = (2 * T::BYTES) as u128;
+
+        for r0 in 0..self.parts.len() {
+            let r1 = r0 ^ (1usize << b);
+            if r0 >= r1 {
+                continue;
+            }
+            // Gather outgoing halves: r0 (rank bit 0) sends amplitudes with
+            // local bit = 1; r1 (rank bit 1) sends those with local bit = 0.
+            let mut out0 = Vec::with_capacity(half);
+            let mut out1 = Vec::with_capacity(half);
+            for base in 0..local_len {
+                if base & lmask == 0 {
+                    out0.push(self.parts[r0][base | lmask]);
+                    out1.push(self.parts[r1][base]);
+                }
+            }
+            let bytes = (out0.len() as u128) * amp_bytes;
+            let class = self.topology.link_class(r0, r1);
+            // Two messages: r0→r1 and r1→r0.
+            let (recv0, recv1) = exchange_buffers(out0, out1);
+            self.traffic.record(class, bytes);
+            self.traffic.record(class, bytes);
+            // Scatter: r0 fills its bit=1 slots with r1's old bit=0 half;
+            // r1 fills its bit=0 slots with r0's old bit=1 half.
+            let mut k = 0usize;
+            for base in 0..local_len {
+                if base & lmask == 0 {
+                    self.parts[r0][base | lmask] = recv0[k];
+                    self.parts[r1][base] = recv1[k];
+                    k += 1;
+                }
+            }
+        }
+        self.swaps += 1;
+        self.layout.note_swap(local, global);
+    }
+
+    /// Apply one fused kernel addressed in *logical* qubits.
+    ///
+    /// Global operands the kernel *mixes* are first remapped onto local
+    /// positions (pairwise half-exchanges). Global operands it does **not**
+    /// mix — pure controls and diagonal phases — stay global: each device
+    /// applies the sub-block conditioned on its own rank bits, with zero
+    /// communication (the cuQuantum-style control/diagonal optimization).
+    pub fn apply_block(&mut self, block: &FusedBlock) {
+        // Plan remaps on a layout clone (the shared mixing-aware policy in
+        // `QubitLayout::plan_block_mixing`), then execute each planned
+        // swap — the data movement updates `self.layout` to match.
+        let mixing = block.mixing_mask();
+        let mut planned = self.layout.clone();
+        for swap in planned.plan_block_mixing(&block.qubits, &mixing) {
+            self.swap_local_global(swap.local, swap.global);
+        }
+        debug_assert_eq!(self.layout, planned, "execution diverged from plan");
+        let lw = self.local_width();
+        let phys: Vec<u32> = block.qubits.iter().map(|&q| self.physical(q)).collect();
+        // Split operands: still-global ones are all unmixed by planning.
+        let conditional: Vec<(usize, u32)> = phys
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p >= lw)
+            .map(|(j, &p)| (j, p - lw))
+            .collect();
+        if conditional.is_empty() {
+            let local_block = FusedBlock {
+                qubits: phys,
+                unitary: block.unitary.clone(),
+                source_gates: block.source_gates,
+            };
+            for part in &mut self.parts {
+                GpuDevice::apply_block(part, &local_block);
+            }
+        } else {
+            // Local bits the sub-blocks act on, in conditioned order.
+            let kept_phys: Vec<u32> = phys
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| !conditional.iter().any(|&(cj, _)| cj == j))
+                .map(|(_, &p)| p)
+                .collect();
+            // One conditioned sub-block per rank-bit pattern, shared by
+            // every device with that pattern.
+            let patterns = 1usize << conditional.len();
+            let mut sub_blocks: Vec<FusedBlock> = Vec::with_capacity(patterns);
+            for pattern in 0..patterns {
+                let conditions: Vec<(usize, usize)> = conditional
+                    .iter()
+                    .enumerate()
+                    .map(|(bit, &(j, _))| (j, (pattern >> bit) & 1))
+                    .collect();
+                sub_blocks.push(FusedBlock {
+                    qubits: kept_phys.clone(),
+                    unitary: block.unitary.condition_on(&conditions),
+                    source_gates: block.source_gates,
+                });
+            }
+            for (r, part) in self.parts.iter_mut().enumerate() {
+                let mut pattern = 0usize;
+                for (bit, &(_, rank_bit)) in conditional.iter().enumerate() {
+                    pattern |= ((r >> rank_bit) & 1) << bit;
+                }
+                GpuDevice::apply_block(part, &sub_blocks[pattern]);
+            }
+        }
+        if self.restore_layout {
+            self.restore_identity_layout();
+        }
+    }
+
+    /// Swap physical positions until the layout is the identity again.
+    ///
+    /// Selection-fix loop: repeatedly take the lowest misplaced logical
+    /// qubit and swap it home. Fixing `q` can only disturb the occupant of
+    /// `q`'s home position, which is itself misplaced, so the fixed prefix
+    /// grows monotonically and the loop terminates after ≤ n swaps.
+    fn restore_identity_layout(&mut self) {
+        let lw = self.local_width();
+        while let Some(q) = (0..self.num_qubits).find(|&q| self.layout.physical(q) != q) {
+            let cur = self.layout.physical(q);
+            let home = q;
+            match (cur < lw, home < lw) {
+                (true, true) => self.swap_local_local(cur, home),
+                (true, false) => self.swap_local_global(cur, home),
+                (false, true) => self.swap_local_global(home, cur),
+                (false, false) => {
+                    // Route through any local bit f: swap(f,cur), swap(f,home),
+                    // swap(f,cur) exchanges the two global positions and
+                    // returns f's occupant.
+                    let f = lw - 1;
+                    self.swap_local_global(f, cur);
+                    self.swap_local_global(f, home);
+                    self.swap_local_global(f, cur);
+                }
+            }
+        }
+    }
+
+    /// Swap two *local* physical bit positions on every device (pure local
+    /// data permutation, no communication).
+    fn swap_local_local(&mut self, a: u32, b: u32) {
+        debug_assert!(a != b);
+        let (ma, mb) = (1usize << a, 1usize << b);
+        for part in &mut self.parts {
+            for i in 0..part.len() {
+                // Visit each mismatched pair once: bit a set, bit b clear.
+                if i & ma != 0 && i & mb == 0 {
+                    part.swap(i, (i & !ma) | mb);
+                }
+            }
+        }
+        self.layout.note_swap(a, b);
+    }
+
+    /// Run a whole fused program.
+    pub fn run_program(&mut self, program: &FusedProgram) {
+        assert_eq!(program.num_qubits, self.num_qubits);
+        for block in &program.blocks {
+            self.apply_block(block);
+        }
+    }
+
+    /// Total squared norm across devices.
+    pub fn norm_sqr(&self) -> T {
+        self.parts
+            .iter()
+            .map(|p| p.iter().map(|a| a.norm_sqr()).sum::<T>())
+            .sum()
+    }
+
+    /// Marginal distribution over *logical* qubits (`qubits[j]` → bit `j`
+    /// of the result index), reduced across devices.
+    pub fn marginal(&self, qubits: &[u32]) -> Vec<T> {
+        let lw = self.local_width();
+        let phys: Vec<u32> = qubits.iter().map(|&q| self.physical(q)).collect();
+        let mut out = vec![T::ZERO; 1usize << qubits.len()];
+        for (r, part) in self.parts.iter().enumerate() {
+            for (i, a) in part.iter().enumerate() {
+                let full = (r << lw) | i;
+                let mut key = 0usize;
+                for (j, &pp) in phys.iter().enumerate() {
+                    key |= ((full >> pp) & 1) << j;
+                }
+                out[key] += a.norm_sqr();
+            }
+        }
+        out
+    }
+
+    /// Reassemble the full state in logical qubit order (for verification;
+    /// allocates the whole `2^n` vector, so test-scale only).
+    pub fn gather(&self) -> StateVector<T> {
+        let lw = self.local_width();
+        let mut amps = vec![Complex::ZERO; 1usize << self.num_qubits];
+        for (r, part) in self.parts.iter().enumerate() {
+            for (i, &a) in part.iter().enumerate() {
+                let full = (r << lw) | i;
+                let mut logical = 0usize;
+                for q in 0..self.num_qubits {
+                    let pp = self.layout.physical(q) as usize;
+                    logical |= ((full >> pp) & 1) << q;
+                }
+                amps[logical] = a;
+            }
+        }
+        StateVector::from_amplitudes(amps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgear_ir::fusion::fuse;
+    use qgear_ir::{reference, Circuit};
+    use qgear_num::approx::max_deviation;
+
+    fn random_native(n: u32, gates: usize, seed: u64) -> Circuit {
+        let mut c = Circuit::new(n);
+        let mut s = seed | 1;
+        let mut rnd = move |m: u64| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) % m
+        };
+        for _ in 0..gates {
+            match rnd(4) {
+                0 => {
+                    c.h(rnd(n as u64) as u32);
+                }
+                1 => {
+                    c.ry(rnd(628) as f64 / 100.0, rnd(n as u64) as u32);
+                }
+                2 => {
+                    c.rz(rnd(628) as f64 / 100.0, rnd(n as u64) as u32);
+                }
+                _ => {
+                    let a = rnd(n as u64) as u32;
+                    let b = (a + 1 + rnd(n as u64 - 1) as u32) % n;
+                    c.cx(a, b);
+                }
+            }
+        }
+        c
+    }
+
+    fn check_cluster_matches_reference(n: u32, devices: usize, gates: usize, seed: u64, width: usize) {
+        let c = random_native(n, gates, seed);
+        let prog = fuse(&c, width);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(n, devices, ClusterTopology::default());
+        dist.run_program(&prog);
+        let got = dist.gather();
+        let expect = reference::run(&c);
+        assert!(
+            max_deviation(got.amplitudes(), &expect) < 1e-11,
+            "n={n} devices={devices} seed={seed} width={width}: dev {}",
+            max_deviation(got.amplitudes(), &expect)
+        );
+    }
+
+    #[test]
+    fn single_device_degenerate_case() {
+        check_cluster_matches_reference(5, 1, 40, 1, 5);
+    }
+
+    #[test]
+    fn two_and_four_devices_match_reference() {
+        check_cluster_matches_reference(6, 2, 60, 2, 3);
+        check_cluster_matches_reference(6, 4, 60, 3, 3);
+    }
+
+    #[test]
+    fn eight_devices_narrow_local_width() {
+        // 6 qubits over 8 devices: local width 3 with fusion width 2.
+        check_cluster_matches_reference(6, 8, 50, 4, 2);
+    }
+
+    #[test]
+    fn sixteen_devices() {
+        check_cluster_matches_reference(7, 16, 48, 5, 2);
+    }
+
+    #[test]
+    fn traffic_zero_for_local_only_circuits() {
+        // Gates confined to qubits 0..2 on 4 devices of a 6-qubit state
+        // never touch the global bits.
+        let mut c = Circuit::new(6);
+        c.h(0).cx(0, 1).ry(0.4, 2).cx(1, 2);
+        let prog = fuse(&c, 3);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.run_program(&prog);
+        assert_eq!(dist.traffic().total_bytes(), 0);
+        assert_eq!(dist.swaps(), 0);
+        let expect = reference::run(&c);
+        assert!(max_deviation(dist.gather().amplitudes(), &expect) < 1e-12);
+    }
+
+    #[test]
+    fn global_gate_triggers_exchange() {
+        // 4 devices, 6 qubits: lw = 4; qubit 5 is global.
+        let mut c = Circuit::new(6);
+        c.h(5);
+        let prog = fuse(&c, 2);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.run_program(&prog);
+        assert!(dist.swaps() >= 1);
+        assert!(dist.traffic().total_bytes() > 0);
+        let expect = reference::run(&c);
+        assert!(max_deviation(dist.gather().amplitudes(), &expect) < 1e-12);
+    }
+
+    #[test]
+    fn global_control_cx_needs_no_exchange() {
+        // 4 devices, 6 qubits: qubits 4,5 are global. A CX *controlled* by
+        // a global qubit never mixes it — zero communication.
+        let mut c = Circuit::new(6);
+        c.h(0).cx(5, 1).cx(4, 2).cx(5, 0);
+        let prog = fuse(&c, 2);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.run_program(&prog);
+        assert_eq!(dist.swaps(), 0, "control-only global use must not swap");
+        assert_eq!(dist.traffic().total_bytes(), 0);
+        let expect = reference::run(&c);
+        assert!(max_deviation(dist.gather().amplitudes(), &expect) < 1e-12);
+    }
+
+    #[test]
+    fn diagonal_gates_on_global_qubits_need_no_exchange() {
+        // rz / cr1 are diagonal: even acting *on* global qubits they cost
+        // nothing (each device applies its rank-conditioned phase).
+        let mut c = Circuit::new(6);
+        for q in 0..6 {
+            c.h(q.min(3)); // superpose local qubits only
+        }
+        c.rz(0.7, 5).cr1(0.9, 4, 5).cr1(0.3, 5, 1).rz(-0.2, 4);
+        let prog = fuse(&c, 3);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.run_program(&prog);
+        assert_eq!(dist.traffic().total_bytes(), 0);
+        let expect = reference::run(&c);
+        assert!(max_deviation(dist.gather().amplitudes(), &expect) < 1e-12);
+    }
+
+    #[test]
+    fn mixed_global_targets_still_exchange_and_stay_correct() {
+        // cx with a global TARGET mixes it: exchange required; verify
+        // correctness with a blend of conditional and mixing global uses.
+        let mut c = Circuit::new(6);
+        c.h(0).h(5).cx(0, 5).cx(5, 1).cr1(0.4, 4, 0).ry(0.8, 4);
+        let prog = fuse(&c, 2);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.run_program(&prog);
+        assert!(dist.swaps() > 0);
+        let expect = reference::run(&c);
+        assert!(max_deviation(dist.gather().amplitudes(), &expect) < 1e-11);
+    }
+
+    #[test]
+    fn qft_on_cluster_exchanges_less_than_naive_plan() {
+        // QFT ladders are cr1-heavy (diagonal): the mixing-aware plan must
+        // move far less data than remapping every global operand.
+        use crate::layout::TrafficPlanner;
+        let circ = {
+            // Inline QFT to avoid a workloads dev-dependency cycle.
+            let n = 8u32;
+            let mut c = Circuit::new(n);
+            for i in (0..n).rev() {
+                c.h(i);
+                for j in (0..i).rev() {
+                    c.cr1(std::f64::consts::TAU / f64::powi(2.0, (i - j + 1) as i32), j, i);
+                }
+            }
+            c
+        };
+        let prog = fuse(&circ, 3);
+        let topo = ClusterTopology::default();
+        // Mixing-aware (the engine's plan).
+        let mut smart = TrafficPlanner::new(8, 4, topo, 16);
+        smart.run_program(&prog);
+        // Naive: every block operand treated as mixing.
+        let mut naive_layout = crate::layout::QubitLayout::identity(8, 6);
+        let mut naive_swaps = 0u64;
+        for b in &prog.blocks {
+            naive_swaps += naive_layout.plan_block(&b.qubits).len() as u64;
+        }
+        assert!(
+            smart.swaps() < naive_swaps,
+            "mixing-aware {} vs naive {naive_swaps}",
+            smart.swaps()
+        );
+        // And the engine must still be correct.
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(8, 4, topo);
+        dist.run_program(&prog);
+        let expect = reference::run(&circ);
+        assert!(max_deviation(dist.gather().amplitudes(), &expect) < 1e-11);
+        assert_eq!(dist.swaps(), smart.swaps(), "engine matches planner");
+    }
+
+    #[test]
+    fn persistent_layout_cheaper_than_restore() {
+        let c = random_native(6, 60, 9);
+        let prog = fuse(&c, 2);
+        let mut keep: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        keep.run_program(&prog);
+        let mut restore: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        restore.set_restore_layout(true);
+        restore.run_program(&prog);
+        // Both are correct…
+        let expect = reference::run(&c);
+        assert!(max_deviation(keep.gather().amplitudes(), &expect) < 1e-11);
+        assert!(max_deviation(restore.gather().amplitudes(), &expect) < 1e-11);
+        // …but restoring the layout costs at least as much traffic.
+        assert!(restore.traffic().total_bytes() >= keep.traffic().total_bytes());
+    }
+
+    #[test]
+    fn marginal_matches_gathered_state() {
+        let c = random_native(6, 50, 11);
+        let prog = fuse(&c, 3);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.run_program(&prog);
+        let gathered = dist.gather();
+        for qubits in [vec![0u32], vec![5, 1], vec![2, 4, 0]] {
+            let got = dist.marginal(&qubits);
+            let expect = gathered.marginal(&qubits);
+            for (a, b) in got.iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn norm_preserved_through_exchanges() {
+        let c = random_native(7, 80, 13);
+        let prog = fuse(&c, 2);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(7, 8, ClusterTopology::default());
+        dist.run_program(&prog);
+        assert!((dist.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn local_bytes_accounting() {
+        let dist: DistributedState<f32> =
+            DistributedState::zero(10, 4, ClusterTopology::default());
+        // 2^8 amps × 8 B = 2 KiB per device.
+        assert_eq!(dist.local_bytes(), 2048);
+        assert_eq!(dist.local_width(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_devices_rejected() {
+        let _: DistributedState<f64> = DistributedState::zero(4, 3, ClusterTopology::default());
+    }
+}

@@ -1,0 +1,285 @@
+//! Logical↔physical qubit layout shared by the real distributed engine and
+//! the dry-run traffic planner.
+//!
+//! Both the amplitude-moving engine ([`crate::DistributedState`]) and the
+//! zero-allocation planner ([`TrafficPlanner`]) must make *identical* remap
+//! decisions, or the performance model would cost a different communication
+//! schedule than the one actually executed. Factoring the decision logic
+//! here makes that identity structural rather than aspirational.
+
+use crate::comm::{ClusterTopology, TrafficStats};
+use qgear_ir::fusion::FusedProgram;
+
+/// Tracks which physical bit position holds each logical qubit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QubitLayout {
+    /// Logical qubit → physical bit position.
+    layout: Vec<u32>,
+    /// Physical bit position → logical qubit.
+    inverse: Vec<u32>,
+    /// Local width: positions `< lw` are device-local.
+    lw: u32,
+}
+
+/// One planned remap: swap this local physical position with this global
+/// physical position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedSwap {
+    /// Local physical position (`< local_width`).
+    pub local: u32,
+    /// Global physical position (`>= local_width`).
+    pub global: u32,
+}
+
+impl QubitLayout {
+    /// Identity layout over `n` qubits with `lw` local positions.
+    pub fn identity(n: u32, lw: u32) -> Self {
+        QubitLayout { layout: (0..n).collect(), inverse: (0..n).collect(), lw }
+    }
+
+    /// Local width.
+    pub fn local_width(&self) -> u32 {
+        self.lw
+    }
+
+    /// Physical position of a logical qubit.
+    pub fn physical(&self, logical: u32) -> u32 {
+        self.layout[logical as usize]
+    }
+
+    /// Logical qubit at a physical position.
+    pub fn logical_at(&self, physical: u32) -> u32 {
+        self.inverse[physical as usize]
+    }
+
+    /// True if every logical qubit sits at its home position.
+    pub fn is_identity(&self) -> bool {
+        self.layout.iter().enumerate().all(|(q, &p)| q as u32 == p)
+    }
+
+    /// Record a swap of two physical positions (the caller moves the data).
+    pub fn note_swap(&mut self, a: u32, b: u32) {
+        let qa = self.inverse[a as usize];
+        let qb = self.inverse[b as usize];
+        self.layout[qa as usize] = b;
+        self.layout[qb as usize] = a;
+        self.inverse[a as usize] = qb;
+        self.inverse[b as usize] = qa;
+    }
+
+    /// Plan the remaps needed before a kernel over `block_qubits` (logical)
+    /// can run locally, updating the layout as each swap is planned. The
+    /// policy — remap each global operand onto the highest free local
+    /// position — is the single source of truth for both execution and
+    /// cost projection.
+    pub fn plan_block(&mut self, block_qubits: &[u32]) -> Vec<PlannedSwap> {
+        let all = vec![true; block_qubits.len()];
+        self.plan_block_mixing(block_qubits, &all)
+    }
+
+    /// Mixing-aware planning: only operands the kernel actually *mixes*
+    /// (per [`qgear_ir::fusion::FusedBlock::mixing_mask`]) must be local;
+    /// unmixed operands (pure controls / diagonal phases) stay global and
+    /// are handled by rank-conditioned sub-blocks with zero communication.
+    pub fn plan_block_mixing(
+        &mut self,
+        block_qubits: &[u32],
+        mixing: &[bool],
+    ) -> Vec<PlannedSwap> {
+        debug_assert_eq!(block_qubits.len(), mixing.len());
+        let lw = self.lw;
+        let mut swaps = Vec::new();
+        loop {
+            let phys: Vec<u32> = block_qubits.iter().map(|&q| self.physical(q)).collect();
+            let Some(pos) = phys
+                .iter()
+                .enumerate()
+                .position(|(j, &p)| mixing[j] && p >= lw)
+            else {
+                break;
+            };
+            let free = (0..lw)
+                .rev()
+                .find(|cand| !phys.contains(cand))
+                .expect("block wider than local width");
+            let swap = PlannedSwap { local: free, global: phys[pos] };
+            self.note_swap(swap.local, swap.global);
+            swaps.push(swap);
+        }
+        swaps
+    }
+}
+
+/// Zero-allocation communication planner: walks a fused program through the
+/// same remap policy as the real engine and accumulates the traffic each
+/// swap would generate on a cluster of `2^p` devices — without touching a
+/// single amplitude. This is how `qgear-perfmodel` costs 42-qubit runs on
+/// 1024 GPUs from a laptop.
+#[derive(Debug, Clone)]
+pub struct TrafficPlanner {
+    layout: QubitLayout,
+    num_devices: usize,
+    topology: ClusterTopology,
+    amp_bytes: u64,
+    traffic: TrafficStats,
+    swaps: u64,
+    local_len: u128,
+}
+
+impl TrafficPlanner {
+    /// Plan for `num_qubits` over `num_devices = 2^p` devices with
+    /// `amp_bytes` per amplitude (8 for fp32, 16 for fp64).
+    pub fn new(
+        num_qubits: u32,
+        num_devices: usize,
+        topology: ClusterTopology,
+        amp_bytes: u64,
+    ) -> Self {
+        assert!(num_devices.is_power_of_two());
+        let p = num_devices.trailing_zeros();
+        assert!(p <= num_qubits);
+        TrafficPlanner {
+            layout: QubitLayout::identity(num_qubits, num_qubits - p),
+            num_devices,
+            topology,
+            amp_bytes,
+            traffic: TrafficStats::default(),
+            swaps: 0,
+            local_len: 1u128 << (num_qubits - p),
+        }
+    }
+
+    /// Account one planned swap: every device pairs with its partner and
+    /// exchanges half its local slice (one message each direction).
+    fn record_swap(&mut self, swap: PlannedSwap) {
+        let lw = self.layout.local_width();
+        let b = swap.global - lw;
+        let bytes_per_message = self.local_len / 2 * self.amp_bytes as u128;
+        for r0 in 0..self.num_devices {
+            let r1 = r0 ^ (1usize << b);
+            if r0 >= r1 {
+                continue;
+            }
+            let class = self.topology.link_class(r0, r1);
+            self.traffic.record(class, bytes_per_message);
+            self.traffic.record(class, bytes_per_message);
+        }
+        self.swaps += 1;
+    }
+
+    /// Walk a whole fused program (mixing-aware, matching the engine).
+    pub fn run_program(&mut self, program: &FusedProgram) {
+        for block in &program.blocks {
+            let mixing = block.mixing_mask();
+            for swap in self.layout.plan_block_mixing(&block.qubits, &mixing) {
+                self.record_swap(swap);
+            }
+        }
+    }
+
+    /// Accumulated traffic.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Number of remap swaps planned.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Final layout (for chained planning).
+    pub fn layout(&self) -> &QubitLayout {
+        &self.layout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgear_ir::fusion::fuse;
+    use qgear_ir::Circuit;
+
+    #[test]
+    fn identity_layout_roundtrip() {
+        let mut l = QubitLayout::identity(6, 4);
+        assert!(l.is_identity());
+        assert_eq!(l.physical(5), 5);
+        l.note_swap(1, 5);
+        assert!(!l.is_identity());
+        assert_eq!(l.physical(5), 1);
+        assert_eq!(l.physical(1), 5);
+        assert_eq!(l.logical_at(1), 5);
+        l.note_swap(1, 5);
+        assert!(l.is_identity());
+    }
+
+    #[test]
+    fn plan_block_local_only_is_empty() {
+        let mut l = QubitLayout::identity(8, 5);
+        assert!(l.plan_block(&[0, 3, 4]).is_empty());
+    }
+
+    #[test]
+    fn plan_block_remaps_globals() {
+        let mut l = QubitLayout::identity(8, 5);
+        let swaps = l.plan_block(&[6, 7]);
+        assert_eq!(swaps.len(), 2);
+        for s in &swaps {
+            assert!(s.local < 5);
+            assert!(s.global >= 5);
+        }
+        // After planning, both block qubits sit locally.
+        assert!(l.physical(6) < 5);
+        assert!(l.physical(7) < 5);
+        // Planning again is free.
+        assert!(l.plan_block(&[6, 7]).is_empty());
+    }
+
+    #[test]
+    fn planner_traffic_matches_real_engine() {
+        use crate::distributed::DistributedState;
+        // The dry-run planner and the amplitude-moving engine must report
+        // the same traffic for the same program.
+        let mut c = Circuit::new(8);
+        for q in 0..8 {
+            c.h(q);
+        }
+        for i in 0..20u32 {
+            c.cx(i % 8, (i + 3) % 8);
+            c.ry(0.1 * i as f64, (i + 5) % 8);
+        }
+        let prog = fuse(&c, 3);
+        let topo = ClusterTopology::default();
+        let mut planner = TrafficPlanner::new(8, 4, topo, 16);
+        planner.run_program(&prog);
+        let mut real: DistributedState<f64> = DistributedState::zero(8, 4, topo);
+        real.run_program(&prog);
+        assert_eq!(planner.traffic(), real.traffic());
+        assert_eq!(planner.swaps(), real.swaps());
+        assert!(planner.swaps() > 0);
+    }
+
+    #[test]
+    fn planner_scales_to_paper_sizes() {
+        // 42 qubits on 1024 GPUs — impossible to *execute* here, trivial to
+        // plan: this is the Fig. 4b costing path.
+        let mut c = Circuit::new(42);
+        for i in 0..200u32 {
+            let a = (i * 7) % 42;
+            let b = (a + 1 + (i * 13) % 41) % 42;
+            c.ry(0.3, a);
+            c.rz(0.2, b);
+            c.cx(a, b);
+        }
+        let prog = fuse(&c, 5);
+        let mut planner = TrafficPlanner::new(42, 1024, ClusterTopology::default(), 8);
+        planner.run_program(&prog);
+        assert!(planner.swaps() > 0);
+        let t = planner.traffic();
+        // Some swaps land on rank bits crossing nodes and racks.
+        assert!(t.total_bytes() > 0);
+        // Per-message size: half of 2^32 amps × 8 B = 16 GiB.
+        let expected_msg = (1u128 << 31) * 8;
+        assert_eq!(t.total_bytes() % expected_msg, 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! Containerized workflow substrate (Appendix E).
+//!
+//! The paper ships Q-Gear as a Podman-HPC container and a Shifter image,
+//! scheduled by Slurm with a "podman wrapper" shell layer that threads
+//! batch variables (MPI rank, circuit paths, output directories) into the
+//! containerized process. None of that infrastructure exists on this
+//! machine, so this crate *simulates* it faithfully enough to reproduce
+//! the workflow-level claims:
+//!
+//! * [`image`] — container image descriptions with package dependency
+//!   resolution and content digests (the paper's two images ship as
+//!   constructors);
+//! * [`wrapper`] — the podman-wrapper environment plumbing, producing the
+//!   Appendix E.3 command lines;
+//! * [`slurm`] — a discrete-event Slurm-like scheduler (nodes, GPUs,
+//!   `--gpus-per-task`, FIFO + backfill) with utilization accounting,
+//!   which the Table 1 harness uses to demonstrate the "approximately
+//!   100 % utilization of up to 1,024 GPUs" claim.
+
+pub mod image;
+pub mod slurm;
+pub mod wrapper;
+
+pub use image::{ContainerImage, ContainerRuntime, ImageBuilder};
+pub use slurm::{Cluster, JobRequest, JobState, Scheduler};
+pub use wrapper::PodmanWrapper;

@@ -1,0 +1,98 @@
+//! Precision-erased run results.
+//!
+//! Engines are generic over `f32`/`f64`, but the pipeline selects the
+//! precision at run time from the target configuration (like CUDA-Q's
+//! `fp32`/`fp64` option). [`RunResult`] erases the state's precision into
+//! `f64` for inspection while preserving counts, operation statistics,
+//! and the projected testbed timing.
+
+use qgear_num::scalar::Precision;
+use qgear_perfmodel::TimeBreakdown;
+use qgear_statevec::{Counts, ExecStats, RunOutput, StateVector};
+
+/// Result of running one circuit through the Q-Gear pipeline.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Final state, widened to `f64` (if the run kept it).
+    pub state: Option<StateVector<f64>>,
+    /// Sampled measurement counts (if shots > 0 and the circuit measures).
+    pub counts: Option<Counts>,
+    /// Operation counters and real wall-clock on this machine.
+    pub stats: ExecStats,
+    /// Projected wall-clock on the paper's Perlmutter testbed.
+    pub modeled: TimeBreakdown,
+    /// Precision the engines ran at.
+    pub precision: Precision,
+    /// Global phase accumulated by the native-set transpilation; apply
+    /// `e^{iφ}` to `state` to recover the untranspiled circuit's state
+    /// exactly.
+    pub global_phase: f64,
+}
+
+impl RunResult {
+    /// Assemble from a typed engine output.
+    pub fn from_output<T: qgear_num::Scalar>(
+        out: RunOutput<T>,
+        modeled: TimeBreakdown,
+        precision: Precision,
+        global_phase: f64,
+    ) -> Self {
+        RunResult {
+            state: out.state.map(|s| s.cast()),
+            counts: out.counts,
+            stats: out.stats,
+            modeled,
+            precision,
+            global_phase,
+        }
+    }
+
+    /// Probability distribution of the kept state (Born rule), `None` if
+    /// the state was dropped.
+    pub fn probabilities(&self) -> Option<Vec<f64>> {
+        self.state.as_ref().map(|s| s.probabilities())
+    }
+
+    /// Real wall-clock of the unitary phase on this machine.
+    pub fn measured_seconds(&self) -> f64 {
+        self.stats.elapsed.as_secs_f64() + self.stats.sampling_elapsed.as_secs_f64()
+    }
+
+    /// Projected wall-clock on the paper's testbed.
+    pub fn modeled_seconds(&self) -> f64 {
+        self.modeled.total()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgear_num::Complex;
+
+    #[test]
+    fn from_output_widens_state() {
+        let amps = vec![Complex::<f32>::ONE, Complex::ZERO];
+        let out = RunOutput::<f32> {
+            state: Some(StateVector::from_amplitudes(amps)),
+            counts: None,
+            stats: ExecStats::default(),
+        };
+        let r = RunResult::from_output(out, TimeBreakdown::default(), Precision::Fp32, 0.0);
+        let probs = r.probabilities().unwrap();
+        assert_eq!(probs, vec![1.0, 0.0]);
+        assert_eq!(r.precision, Precision::Fp32);
+    }
+
+    #[test]
+    fn seconds_accessors() {
+        let mut stats = ExecStats::default();
+        stats.elapsed = std::time::Duration::from_millis(250);
+        stats.sampling_elapsed = std::time::Duration::from_millis(50);
+        let out = RunOutput::<f64> { state: None, counts: None, stats };
+        let modeled = TimeBreakdown { compute: 2.0, ..Default::default() };
+        let r = RunResult::from_output(out, modeled, Precision::Fp64, 0.0);
+        assert!((r.measured_seconds() - 0.3).abs() < 1e-9);
+        assert_eq!(r.modeled_seconds(), 2.0);
+        assert!(r.probabilities().is_none());
+    }
+}

@@ -1,0 +1,274 @@
+//! Chunk compression codecs.
+//!
+//! HDF5 deployments typically pair the *shuffle* filter with a general
+//! compressor; shuffle transposes an array of fixed-width elements into
+//! planes of 1st bytes, 2nd bytes, …, which groups the slowly-varying high
+//! bytes of floats and small integers into long runs. We follow the same
+//! recipe with a simple byte-wise run-length coder as the compressor —
+//! fully self-contained, lossless, and effective on exactly the data the
+//! paper stores (index arrays, one-hot tags, zero-padded parameter
+//! tensors; Appendix C reports ~50 % savings).
+
+/// Compression selector for a container file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum Compression {
+    /// Store chunks raw.
+    None = 0,
+    /// Run-length code bytes directly.
+    Rle = 1,
+    /// Byte-shuffle with the dataset's element width, then run-length code.
+    #[default]
+    ShuffleRle = 2,
+}
+
+impl Compression {
+    /// Stable serialization tag.
+    pub const fn tag(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode a tag.
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        Some(match tag {
+            0 => Compression::None,
+            1 => Compression::Rle,
+            2 => Compression::ShuffleRle,
+            _ => return None,
+        })
+    }
+}
+
+/// Chunk size for compression and I/O (64 KiB, matching a typical HDF5
+/// chunk cache granule).
+pub const CHUNK_SIZE: usize = 64 * 1024;
+
+/// Run-length encode: emit `(count, byte)` pairs with `count ∈ 1..=255`.
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() / 2 + 16);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while run < 255 && i + run < data.len() && data[i + run] == b {
+            run += 1;
+        }
+        out.push(run as u8);
+        out.push(b);
+        i += run;
+    }
+    out
+}
+
+/// Invert [`rle_encode`]. Returns `None` on malformed input (odd length or
+/// zero run counts).
+pub fn rle_decode(data: &[u8]) -> Option<Vec<u8>> {
+    if data.len() % 2 != 0 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(data.len());
+    for pair in data.chunks_exact(2) {
+        let (count, byte) = (pair[0], pair[1]);
+        if count == 0 {
+            return None;
+        }
+        out.extend(std::iter::repeat(byte).take(count as usize));
+    }
+    Some(out)
+}
+
+/// Byte-shuffle `data` as an array of `width`-byte elements: output plane
+/// `k` holds the `k`-th byte of every element. A trailing partial element
+/// (when `data.len() % width != 0`) is appended unshuffled.
+pub fn shuffle(data: &[u8], width: usize) -> Vec<u8> {
+    if width <= 1 {
+        return data.to_vec();
+    }
+    let n = data.len() / width;
+    let mut out = Vec::with_capacity(data.len());
+    for k in 0..width {
+        for e in 0..n {
+            out.push(data[e * width + k]);
+        }
+    }
+    out.extend_from_slice(&data[n * width..]);
+    out
+}
+
+/// Invert [`shuffle`].
+pub fn unshuffle(data: &[u8], width: usize) -> Vec<u8> {
+    if width <= 1 {
+        return data.to_vec();
+    }
+    let n = data.len() / width;
+    let mut out = vec![0u8; data.len()];
+    for k in 0..width {
+        for e in 0..n {
+            out[e * width + k] = data[k * n + e];
+        }
+    }
+    out[n * width..].copy_from_slice(&data[n * width..]);
+    out
+}
+
+/// Compress one chunk. `width` is the dataset element width (used by the
+/// shuffle filter). Falls back to storing raw (tagged) when "compression"
+/// would expand the chunk, so the codec never loses.
+pub fn compress_chunk(data: &[u8], codec: Compression, width: usize) -> Vec<u8> {
+    let encoded = match codec {
+        Compression::None => return prepend_tag(0, data.to_vec()),
+        Compression::Rle => rle_encode(data),
+        Compression::ShuffleRle => rle_encode(&shuffle(data, width)),
+    };
+    if encoded.len() >= data.len() {
+        prepend_tag(0, data.to_vec())
+    } else {
+        prepend_tag(codec.tag(), encoded)
+    }
+}
+
+fn prepend_tag(tag: u8, mut body: Vec<u8>) -> Vec<u8> {
+    body.insert(0, tag);
+    body
+}
+
+/// Decompress one chunk produced by [`compress_chunk`].
+pub fn decompress_chunk(data: &[u8], width: usize) -> Option<Vec<u8>> {
+    let (&tag, body) = data.split_first()?;
+    match Compression::from_tag(tag)? {
+        Compression::None => Some(body.to_vec()),
+        Compression::Rle => rle_decode(body),
+        Compression::ShuffleRle => Some(unshuffle(&rle_decode(body)?, width)),
+    }
+}
+
+/// Compress a full payload in [`CHUNK_SIZE`] chunks; returns the chunk
+/// bodies (each self-tagged). The caller records per-chunk lengths.
+pub fn compress_payload(data: &[u8], codec: Compression, width: usize) -> Vec<Vec<u8>> {
+    if data.is_empty() {
+        return Vec::new();
+    }
+    data.chunks(CHUNK_SIZE)
+        .map(|c| compress_chunk(c, codec, width))
+        .collect()
+}
+
+/// Reassemble a payload from compressed chunks.
+pub fn decompress_payload(chunks: &[Vec<u8>], width: usize) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    for c in chunks {
+        out.extend(decompress_chunk(c, width)?);
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn float_bytes(values: &[f64]) -> Vec<u8> {
+        values.iter().flat_map(|v| v.to_le_bytes()).collect()
+    }
+
+    #[test]
+    fn rle_roundtrip_patterns() {
+        let cases: Vec<Vec<u8>> = vec![
+            vec![],
+            vec![1],
+            vec![0; 1000],
+            (0..=255u8).collect(),
+            vec![7; 300], // run > 255 forces a split
+            b"abacadabra".to_vec(),
+        ];
+        for case in cases {
+            let enc = rle_encode(&case);
+            assert_eq!(rle_decode(&enc).unwrap(), case);
+        }
+    }
+
+    #[test]
+    fn rle_rejects_malformed() {
+        assert!(rle_decode(&[1]).is_none(), "odd length");
+        assert!(rle_decode(&[0, 5]).is_none(), "zero run");
+    }
+
+    #[test]
+    fn shuffle_roundtrip_various_widths() {
+        let data: Vec<u8> = (0..97).map(|i| (i * 31 % 256) as u8).collect();
+        for width in [1usize, 2, 4, 8] {
+            let s = shuffle(&data, width);
+            assert_eq!(s.len(), data.len());
+            assert_eq!(unshuffle(&s, width), data);
+        }
+    }
+
+    #[test]
+    fn shuffle_groups_high_bytes() {
+        // Small positive f64 values share exponent bytes; after shuffle the
+        // repeated bytes form runs.
+        let values: Vec<f64> = (0..512).map(|i| 1.0 + i as f64 * 1e-6).collect();
+        let raw = float_bytes(&values);
+        let shuffled = shuffle(&raw, 8);
+        let rle_raw = rle_encode(&raw).len();
+        let rle_shuf = rle_encode(&shuffled).len();
+        assert!(
+            rle_shuf < rle_raw,
+            "shuffle should help: {rle_shuf} vs {rle_raw}"
+        );
+    }
+
+    #[test]
+    fn compress_never_expands() {
+        // Incompressible noise must be stored raw (+1 tag byte only).
+        let noise: Vec<u8> = (0..4096u32)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        let c = compress_chunk(&noise, Compression::ShuffleRle, 8);
+        assert!(c.len() <= noise.len() + 1);
+        assert_eq!(decompress_chunk(&c, 8).unwrap(), noise);
+    }
+
+    #[test]
+    fn zero_padded_tensor_compresses_well() {
+        // The §2.1 tensors are mostly zero padding beyond the populated
+        // slots; Appendix C reports ≥ 50 % savings — verify we achieve it.
+        let mut data = vec![0u8; 100_000];
+        for i in 0..2_000 {
+            data[i] = (i % 251) as u8;
+        }
+        let chunks = compress_payload(&data, Compression::ShuffleRle, 8);
+        let stored: usize = chunks.iter().map(Vec::len).sum();
+        assert!(
+            stored * 2 < data.len(),
+            "expected >=50% compression, stored {stored} of {}",
+            data.len()
+        );
+        assert_eq!(decompress_payload(&chunks, 8).unwrap(), data);
+    }
+
+    #[test]
+    fn payload_roundtrip_multichunk() {
+        let data: Vec<u8> = (0..(CHUNK_SIZE * 2 + 1234))
+            .map(|i| (i / 64) as u8)
+            .collect();
+        for codec in [Compression::None, Compression::Rle, Compression::ShuffleRle] {
+            let chunks = compress_payload(&data, codec, 4);
+            assert_eq!(chunks.len(), 3);
+            assert_eq!(decompress_payload(&chunks, 4).unwrap(), data, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn empty_payload() {
+        assert!(compress_payload(&[], Compression::ShuffleRle, 8).is_empty());
+        assert_eq!(decompress_payload(&[], 8).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn compression_tags_roundtrip() {
+        for c in [Compression::None, Compression::Rle, Compression::ShuffleRle] {
+            assert_eq!(Compression::from_tag(c.tag()), Some(c));
+        }
+        assert_eq!(Compression::from_tag(9), None);
+    }
+}

@@ -1,0 +1,58 @@
+//! Error type for the container.
+
+use std::fmt;
+
+/// Errors raised by tree navigation, typed access, and (de)serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum H5Error {
+    /// No node at the given path.
+    NotFound(String),
+    /// Expected a group but found a dataset (or vice versa).
+    WrongNodeKind(String),
+    /// A path component was empty ("a//b") or the path itself was empty.
+    BadPath(String),
+    /// Typed accessor called on a dataset of a different dtype.
+    DtypeMismatch {
+        /// Dtype stored in the dataset.
+        stored: &'static str,
+        /// Dtype the accessor expected.
+        requested: &'static str,
+    },
+    /// Shape product does not match the element count.
+    ShapeMismatch {
+        /// Number of elements provided.
+        elements: usize,
+        /// Product of the requested shape.
+        shape_product: usize,
+    },
+    /// Attribute not present on the node.
+    AttrNotFound(String),
+    /// Byte stream failed structural validation.
+    Malformed(String),
+    /// Unsupported on-disk format version.
+    UnsupportedVersion(u16),
+    /// Underlying filesystem error (stringified to keep the type `Clone`).
+    Io(String),
+}
+
+impl fmt::Display for H5Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            H5Error::NotFound(p) => write!(f, "no node at '{p}'"),
+            H5Error::WrongNodeKind(p) => write!(f, "wrong node kind at '{p}'"),
+            H5Error::BadPath(p) => write!(f, "bad path '{p}'"),
+            H5Error::DtypeMismatch { stored, requested } => {
+                write!(f, "dtype mismatch: stored {stored}, requested {requested}")
+            }
+            H5Error::ShapeMismatch { elements, shape_product } => {
+                write!(f, "shape product {shape_product} != element count {elements}")
+            }
+            H5Error::AttrNotFound(n) => write!(f, "attribute '{n}' not found"),
+            H5Error::Malformed(m) => write!(f, "malformed container: {m}"),
+            H5Error::UnsupportedVersion(v) => write!(f, "unsupported container version {v}"),
+            H5Error::Io(m) => write!(f, "io error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for H5Error {}

@@ -1,0 +1,337 @@
+//! Binary on-disk format.
+//!
+//! Self-describing layout (all little-endian):
+//!
+//! ```text
+//! magic    [4] = "H5L1"
+//! version  u16 = 1
+//! codec    u8  — Compression tag used for every dataset
+//! root group, recursively:
+//!   node tag u8: 0 = group, 1 = dataset
+//!   group:   attrs, child count u32, (name, node)*
+//!   dataset: attrs, dtype u8, ndim u8, dims u64*ndim,
+//!            chunk count u32, (chunk len u32, chunk bytes)*
+//! crc32    u32 over everything before it
+//! ```
+
+use crate::codec::{self, Compression};
+use crate::dataset::{Attr, Dataset, Dtype};
+use crate::error::H5Error;
+use crate::tree::{Group, Node};
+use crate::H5File;
+use bytes::{Buf, BufMut, BytesMut};
+use std::collections::BTreeMap;
+
+/// File magic.
+pub const MAGIC: &[u8; 4] = b"H5L1";
+/// Format version.
+pub const VERSION: u16 = 1;
+
+/// Serialize a container.
+pub fn write(file: &H5File, compression: Compression) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(file.payload_bytes() / 2 + 1024);
+    buf.put_slice(MAGIC);
+    buf.put_u16_le(VERSION);
+    buf.put_u8(compression.tag());
+    write_group(&mut buf, &file.root, compression);
+    let crc = crc32(&buf);
+    buf.put_u32_le(crc);
+    buf.to_vec()
+}
+
+fn write_str(buf: &mut BytesMut, s: &str) {
+    let bytes = s.as_bytes();
+    buf.put_u16_le(bytes.len().min(u16::MAX as usize) as u16);
+    buf.put_slice(&bytes[..bytes.len().min(u16::MAX as usize)]);
+}
+
+fn write_attrs(buf: &mut BytesMut, attrs: &BTreeMap<String, Attr>) {
+    buf.put_u16_le(attrs.len() as u16);
+    for (name, attr) in attrs {
+        write_str(buf, name);
+        match attr {
+            Attr::Int(v) => {
+                buf.put_u8(0);
+                buf.put_i64_le(*v);
+            }
+            Attr::Float(v) => {
+                buf.put_u8(1);
+                buf.put_f64_le(*v);
+            }
+            Attr::Str(v) => {
+                buf.put_u8(2);
+                write_str(buf, v);
+            }
+            Attr::IntVec(v) => {
+                buf.put_u8(3);
+                buf.put_u32_le(v.len() as u32);
+                for x in v {
+                    buf.put_i64_le(*x);
+                }
+            }
+        }
+    }
+}
+
+fn write_group(buf: &mut BytesMut, group: &Group, compression: Compression) {
+    buf.put_u8(0);
+    write_attrs(buf, &group.attrs);
+    buf.put_u32_le(group.children.len() as u32);
+    for (name, node) in &group.children {
+        write_str(buf, name);
+        match node {
+            Node::Group(g) => write_group(buf, g, compression),
+            Node::Dataset(d) => write_dataset(buf, d, compression),
+        }
+    }
+}
+
+fn write_dataset(buf: &mut BytesMut, ds: &Dataset, compression: Compression) {
+    buf.put_u8(1);
+    write_attrs(buf, &ds.attrs);
+    buf.put_u8(ds.dtype.tag());
+    buf.put_u8(ds.shape.len() as u8);
+    for &d in &ds.shape {
+        buf.put_u64_le(d);
+    }
+    let chunks = codec::compress_payload(&ds.data, compression, ds.dtype.size());
+    buf.put_u32_le(chunks.len() as u32);
+    for c in &chunks {
+        buf.put_u32_le(c.len() as u32);
+        buf.put_slice(c);
+    }
+}
+
+/// Deserialize a container.
+pub fn read(data: &[u8]) -> Result<H5File, H5Error> {
+    if data.len() < 15 {
+        return Err(H5Error::Malformed("shorter than minimal header".into()));
+    }
+    let (body, crc_bytes) = data.split_at(data.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().unwrap());
+    if crc32(body) != stored {
+        return Err(H5Error::Malformed("CRC mismatch".into()));
+    }
+    let mut cur = body;
+    let mut magic = [0u8; 4];
+    cur.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(H5Error::Malformed("bad magic".into()));
+    }
+    let version = cur.get_u16_le();
+    if version != VERSION {
+        return Err(H5Error::UnsupportedVersion(version));
+    }
+    let _codec_tag = cur.get_u8(); // informational; chunks are self-tagged
+    let root = match read_node(&mut cur)? {
+        Node::Group(g) => g,
+        Node::Dataset(_) => return Err(H5Error::Malformed("root is a dataset".into())),
+    };
+    if cur.has_remaining() {
+        return Err(H5Error::Malformed(format!("{} trailing bytes", cur.remaining())));
+    }
+    Ok(H5File { root })
+}
+
+fn need(cur: &&[u8], n: usize) -> Result<(), H5Error> {
+    if cur.remaining() < n {
+        Err(H5Error::Malformed("unexpected end of stream".into()))
+    } else {
+        Ok(())
+    }
+}
+
+fn read_str(cur: &mut &[u8]) -> Result<String, H5Error> {
+    need(cur, 2)?;
+    let len = cur.get_u16_le() as usize;
+    need(cur, len)?;
+    let s = std::str::from_utf8(&cur[..len])
+        .map_err(|_| H5Error::Malformed("non-UTF-8 string".into()))?
+        .to_owned();
+    cur.advance(len);
+    Ok(s)
+}
+
+fn read_attrs(cur: &mut &[u8]) -> Result<BTreeMap<String, Attr>, H5Error> {
+    need(cur, 2)?;
+    let count = cur.get_u16_le();
+    let mut attrs = BTreeMap::new();
+    for _ in 0..count {
+        let name = read_str(cur)?;
+        need(cur, 1)?;
+        let attr = match cur.get_u8() {
+            0 => {
+                need(cur, 8)?;
+                Attr::Int(cur.get_i64_le())
+            }
+            1 => {
+                need(cur, 8)?;
+                Attr::Float(cur.get_f64_le())
+            }
+            2 => Attr::Str(read_str(cur)?),
+            3 => {
+                need(cur, 4)?;
+                let n = cur.get_u32_le() as usize;
+                need(cur, n * 8)?;
+                Attr::IntVec((0..n).map(|_| cur.get_i64_le()).collect())
+            }
+            t => return Err(H5Error::Malformed(format!("unknown attr tag {t}"))),
+        };
+        attrs.insert(name, attr);
+    }
+    Ok(attrs)
+}
+
+fn read_node(cur: &mut &[u8]) -> Result<Node, H5Error> {
+    need(cur, 1)?;
+    match cur.get_u8() {
+        0 => {
+            let attrs = read_attrs(cur)?;
+            need(cur, 4)?;
+            let count = cur.get_u32_le();
+            let mut children = BTreeMap::new();
+            for _ in 0..count {
+                let name = read_str(cur)?;
+                let node = read_node(cur)?;
+                children.insert(name, node);
+            }
+            Ok(Node::Group(Group { children, attrs }))
+        }
+        1 => {
+            let attrs = read_attrs(cur)?;
+            need(cur, 2)?;
+            let dtype = Dtype::from_tag(cur.get_u8())
+                .ok_or_else(|| H5Error::Malformed("unknown dtype".into()))?;
+            let ndim = cur.get_u8() as usize;
+            need(cur, ndim * 8 + 4)?;
+            let shape: Vec<u64> = (0..ndim).map(|_| cur.get_u64_le()).collect();
+            let nchunks = cur.get_u32_le() as usize;
+            let mut chunks = Vec::with_capacity(nchunks);
+            for _ in 0..nchunks {
+                need(cur, 4)?;
+                let len = cur.get_u32_le() as usize;
+                need(cur, len)?;
+                chunks.push(cur[..len].to_vec());
+                cur.advance(len);
+            }
+            let data = codec::decompress_payload(&chunks, dtype.size())
+                .ok_or_else(|| H5Error::Malformed("chunk decompression failed".into()))?;
+            let ds = Dataset { dtype, shape, data, attrs };
+            ds.validate()?;
+            Ok(Node::Dataset(ds))
+        }
+        t => Err(H5Error::Malformed(format!("unknown node tag {t}"))),
+    }
+}
+
+/// CRC-32 (IEEE), bitwise. Duplicated from `qgear-ir`'s QPY-lite on purpose:
+/// both formats must stay self-contained and dependency-free of each other.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_file() -> H5File {
+        let mut f = H5File::new();
+        f.set_attr("", "creator", Attr::Str("qgear".into())).unwrap();
+        f.create_group("circuits/batch0").unwrap();
+        f.write_dataset(
+            "circuits/batch0/gate_type",
+            Dataset::from_u8(&[0, 1, 2, 3, 3, 4], &[6]),
+        )
+        .unwrap();
+        f.write_dataset(
+            "circuits/batch0/param",
+            Dataset::from_f64(&[0.1, 0.0, 0.0, 1.25, 0.0, 0.0], &[2, 3]),
+        )
+        .unwrap();
+        f.set_attr("circuits/batch0", "num_qubits", Attr::Int(5)).unwrap();
+        f.set_attr("circuits", "dims", Attr::IntVec(vec![64, 80])).unwrap();
+        f.write_dataset("meta/shots", Dataset::from_i64(&[3_000_000], &[1])).unwrap();
+        f
+    }
+
+    #[test]
+    fn roundtrip_all_codecs() {
+        let f = sample_file();
+        for codec in [Compression::None, Compression::Rle, Compression::ShuffleRle] {
+            let bytes = write(&f, codec);
+            let g = read(&bytes).unwrap();
+            assert_eq!(f, g, "{codec:?}");
+        }
+    }
+
+    #[test]
+    fn empty_file_roundtrip() {
+        let f = H5File::new();
+        let bytes = write(&f, Compression::ShuffleRle);
+        assert_eq!(read(&bytes).unwrap(), f);
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let mut bytes = write(&sample_file(), Compression::ShuffleRle);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(read(&bytes), Err(H5Error::Malformed(_))));
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let bytes = write(&sample_file(), Compression::None);
+        for cut in [1usize, 5, 17, bytes.len() - 10] {
+            assert!(read(&bytes[..bytes.len() - cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn bad_version_detected() {
+        let mut bytes = write(&sample_file(), Compression::None);
+        bytes[4..6].copy_from_slice(&7u16.to_le_bytes());
+        let crc = crc32(&bytes[..bytes.len() - 4]);
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&crc.to_le_bytes());
+        assert_eq!(read(&bytes), Err(H5Error::UnsupportedVersion(7)));
+    }
+
+    #[test]
+    fn compression_shrinks_padded_tensors() {
+        // Mimic the Appendix C scenario: a large zero-padded parameter
+        // tensor. ShuffleRle must save at least 50 %.
+        let mut f = H5File::new();
+        let mut params = vec![0.0f64; 50_000];
+        for (i, p) in params.iter_mut().take(3_000).enumerate() {
+            *p = (i as f64) * 0.001;
+        }
+        let n = params.len() as u64;
+        f.write_dataset("t/param", Dataset::from_f64(&params, &[n])).unwrap();
+        let raw = write(&f, Compression::None).len();
+        let packed = write(&f, Compression::ShuffleRle).len();
+        assert!(
+            packed * 2 < raw,
+            "expected >=50% compression: {packed} vs {raw}"
+        );
+        assert_eq!(read(&write(&f, Compression::ShuffleRle)).unwrap(), f);
+    }
+
+    #[test]
+    fn large_multichunk_dataset_roundtrip() {
+        let mut f = H5File::new();
+        let data: Vec<f32> = (0..100_000).map(|i| (i % 777) as f32 * 0.5).collect();
+        f.write_dataset("big", Dataset::from_f32(&data, &[100_000])).unwrap();
+        let bytes = write(&f, Compression::ShuffleRle);
+        let g = read(&bytes).unwrap();
+        assert_eq!(g.dataset("big").unwrap().as_f32().unwrap(), data);
+    }
+}

@@ -1,0 +1,448 @@
+//! Qiskit-like circuit builder.
+//!
+//! Q-Gear's input is "untransformed Qiskit circuits" (§2.2). [`Circuit`]
+//! plays that role: an ordered gate list over a fixed-width qubit register
+//! with builder methods named after their Qiskit counterparts, plus the
+//! structural queries (depth, gate counts) the benchmarks report.
+
+use crate::error::IrError;
+use crate::gate::{Gate, GateKind};
+
+/// An ordered list of gates over `num_qubits` qubits.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Circuit {
+    num_qubits: u32,
+    gates: Vec<Gate>,
+    /// Free-form name carried through encodings ("qft_24", "qcrank_zebra"…).
+    pub name: String,
+}
+
+impl Circuit {
+    /// Create an empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit { num_qubits, gates: Vec::new(), name: String::new() }
+    }
+
+    /// Create an empty circuit with a name and a gate-capacity hint (the
+    /// paper's generator "pre-allocates the circuit layout", Appendix D.1).
+    pub fn with_capacity(num_qubits: u32, name: impl Into<String>, gates: usize) -> Self {
+        Circuit { num_qubits, gates: Vec::with_capacity(gates), name: name.into() }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The gate list.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Total gate count, excluding barriers.
+    pub fn len(&self) -> usize {
+        self.gates.iter().filter(|g| g.kind != GateKind::Barrier).count()
+    }
+
+    /// True if the circuit contains no gates at all.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    fn check_qubit(&self, q: u32) -> Result<(), IrError> {
+        if q >= self.num_qubits {
+            Err(IrError::QubitOutOfRange { qubit: q, num_qubits: self.num_qubits })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn check_distinct(&self, qs: &[u32]) -> Result<(), IrError> {
+        for (i, &a) in qs.iter().enumerate() {
+            self.check_qubit(a)?;
+            if qs[i + 1..].contains(&a) {
+                return Err(IrError::DuplicateQubit { qubit: a });
+            }
+        }
+        Ok(())
+    }
+
+    /// Append a pre-built gate, validating its operands.
+    pub fn push(&mut self, gate: Gate) -> Result<(), IrError> {
+        self.check_distinct(gate.operands())?;
+        self.gates.push(gate);
+        Ok(())
+    }
+
+    /// Append a gate, panicking on invalid operands. The builder methods
+    /// below all route through this; they are the ergonomic path for code
+    /// that constructs circuits with statically-known widths.
+    fn push_unchecked_panic(&mut self, gate: Gate) {
+        self.push(gate).expect("invalid gate operand");
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1(GateKind::H, q));
+        self
+    }
+
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1(GateKind::X, q));
+        self
+    }
+
+    /// Pauli-Y on `q`.
+    pub fn y(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1(GateKind::Y, q));
+        self
+    }
+
+    /// Pauli-Z on `q`.
+    pub fn z(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1(GateKind::Z, q));
+        self
+    }
+
+    /// S gate on `q`.
+    pub fn s(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1(GateKind::S, q));
+        self
+    }
+
+    /// S† on `q`.
+    pub fn sdg(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1(GateKind::Sdg, q));
+        self
+    }
+
+    /// T gate on `q`.
+    pub fn t(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1(GateKind::T, q));
+        self
+    }
+
+    /// T† on `q`.
+    pub fn tdg(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1(GateKind::Tdg, q));
+        self
+    }
+
+    /// `Rx(θ)` on `q`.
+    pub fn rx(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1p1(GateKind::Rx, q, theta));
+        self
+    }
+
+    /// `Ry(θ)` on `q`.
+    pub fn ry(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1p1(GateKind::Ry, q, theta));
+        self
+    }
+
+    /// `Rz(θ)` on `q`.
+    pub fn rz(&mut self, theta: f64, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1p1(GateKind::Rz, q, theta));
+        self
+    }
+
+    /// Phase gate `p(λ)` on `q`.
+    pub fn p(&mut self, lambda: f64, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q1p1(GateKind::P, q, lambda));
+        self
+    }
+
+    /// General `u(θ, φ, λ)` on `q`.
+    pub fn u(&mut self, theta: f64, phi: f64, lambda: f64, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::u(q, theta, phi, lambda));
+        self
+    }
+
+    /// CX with control `c` and target `t`.
+    pub fn cx(&mut self, c: u32, t: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q2(GateKind::Cx, c, t));
+        self
+    }
+
+    /// CZ between `a` and `b`.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q2(GateKind::Cz, a, b));
+        self
+    }
+
+    /// Controlled-phase `cr1(λ)` with control `c` and target `t` (Eq. 9).
+    pub fn cr1(&mut self, lambda: f64, c: u32, t: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q2p1(GateKind::Cr1, c, t, lambda));
+        self
+    }
+
+    /// Controlled-Ry with control `c` and target `t`.
+    pub fn cry(&mut self, theta: f64, c: u32, t: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q2p1(GateKind::Cry, c, t, theta));
+        self
+    }
+
+    /// SWAP between `a` and `b`.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::q2(GateKind::Swap, a, b));
+        self
+    }
+
+    /// Toffoli with controls `c0`, `c1` and target `t`.
+    pub fn ccx(&mut self, c0: u32, c1: u32, t: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::ccx(c0, c1, t));
+        self
+    }
+
+    /// Barrier (scheduling hint; ignored by simulators).
+    pub fn barrier(&mut self) -> &mut Self {
+        self.gates.push(Gate::nullary(GateKind::Barrier));
+        self
+    }
+
+    /// Measure qubit `q`.
+    pub fn measure(&mut self, q: u32) -> &mut Self {
+        self.push_unchecked_panic(Gate::measure(q));
+        self
+    }
+
+    /// Measure every qubit, in register order.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits {
+            self.measure(q);
+        }
+        self
+    }
+
+    /// Append all gates of `other` (must have the same width).
+    pub fn compose(&mut self, other: &Circuit) -> Result<(), IrError> {
+        if other.num_qubits != self.num_qubits {
+            return Err(IrError::MixedWidths {
+                expected: self.num_qubits,
+                found: other.num_qubits,
+            });
+        }
+        self.gates.extend_from_slice(&other.gates);
+        Ok(())
+    }
+
+    /// The adjoint circuit: inverse gates in reverse order. Measurements
+    /// are dropped (they have no unitary inverse).
+    pub fn inverse(&self) -> Circuit {
+        let mut inv = Circuit::with_capacity(
+            self.num_qubits,
+            format!("{}_dg", self.name),
+            self.gates.len(),
+        );
+        for g in self.gates.iter().rev() {
+            if g.kind == GateKind::Measure {
+                continue;
+            }
+            inv.gates.push(g.inverse());
+        }
+        inv
+    }
+
+    /// Unitary gate count (excludes measurements and barriers).
+    pub fn unitary_count(&self) -> usize {
+        self.gates.iter().filter(|g| g.is_unitary_op()).count()
+    }
+
+    /// Count of gates of a specific kind (e.g. the paper's CX-gate counts).
+    pub fn count_kind(&self, kind: GateKind) -> usize {
+        self.gates.iter().filter(|g| g.kind == kind).count()
+    }
+
+    /// Histogram of gate kinds, like Qiskit's `count_ops`.
+    pub fn count_ops(&self) -> Vec<(GateKind, usize)> {
+        let mut counts = [0usize; GateKind::ALL.len()];
+        for g in &self.gates {
+            counts[g.kind.tag() as usize] += 1;
+        }
+        GateKind::ALL
+            .iter()
+            .copied()
+            .zip(counts)
+            .filter(|&(_, c)| c > 0)
+            .collect()
+    }
+
+    /// Circuit depth: the longest chain of gates over shared qubits
+    /// (barriers synchronize all qubits; measurements count one layer).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits as usize];
+        for g in &self.gates {
+            if g.kind == GateKind::Barrier {
+                let max = level.iter().copied().max().unwrap_or(0);
+                level.fill(max);
+                continue;
+            }
+            let ops = g.operands();
+            let next = ops.iter().map(|&q| level[q as usize]).max().unwrap_or(0) + 1;
+            for &q in ops {
+                level[q as usize] = next;
+            }
+        }
+        level.into_iter().max().unwrap_or(0)
+    }
+
+    /// True if every gate is in the native executable set (see
+    /// [`GateKind::is_native`]); kernels can be generated directly.
+    pub fn is_native(&self) -> bool {
+        self.gates
+            .iter()
+            .all(|g| g.kind.is_native() || g.kind == GateKind::Barrier)
+    }
+
+    /// Indices of measured qubits in program order.
+    pub fn measured_qubits(&self) -> Vec<u32> {
+        self.gates
+            .iter()
+            .filter(|g| g.kind == GateKind::Measure)
+            .map(|g| g.qubits[0])
+            .collect()
+    }
+
+    /// Split off measurements: returns the purely-unitary prefix circuit and
+    /// the measured qubits. The execution pipeline simulates the prefix then
+    /// samples the listed qubits — the same split CUDA-Q performs.
+    pub fn split_measurements(&self) -> (Circuit, Vec<u32>) {
+        let mut unitary = Circuit::with_capacity(self.num_qubits, self.name.clone(), self.gates.len());
+        let mut measured = Vec::new();
+        for g in &self.gates {
+            if g.kind == GateKind::Measure {
+                measured.push(g.qubits[0]);
+            } else {
+                unitary.gates.push(*g);
+            }
+        }
+        (unitary, measured)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).ry(0.5, 2).measure_all();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.len(), 6);
+        assert_eq!(c.unitary_count(), 3);
+        assert_eq!(c.count_kind(GateKind::Measure), 3);
+    }
+
+    #[test]
+    fn out_of_range_qubit_rejected() {
+        let mut c = Circuit::new(2);
+        let err = c.push(Gate::q1(GateKind::H, 5)).unwrap_err();
+        assert_eq!(err, IrError::QubitOutOfRange { qubit: 5, num_qubits: 2 });
+    }
+
+    #[test]
+    fn duplicate_operand_rejected() {
+        let mut c = Circuit::new(3);
+        let err = c.push(Gate::q2(GateKind::Cx, 1, 1)).unwrap_err();
+        assert_eq!(err, IrError::DuplicateQubit { qubit: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gate operand")]
+    fn builder_panics_on_bad_qubit() {
+        Circuit::new(1).cx(0, 1);
+    }
+
+    #[test]
+    fn depth_tracks_dependencies() {
+        let mut c = Circuit::new(3);
+        // Layer 1: h(0), h(1), h(2) — parallel.
+        c.h(0).h(1).h(2);
+        assert_eq!(c.depth(), 1);
+        // Layer 2: cx(0,1). Layer 3: cx(1,2).
+        c.cx(0, 1).cx(1, 2);
+        assert_eq!(c.depth(), 3);
+        // Gate on untouched-late qubit 0 lands in layer 3 as well.
+        c.rz(0.1, 0);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn barrier_synchronizes_depth() {
+        let mut c = Circuit::new(2);
+        c.h(0); // depth 1 on q0 only
+        c.barrier();
+        c.h(1); // would be depth 1 without the barrier
+        assert_eq!(c.depth(), 2);
+        assert_eq!(c.len(), 2, "barrier not counted as a gate");
+    }
+
+    #[test]
+    fn compose_width_mismatch() {
+        let mut a = Circuit::new(2);
+        let b = Circuit::new(3);
+        assert!(matches!(a.compose(&b), Err(IrError::MixedWidths { .. })));
+    }
+
+    #[test]
+    fn compose_appends() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.cx(0, 1);
+        a.compose(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.gates()[1].kind, GateKind::Cx);
+    }
+
+    #[test]
+    fn inverse_reverses_and_drops_measurements() {
+        let mut c = Circuit::new(2);
+        c.h(0).ry(0.7, 1).cx(0, 1).measure_all();
+        let inv = c.inverse();
+        assert_eq!(inv.len(), 3);
+        assert_eq!(inv.gates()[0].kind, GateKind::Cx);
+        assert_eq!(inv.gates()[1].kind, GateKind::Ry);
+        assert_eq!(inv.gates()[1].params[0], -0.7);
+        assert_eq!(inv.gates()[2].kind, GateKind::H);
+    }
+
+    #[test]
+    fn count_ops_histogram() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(1).cx(0, 1).rz(0.2, 0);
+        let ops = c.count_ops();
+        assert!(ops.contains(&(GateKind::H, 2)));
+        assert!(ops.contains(&(GateKind::Cx, 1)));
+        assert!(ops.contains(&(GateKind::Rz, 1)));
+        assert_eq!(ops.iter().map(|&(_, c)| c).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn split_measurements_partitions() {
+        let mut c = Circuit::new(2);
+        c.h(0).measure(1).cx(0, 1).measure(0);
+        let (unitary, measured) = c.split_measurements();
+        assert_eq!(unitary.len(), 2);
+        assert!(unitary.is_native());
+        assert_eq!(measured, vec![1, 0]);
+    }
+
+    #[test]
+    fn is_native_detects_foreign_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        assert!(c.is_native());
+        c.cz(0, 1);
+        assert!(!c.is_native());
+    }
+
+    #[test]
+    fn measured_qubits_in_order() {
+        let mut c = Circuit::new(3);
+        c.measure(2).measure(0);
+        assert_eq!(c.measured_qubits(), vec![2, 0]);
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type shared by the IR, encoding, and serialization layers.
+
+use std::fmt;
+
+/// Errors produced while building, encoding, or decoding circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A gate referenced a qubit index outside the circuit's register.
+    QubitOutOfRange {
+        /// Offending qubit index.
+        qubit: u32,
+        /// Register width of the circuit.
+        num_qubits: u32,
+    },
+    /// A two-qubit gate used the same qubit for both operands.
+    DuplicateQubit {
+        /// The repeated index.
+        qubit: u32,
+    },
+    /// The tensor capacity `d` violates Lemma B.2 (`d ≥ max(|G|, |C|)`).
+    CapacityExceeded {
+        /// Requested capacity.
+        capacity: usize,
+        /// Required capacity.
+        required: usize,
+    },
+    /// Circuits with different register widths were batch-encoded without
+    /// padding enabled.
+    MixedWidths {
+        /// Width of the first circuit.
+        expected: u32,
+        /// Width of the offending circuit.
+        found: u32,
+    },
+    /// A serialized stream was malformed.
+    Malformed(String),
+    /// A serialized stream used an unsupported format version.
+    UnsupportedVersion(u16),
+    /// Gate-kind tag not recognized by this build.
+    UnknownGateKind(u8),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit circuit")
+            }
+            IrError::DuplicateQubit { qubit } => {
+                write!(f, "two-qubit gate uses qubit {qubit} twice")
+            }
+            IrError::CapacityExceeded { capacity, required } => write!(
+                f,
+                "tensor capacity {capacity} violates Lemma B.2: requires at least {required}"
+            ),
+            IrError::MixedWidths { expected, found } => write!(
+                f,
+                "batch encoding requires uniform register width: expected {expected}, found {found}"
+            ),
+            IrError::Malformed(msg) => write!(f, "malformed stream: {msg}"),
+            IrError::UnsupportedVersion(v) => write!(f, "unsupported format version {v}"),
+            IrError::UnknownGateKind(k) => write!(f, "unknown gate kind tag {k}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

@@ -1,0 +1,33 @@
+//! Circuit intermediate representation for Q-GEAR.
+//!
+//! This crate is the "front half" of the paper's pipeline (§2.1–§2.2):
+//!
+//! * [`gate`] / [`circuit`] — a Qiskit-like circuit builder producing gate
+//!   lists over a typed gate set;
+//! * [`encoding`] — the three-dimensional tensor encoding of §2.1 with the
+//!   one-hot gate-type matrix **M** of Eq. 8 and the fixed-capacity
+//!   guarantees of Lemma B.2;
+//! * [`qpy`] — a compact binary circuit serialization playing the role of
+//!   Qiskit's QPY files;
+//! * [`transpile`] — passes that lower circuits onto the native set
+//!   `{h, rx, ry, rz, cx}` (plus measurement), merge rotations, and prune
+//!   negligible angles (the AQFT optimization of Appendix D.2);
+//! * [`fusion`] — CUDA-Q-style gate fusion into dense `2^k × 2^k` kernels
+//!   (the paper runs with `gate fusion = 5`).
+
+pub mod circuit;
+pub mod encoding;
+pub mod error;
+pub mod fusion;
+pub mod gate;
+pub mod parametric;
+pub mod qpy;
+pub mod reference;
+pub mod transpile;
+
+pub use circuit::Circuit;
+pub use encoding::{EncodedCircuit, TensorEncoding};
+pub use error::IrError;
+pub use fusion::{FusedBlock, FusedProgram};
+pub use gate::{Gate, GateKind};
+pub use parametric::{ParamCircuit, ParamValue};

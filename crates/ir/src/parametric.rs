@@ -1,0 +1,327 @@
+//! Parameterized circuits (§2.2).
+//!
+//! "Parameterized kernel transformations preserve the structure of the
+//! final converted circuits while maximizing the computational
+//! efficiency": a variational workload re-executes the *same* circuit
+//! structure under many parameter bindings. [`ParamCircuit`] captures that
+//! structure once — gate kinds, operands, and which angle slots are
+//! symbolic — and [`ParamCircuit::bind`] instantiates concrete
+//! [`Circuit`]s cheaply. Because the fusion plan depends only on gate
+//! kinds and operands (never on angles), every binding of one
+//! `ParamCircuit` fuses into kernels with identical shape — the property
+//! [`ParamCircuit::fusion_structure`] exposes and the tests pin down.
+
+use crate::circuit::Circuit;
+use crate::error::IrError;
+use crate::gate::{Gate, GateKind};
+
+/// An angle slot: fixed, or bound at run time from the parameter vector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ParamValue {
+    /// Compile-time constant.
+    Fixed(f64),
+    /// Index into the binding vector, with a multiplier (so one symbol can
+    /// drive several gates at different scales, e.g. `θ/2`).
+    Symbol {
+        /// Parameter index.
+        index: u32,
+        /// Multiplier applied to the bound value.
+        scale: f64,
+    },
+}
+
+impl ParamValue {
+    /// A plain symbol with scale 1.
+    pub fn symbol(index: u32) -> Self {
+        ParamValue::Symbol { index, scale: 1.0 }
+    }
+
+    fn resolve(&self, values: &[f64]) -> Result<f64, IrError> {
+        match *self {
+            ParamValue::Fixed(v) => Ok(v),
+            ParamValue::Symbol { index, scale } => values
+                .get(index as usize)
+                .map(|v| v * scale)
+                .ok_or_else(|| {
+                    IrError::Malformed(format!(
+                        "binding vector too short for parameter #{index}"
+                    ))
+                }),
+        }
+    }
+}
+
+/// One gate whose first angle slot may be symbolic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ParamGate {
+    /// Gate kind.
+    pub kind: GateKind,
+    /// Operands (first `kind.arity()` meaningful).
+    pub qubits: [u32; 3],
+    /// First angle slot (fixed or symbolic); remaining slots fixed.
+    pub angle: ParamValue,
+    /// Second and third fixed parameters (for `u`).
+    pub rest: [f64; 2],
+}
+
+/// A circuit template over `num_params` free parameters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParamCircuit {
+    num_qubits: u32,
+    gates: Vec<ParamGate>,
+    num_params: u32,
+    /// Template name, propagated to bound circuits with the binding index.
+    pub name: String,
+}
+
+impl ParamCircuit {
+    /// New template over `num_qubits` qubits and `num_params` symbols.
+    pub fn new(num_qubits: u32, num_params: u32) -> Self {
+        ParamCircuit { num_qubits, gates: Vec::new(), num_params, name: String::new() }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of free parameters.
+    pub fn num_params(&self) -> u32 {
+        self.num_params
+    }
+
+    /// Gate count.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// True if the template has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    fn check(&self, q: u32) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+    }
+
+    fn check_param(&self, v: &ParamValue) {
+        if let ParamValue::Symbol { index, .. } = v {
+            assert!(*index < self.num_params, "parameter #{index} out of range");
+        }
+    }
+
+    /// Fixed-angle/parameterless gate pass-through (h, x, cx, measure, …).
+    pub fn gate(&mut self, g: Gate) -> &mut Self {
+        for &q in g.operands() {
+            self.check(q);
+        }
+        self.gates.push(ParamGate {
+            kind: g.kind,
+            qubits: g.qubits,
+            angle: ParamValue::Fixed(g.params[0]),
+            rest: [g.params[1], g.params[2]],
+        });
+        self
+    }
+
+    /// Hadamard.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.gate(Gate::q1(GateKind::H, q))
+    }
+
+    /// CX.
+    pub fn cx(&mut self, c: u32, t: u32) -> &mut Self {
+        self.gate(Gate::q2(GateKind::Cx, c, t))
+    }
+
+    /// Measure every qubit.
+    pub fn measure_all(&mut self) -> &mut Self {
+        for q in 0..self.num_qubits {
+            self.gate(Gate::measure(q));
+        }
+        self
+    }
+
+    /// Symbolic or fixed single-angle rotation (`rx`/`ry`/`rz`/`p`).
+    pub fn rotation(&mut self, kind: GateKind, angle: ParamValue, q: u32) -> &mut Self {
+        assert_eq!(kind.num_params(), 1, "rotation() needs a 1-parameter kind");
+        assert_eq!(kind.arity(), 1);
+        self.check(q);
+        self.check_param(&angle);
+        self.gates.push(ParamGate { kind, qubits: [q, 0, 0], angle, rest: [0.0; 2] });
+        self
+    }
+
+    /// Symbolic `ry` — the common variational gate.
+    pub fn ry_sym(&mut self, param: u32, q: u32) -> &mut Self {
+        self.rotation(GateKind::Ry, ParamValue::symbol(param), q)
+    }
+
+    /// Symbolic `rz`.
+    pub fn rz_sym(&mut self, param: u32, q: u32) -> &mut Self {
+        self.rotation(GateKind::Rz, ParamValue::symbol(param), q)
+    }
+
+    /// Symbolic controlled rotation (`cr1`/`cry`).
+    pub fn controlled_rotation(
+        &mut self,
+        kind: GateKind,
+        angle: ParamValue,
+        c: u32,
+        t: u32,
+    ) -> &mut Self {
+        assert_eq!(kind.arity(), 2);
+        assert_eq!(kind.num_params(), 1);
+        self.check(c);
+        self.check(t);
+        assert_ne!(c, t);
+        self.check_param(&angle);
+        self.gates.push(ParamGate { kind, qubits: [c, t, 0], angle, rest: [0.0; 2] });
+        self
+    }
+
+    /// Instantiate with concrete parameter values.
+    pub fn bind(&self, values: &[f64]) -> Result<Circuit, IrError> {
+        if values.len() != self.num_params as usize {
+            return Err(IrError::Malformed(format!(
+                "expected {} parameters, got {}",
+                self.num_params,
+                values.len()
+            )));
+        }
+        let mut circ = Circuit::with_capacity(
+            self.num_qubits,
+            format!("{}@bound", self.name),
+            self.gates.len(),
+        );
+        for pg in &self.gates {
+            let angle = pg.angle.resolve(values)?;
+            circ.push(Gate {
+                kind: pg.kind,
+                qubits: pg.qubits,
+                params: [angle, pg.rest[0], pg.rest[1]],
+            })?;
+        }
+        Ok(circ)
+    }
+
+    /// The binding-independent fusion structure: per fused kernel, its
+    /// qubit set and absorbed gate count. Any two bindings of this
+    /// template produce byte-identical structures — §2.2's
+    /// structure-preservation property, verified in tests.
+    pub fn fusion_structure(&self, width: usize) -> Vec<(Vec<u32>, usize)> {
+        // Bind with zeros: angles don't influence grouping.
+        let bound = self
+            .bind(&vec![0.0; self.num_params as usize])
+            .expect("zero binding always valid");
+        let (unitary, _) = bound.split_measurements();
+        crate::fusion::fuse(&unitary, width)
+            .blocks
+            .iter()
+            .map(|b| (b.qubits.clone(), b.source_gates))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference;
+    use qgear_num::approx::max_deviation;
+
+    /// A 2-layer hardware-efficient ansatz template.
+    fn ansatz_template(n: u32) -> ParamCircuit {
+        let mut t = ParamCircuit::new(n, 2 * n);
+        t.name = "hw_efficient".into();
+        for q in 0..n {
+            t.ry_sym(q, q);
+        }
+        for q in 0..n - 1 {
+            t.cx(q, q + 1);
+        }
+        for q in 0..n {
+            t.rz_sym(n + q, q);
+        }
+        t
+    }
+
+    #[test]
+    fn bind_matches_manual_circuit() {
+        let t = ansatz_template(3);
+        let values = [0.1, 0.2, 0.3, -0.4, -0.5, -0.6];
+        let bound = t.bind(&values).unwrap();
+        let mut manual = Circuit::new(3);
+        manual
+            .ry(0.1, 0)
+            .ry(0.2, 1)
+            .ry(0.3, 2)
+            .cx(0, 1)
+            .cx(1, 2)
+            .rz(-0.4, 0)
+            .rz(-0.5, 1)
+            .rz(-0.6, 2);
+        let a = reference::run(&bound);
+        let b = reference::run(&manual);
+        assert!(max_deviation(&a, &b) < 1e-15);
+    }
+
+    #[test]
+    fn wrong_binding_length_rejected() {
+        let t = ansatz_template(3);
+        assert!(t.bind(&[0.0; 5]).is_err());
+        assert!(t.bind(&[0.0; 7]).is_err());
+        assert!(t.bind(&[0.0; 6]).is_ok());
+    }
+
+    #[test]
+    fn scaled_symbols() {
+        // One symbol driving two gates at different scales.
+        let mut t = ParamCircuit::new(1, 1);
+        t.rotation(GateKind::Ry, ParamValue::symbol(0), 0);
+        t.rotation(GateKind::Ry, ParamValue::Symbol { index: 0, scale: -1.0 }, 0);
+        let bound = t.bind(&[0.8]).unwrap();
+        // Ry(0.8)·Ry(-0.8) = I.
+        let state = reference::run(&bound);
+        assert!((state[0].re - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn fusion_structure_is_binding_independent() {
+        let t = ansatz_template(4);
+        let s = t.fusion_structure(3);
+        // Compare structures of two very different bindings.
+        for values in [vec![0.0; 8], (0..8).map(|i| i as f64 * 0.7 - 2.0).collect()] {
+            let bound = t.bind(&values).unwrap();
+            let (unitary, _) = bound.split_measurements();
+            let prog = crate::fusion::fuse(&unitary, 3);
+            let structure: Vec<(Vec<u32>, usize)> =
+                prog.blocks.iter().map(|b| (b.qubits.clone(), b.source_gates)).collect();
+            assert_eq!(structure, s, "structure must not depend on angles");
+        }
+    }
+
+    #[test]
+    fn measure_all_and_fixed_gates_pass_through() {
+        let mut t = ParamCircuit::new(2, 1);
+        t.h(0).controlled_rotation(GateKind::Cr1, ParamValue::symbol(0), 0, 1);
+        t.measure_all();
+        let bound = t.bind(&[0.9]).unwrap();
+        assert_eq!(bound.count_kind(GateKind::Measure), 2);
+        assert_eq!(bound.count_kind(GateKind::Cr1), 1);
+        assert_eq!(bound.gates()[1].params[0], 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "parameter #3 out of range")]
+    fn out_of_range_symbol_panics() {
+        let mut t = ParamCircuit::new(1, 2);
+        t.ry_sym(3, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_qubit_panics() {
+        let mut t = ParamCircuit::new(1, 1);
+        t.ry_sym(0, 5);
+    }
+}

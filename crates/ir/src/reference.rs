@@ -1,0 +1,288 @@
+//! Naive dense reference simulator.
+//!
+//! A deliberately simple, obviously-correct state-vector evaluator used as
+//! the *oracle* for every other engine in the workspace (Appendix A defines
+//! the semantics it implements: little-endian basis, per-gate dense
+//! application). It makes no attempt at performance and is intended for
+//! ≤ ~20 qubits in tests.
+
+use crate::circuit::Circuit;
+use crate::gate::{Gate, GateKind};
+use qgear_num::{Complex, Mat2, Mat4, C64};
+
+/// Evolve `|0…0⟩` through the circuit (measurements ignored) and return the
+/// final state vector of `2^n` amplitudes.
+pub fn run(circ: &Circuit) -> Vec<C64> {
+    let n = circ.num_qubits();
+    let mut state = zero_state(n);
+    for g in circ.gates() {
+        apply_gate(&mut state, n, g);
+    }
+    state
+}
+
+/// `|0…0⟩` over `n` qubits.
+pub fn zero_state(n: u32) -> Vec<C64> {
+    assert!(n <= 26, "reference simulator limited to 26 qubits");
+    let mut state = vec![C64::ZERO; 1usize << n];
+    state[0] = C64::ONE;
+    state
+}
+
+/// Apply one gate in place. Measurements and barriers are no-ops here; the
+/// sampling layer owns measurement semantics.
+pub fn apply_gate(state: &mut [C64], n: u32, g: &Gate) {
+    match g.kind {
+        GateKind::Measure | GateKind::Barrier => {}
+        GateKind::Ccx => apply_ccx(state, g.qubits[0], g.qubits[1], g.qubits[2]),
+        _ => {
+            if let Some(m) = g.matrix2::<f64>() {
+                apply_mat2(state, g.qubits[0], &m);
+            } else if let Some(m) = g.matrix4::<f64>() {
+                apply_mat4(state, g.qubits[0], g.qubits[1], &m);
+            } else {
+                unreachable!("gate {:?} has no matrix", g.kind);
+            }
+        }
+    }
+    let _ = n;
+}
+
+/// Apply a single-qubit matrix to qubit `q` (bit `q` of the index).
+pub fn apply_mat2(state: &mut [C64], q: u32, m: &Mat2<f64>) {
+    let stride = 1usize << q;
+    let len = state.len();
+    let mut base = 0usize;
+    while base < len {
+        for i in base..base + stride {
+            let a0 = state[i];
+            let a1 = state[i + stride];
+            let (b0, b1) = m.apply(a0, a1);
+            state[i] = b0;
+            state[i + stride] = b1;
+        }
+        base += stride << 1;
+    }
+}
+
+/// Apply a two-qubit matrix with operand `a` on the **high** bit of the
+/// 4-dimensional sub-index and `b` on the low bit (the [`Mat4`] convention).
+pub fn apply_mat4(state: &mut [C64], a: u32, b: u32, m: &Mat4<f64>) {
+    assert_ne!(a, b);
+    let ma = 1usize << a;
+    let mb = 1usize << b;
+    let len = state.len();
+    for i in 0..len {
+        // Visit each 4-group exactly once, from its all-zero representative.
+        if i & ma != 0 || i & mb != 0 {
+            continue;
+        }
+        let i00 = i;
+        let i01 = i | mb;
+        let i10 = i | ma;
+        let i11 = i | ma | mb;
+        let v = [state[i00], state[i01], state[i10], state[i11]];
+        let w = m.apply(v);
+        state[i00] = w[0];
+        state[i01] = w[1];
+        state[i10] = w[2];
+        state[i11] = w[3];
+    }
+}
+
+/// Apply a Toffoli gate directly (swap amplitudes where both controls set).
+pub fn apply_ccx(state: &mut [C64], c0: u32, c1: u32, t: u32) {
+    let mc0 = 1usize << c0;
+    let mc1 = 1usize << c1;
+    let mt = 1usize << t;
+    for i in 0..state.len() {
+        if i & mc0 != 0 && i & mc1 != 0 && i & mt == 0 {
+            state.swap(i, i | mt);
+        }
+    }
+}
+
+/// Multiply the whole state by `e^{iφ}` — used to re-apply the global phase
+/// a transpilation reports so comparisons can be exact.
+pub fn apply_global_phase(state: &mut [C64], phase: f64) {
+    let z = C64::cis(phase);
+    for amp in state.iter_mut() {
+        *amp = *amp * z;
+    }
+}
+
+/// Probability of each basis state (Born rule over Eq. 1 amplitudes).
+pub fn probabilities(state: &[C64]) -> Vec<f64> {
+    state.iter().map(|a| a.norm_sqr()).collect()
+}
+
+/// Total squared norm; 1.0 for any valid state.
+pub fn norm_sqr(state: &[C64]) -> f64 {
+    state.iter().map(|a| a.norm_sqr()).sum()
+}
+
+/// Inner product `⟨a|b⟩`.
+pub fn inner(a: &[C64], b: &[C64]) -> C64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(&x, &y)| x.conj() * y).sum()
+}
+
+/// Fidelity `|⟨a|b⟩|²` — 1.0 when the states are physically identical
+/// (global phase insensitive).
+pub fn fidelity(a: &[C64], b: &[C64]) -> f64 {
+    inner(a, b).norm_sqr()
+}
+
+/// Build a random normalized state (test helper).
+pub fn random_state(n: u32, seed: u64) -> Vec<C64> {
+    // xorshift64* — deterministic and dependency-free.
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        let v = s.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        (v >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut state: Vec<C64> = (0..1usize << n)
+        .map(|_| Complex::new(next(), next()))
+        .collect();
+    let norm = norm_sqr(&state).sqrt();
+    for a in state.iter_mut() {
+        *a = a.scale(1.0 / norm);
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use qgear_num::approx::max_deviation;
+    use qgear_num::approx_eq_slice;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn zero_state_normalized() {
+        let s = zero_state(4);
+        assert_eq!(s.len(), 16);
+        assert!((norm_sqr(&s) - 1.0).abs() < TOL);
+        assert_eq!(s[0], C64::ONE);
+    }
+
+    #[test]
+    fn hadamard_makes_uniform_superposition() {
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        let s = run(&c);
+        let expected = 1.0 / 8.0f64;
+        for p in probabilities(&s) {
+            assert!((p - expected).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = run(&c);
+        let r = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((s[0].re - r).abs() < TOL);
+        assert!((s[3].re - r).abs() < TOL);
+        assert!(s[1].norm() < TOL && s[2].norm() < TOL);
+    }
+
+    #[test]
+    fn cx_direction_matters() {
+        // X on q0 then CX(0,1): |01⟩ -> |11⟩ (little-endian: q0 is bit 0).
+        let mut c = Circuit::new(2);
+        c.x(0).cx(0, 1);
+        let s = run(&c);
+        assert!((s[3].re - 1.0).abs() < TOL, "state: {s:?}");
+        // X on q0 then CX(1,0): control q1 is 0, nothing happens.
+        let mut c2 = Circuit::new(2);
+        c2.x(0).cx(1, 0);
+        let s2 = run(&c2);
+        assert!((s2[1].re - 1.0).abs() < TOL, "state: {s2:?}");
+    }
+
+    #[test]
+    fn ccx_truth_table() {
+        for input in 0..8u32 {
+            let mut c = Circuit::new(3);
+            for q in 0..3 {
+                if input & (1 << q) != 0 {
+                    c.x(q);
+                }
+            }
+            c.ccx(0, 1, 2);
+            let s = run(&c);
+            let expected = if input & 0b11 == 0b11 { input ^ 0b100 } else { input };
+            assert!((s[expected as usize].norm() - 1.0).abs() < TOL, "input {input}");
+        }
+    }
+
+    #[test]
+    fn norm_preserved_by_random_circuit() {
+        let mut c = Circuit::new(5);
+        c.h(0).ry(0.3, 1).cx(0, 2).cr1(0.9, 3, 4).rz(-1.1, 2).swap(1, 3).cz(2, 4);
+        let s = run(&c);
+        assert!((norm_sqr(&s) - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gate_then_inverse_is_identity() {
+        let mut c = Circuit::new(4);
+        c.h(0).ry(0.4, 1).cx(0, 1).cr1(0.7, 2, 3).u(0.3, 0.2, 0.1, 2);
+        let mut full = c.clone();
+        full.compose(&c.inverse()).unwrap();
+        let s = run(&full);
+        let z = zero_state(4);
+        assert!(max_deviation(&s, &z) < 1e-12);
+    }
+
+    #[test]
+    fn fidelity_of_identical_states() {
+        let s = random_state(6, 42);
+        assert!((fidelity(&s, &s) - 1.0).abs() < TOL);
+        // Orthogonal-ish random states have fidelity << 1.
+        let t = random_state(6, 43);
+        assert!(fidelity(&s, &t) < 0.5);
+    }
+
+    #[test]
+    fn random_state_deterministic_and_normalized() {
+        let a = random_state(5, 7);
+        let b = random_state(5, 7);
+        assert!(approx_eq_slice(&a, &b, 0.0));
+        assert!((norm_sqr(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn global_phase_preserves_probabilities() {
+        let mut s = random_state(4, 1);
+        let p_before = probabilities(&s);
+        apply_global_phase(&mut s, 1.2345);
+        let p_after = probabilities(&s);
+        for (x, y) in p_before.iter().zip(&p_after) {
+            assert!((x - y).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn mat4_agrees_with_two_mat2() {
+        // (Ry(a) ⊗ Rz(b)) applied as one Mat4 == applying each Mat2.
+        use qgear_num::gates;
+        let a = 0.8;
+        let b = -0.55;
+        let mut s1 = random_state(4, 9);
+        let mut s2 = s1.clone();
+        // qubit 3 high, qubit 1 low
+        let m4 = gates::ry::<f64>(a).kron(&gates::rz(b));
+        apply_mat4(&mut s1, 3, 1, &m4);
+        apply_mat2(&mut s2, 3, &gates::ry(a));
+        apply_mat2(&mut s2, 1, &gates::rz(b));
+        assert!(max_deviation(&s1, &s2) < 1e-13);
+    }
+}

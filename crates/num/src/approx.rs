@@ -1,0 +1,129 @@
+//! Approximate-equality helpers used across the test suites.
+
+use crate::complex::Complex;
+use crate::scalar::Scalar;
+
+/// True if `|a - b| <= tol` (absolute tolerance).
+#[inline]
+pub fn approx_eq<T: Scalar>(a: T, b: T, tol: T) -> bool {
+    (a - b).abs() <= tol
+}
+
+/// True if complex values differ by at most `tol` in magnitude.
+#[inline]
+pub fn approx_eq_c<T: Scalar>(a: Complex<T>, b: Complex<T>, tol: T) -> bool {
+    (a - b).norm() <= tol
+}
+
+/// True if two amplitude slices agree element-wise within `tol`.
+///
+/// Returns `false` on length mismatch rather than panicking so property
+/// tests can use it directly as a boolean predicate.
+pub fn approx_eq_slice<T: Scalar>(a: &[Complex<T>], b: &[Complex<T>], tol: T) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(&x, &y)| approx_eq_c(x, y, tol))
+}
+
+/// Maximum element-wise deviation between two amplitude slices.
+///
+/// Useful for reporting *how far* two simulations diverge (e.g. fp32 vs
+/// fp64 ablations). Panics on length mismatch.
+pub fn max_deviation<T: Scalar>(a: &[Complex<T>], b: &[Complex<T>]) -> T {
+    assert_eq!(a.len(), b.len(), "slice length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(&x, &y)| (x - y).norm())
+        .fold(T::ZERO, |m, d| m.max(d))
+}
+
+/// Global-phase-insensitive comparison of two state vectors.
+///
+/// Two states are physically identical if they differ only by `e^{iφ}`.
+/// This aligns the phases on the largest-magnitude amplitude of `a` and then
+/// compares element-wise. Distributed and fused execution paths may
+/// legitimately differ by a global phase, so equivalence tests use this.
+pub fn approx_eq_up_to_phase<T: Scalar>(a: &[Complex<T>], b: &[Complex<T>], tol: T) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    // Find the reference amplitude with the largest magnitude in `a`.
+    let mut best = 0usize;
+    let mut best_norm = T::ZERO;
+    for (i, &x) in a.iter().enumerate() {
+        let n = x.norm_sqr();
+        if n > best_norm {
+            best_norm = n;
+            best = i;
+        }
+    }
+    if best_norm <= tol * tol {
+        // `a` is (numerically) the zero vector; require `b` to be as well.
+        return b.iter().all(|&y| y.norm() <= tol);
+    }
+    if b[best].norm_sqr() <= T::ZERO {
+        return false;
+    }
+    // phase = a[best] / b[best], normalized to unit magnitude.
+    let ratio = a[best] / b[best];
+    let phase = ratio.scale(ratio.norm().max(T::EPSILON).recip_scalar());
+    a.iter()
+        .zip(b)
+        .all(|(&x, &y)| approx_eq_c(x, y * phase, tol))
+}
+
+/// Private helper: reciprocal for real scalars (kept off the public `Scalar`
+/// trait to keep that trait minimal).
+trait RecipScalar {
+    fn recip_scalar(self) -> Self;
+}
+
+impl<T: Scalar> RecipScalar for T {
+    #[inline]
+    fn recip_scalar(self) -> Self {
+        T::ONE / self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    #[test]
+    fn scalar_approx() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12, 1e-9));
+        assert!(!approx_eq(1.0, 1.1, 1e-9));
+    }
+
+    #[test]
+    fn slice_length_mismatch_is_unequal() {
+        let a = [C64::ONE];
+        let b = [C64::ONE, C64::ZERO];
+        assert!(!approx_eq_slice(&a, &b, 1e-9));
+    }
+
+    #[test]
+    fn max_deviation_reports_largest() {
+        let a = [C64::ONE, C64::ZERO];
+        let b = [C64::ONE, C64::new(0.0, 0.25)];
+        assert_eq!(max_deviation(&a, &b), 0.25);
+    }
+
+    #[test]
+    fn phase_insensitive_comparison() {
+        let a = [C64::new(0.6, 0.0), C64::new(0.0, 0.8)];
+        let phase = C64::cis(1.234);
+        let b: Vec<C64> = a.iter().map(|&x| x * phase).collect();
+        assert!(approx_eq_up_to_phase(&a, &b, 1e-12));
+        // But a genuinely different state must not match.
+        let c = [C64::new(0.8, 0.0), C64::new(0.0, 0.6)];
+        assert!(!approx_eq_up_to_phase(&a, &c, 1e-6));
+    }
+
+    #[test]
+    fn phase_insensitive_zero_vectors() {
+        let z = [C64::ZERO, C64::ZERO];
+        assert!(approx_eq_up_to_phase(&z, &z, 1e-12));
+        let nz = [C64::ONE, C64::ZERO];
+        assert!(!approx_eq_up_to_phase(&z, &nz, 1e-12));
+    }
+}

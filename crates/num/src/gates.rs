@@ -1,0 +1,284 @@
+//! Standard gate matrices.
+//!
+//! Covers the native set Q-Gear transpiles to — `h`, `rx`, `ry`, `rz`, `cx`
+//! (Appendix A: "our experiment used Rx, Ry, and CX gates"), the QFT's
+//! controlled-phase `cr1(λ)` (Eq. 9), and the usual companions needed by the
+//! transpiler (Paulis, phase gates, `u3`, `swap`, `cz`).
+//!
+//! Conventions: little-endian basis, `Rk(θ) = exp(-iθK/2)` for K ∈ {X,Y,Z},
+//! matching Qiskit. Two-qubit matrices put the **first** argument on the
+//! high bit (see [`crate::matrix::Mat4`]).
+
+use crate::complex::Complex;
+use crate::matrix::{Mat2, Mat4};
+use crate::scalar::Scalar;
+
+/// Hadamard gate.
+pub fn h<T: Scalar>() -> Mat2<T> {
+    let s = T::from_f64(std::f64::consts::FRAC_1_SQRT_2);
+    let p = Complex::from_re(s);
+    Mat2::new([p, p], [p, -p])
+}
+
+/// Pauli-X (NOT) gate.
+pub fn x<T: Scalar>() -> Mat2<T> {
+    let o = Complex::ONE;
+    let z = Complex::ZERO;
+    Mat2::new([z, o], [o, z])
+}
+
+/// Pauli-Y gate.
+pub fn y<T: Scalar>() -> Mat2<T> {
+    let i = Complex::I;
+    let z = Complex::ZERO;
+    Mat2::new([z, -i], [i, z])
+}
+
+/// Pauli-Z gate.
+pub fn z<T: Scalar>() -> Mat2<T> {
+    let o = Complex::ONE;
+    let zr = Complex::ZERO;
+    Mat2::new([o, zr], [zr, -o])
+}
+
+/// S gate (phase π/2).
+pub fn s<T: Scalar>() -> Mat2<T> {
+    p(T::from_f64(std::f64::consts::FRAC_PI_2))
+}
+
+/// S† gate (phase −π/2).
+pub fn sdg<T: Scalar>() -> Mat2<T> {
+    p(T::from_f64(-std::f64::consts::FRAC_PI_2))
+}
+
+/// T gate (phase π/4).
+pub fn t<T: Scalar>() -> Mat2<T> {
+    p(T::from_f64(std::f64::consts::FRAC_PI_4))
+}
+
+/// T† gate (phase −π/4).
+pub fn tdg<T: Scalar>() -> Mat2<T> {
+    p(T::from_f64(-std::f64::consts::FRAC_PI_4))
+}
+
+/// Rotation about X: `Rx(θ) = exp(-iθX/2)`.
+pub fn rx<T: Scalar>(theta: T) -> Mat2<T> {
+    let (sn, cs) = (theta * T::HALF).sin_cos();
+    let c = Complex::from_re(cs);
+    let mis = Complex::new(T::ZERO, -sn);
+    Mat2::new([c, mis], [mis, c])
+}
+
+/// Rotation about Y: `Ry(θ) = exp(-iθY/2)`. The QCrank pixel-encoding gate.
+pub fn ry<T: Scalar>(theta: T) -> Mat2<T> {
+    let (sn, cs) = (theta * T::HALF).sin_cos();
+    let c = Complex::from_re(cs);
+    let sp = Complex::from_re(sn);
+    Mat2::new([c, -sp], [sp, c])
+}
+
+/// Rotation about Z: `Rz(θ) = exp(-iθZ/2)` (Qiskit convention, global phase
+/// differs from `p(θ)` by `e^{-iθ/2}`).
+pub fn rz<T: Scalar>(theta: T) -> Mat2<T> {
+    let half = theta * T::HALF;
+    Mat2::new(
+        [Complex::cis(-half), Complex::ZERO],
+        [Complex::ZERO, Complex::cis(half)],
+    )
+}
+
+/// Phase gate `p(λ) = diag(1, e^{iλ})` (Qiskit's `p`, a.k.a. `u1`/`r1`).
+pub fn p<T: Scalar>(lambda: T) -> Mat2<T> {
+    Mat2::new(
+        [Complex::ONE, Complex::ZERO],
+        [Complex::ZERO, Complex::cis(lambda)],
+    )
+}
+
+/// General single-qubit gate `u(θ, φ, λ)` in the Qiskit convention:
+///
+/// ```text
+/// [ cos(θ/2)              -e^{iλ} sin(θ/2)      ]
+/// [ e^{iφ} sin(θ/2)        e^{i(φ+λ)} cos(θ/2)  ]
+/// ```
+pub fn u<T: Scalar>(theta: T, phi: T, lambda: T) -> Mat2<T> {
+    let (sn, cs) = (theta * T::HALF).sin_cos();
+    Mat2::new(
+        [
+            Complex::from_re(cs),
+            -(Complex::cis(lambda).scale(sn)),
+        ],
+        [
+            Complex::cis(phi).scale(sn),
+            Complex::cis(phi + lambda).scale(cs),
+        ],
+    )
+}
+
+/// CX / CNOT with the **first** qubit (high bit) as control.
+pub fn cx<T: Scalar>() -> Mat4<T> {
+    x().controlled()
+}
+
+/// CZ gate (symmetric in its qubits).
+pub fn cz<T: Scalar>() -> Mat4<T> {
+    z().controlled()
+}
+
+/// Controlled-phase `cr1(λ)` — Eq. 9 of the paper, the QFT's entangler:
+/// `diag(1, 1, 1, e^{iλ})`.
+pub fn cr1<T: Scalar>(lambda: T) -> Mat4<T> {
+    p(lambda).controlled()
+}
+
+/// Controlled-Ry, used by the controlled-rotation decompositions.
+pub fn cry<T: Scalar>(theta: T) -> Mat4<T> {
+    ry(theta).controlled()
+}
+
+/// SWAP gate.
+pub fn swap<T: Scalar>() -> Mat4<T> {
+    let o = Complex::ONE;
+    let z = Complex::ZERO;
+    Mat4::new([
+        [o, z, z, z],
+        [z, z, o, z],
+        [z, o, z, z],
+        [z, z, z, o],
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::{Mat2, Mat4};
+
+    fn assert_unitary2(u: &Mat2<f64>) {
+        assert!(u.is_unitary(1e-13), "not unitary: {u:?}");
+    }
+
+    fn assert_unitary4(u: &Mat4<f64>) {
+        assert!(u.is_unitary(1e-13), "not unitary: {u:?}");
+    }
+
+    #[test]
+    fn all_single_qubit_gates_unitary() {
+        assert_unitary2(&h());
+        assert_unitary2(&x());
+        assert_unitary2(&y());
+        assert_unitary2(&z());
+        assert_unitary2(&s());
+        assert_unitary2(&sdg());
+        assert_unitary2(&t());
+        assert_unitary2(&tdg());
+        for k in 0..8 {
+            let a = k as f64 * 0.9 - 2.0;
+            assert_unitary2(&rx(a));
+            assert_unitary2(&ry(a));
+            assert_unitary2(&rz(a));
+            assert_unitary2(&p(a));
+            assert_unitary2(&u(a, a * 0.5, -a));
+        }
+    }
+
+    #[test]
+    fn all_two_qubit_gates_unitary() {
+        assert_unitary4(&cx());
+        assert_unitary4(&cz());
+        assert_unitary4(&swap());
+        for k in 0..8 {
+            let a = k as f64 * 0.7 - 1.5;
+            assert_unitary4(&cr1(a));
+            assert_unitary4(&cry(a));
+        }
+    }
+
+    #[test]
+    fn pauli_relations() {
+        // XYZ = iI
+        let prod = x::<f64>().mul(&y()).mul(&z());
+        let i_times_id = Mat2::new(
+            [Complex::I, Complex::ZERO],
+            [Complex::ZERO, Complex::I],
+        );
+        assert!(prod.max_deviation(&i_times_id) < 1e-14);
+    }
+
+    #[test]
+    fn s_squared_is_z() {
+        let ss = s::<f64>().mul(&s());
+        assert!(ss.max_deviation(&z()) < 1e-14);
+    }
+
+    #[test]
+    fn t_squared_is_s() {
+        let tt = t::<f64>().mul(&t());
+        assert!(tt.max_deviation(&s()) < 1e-14);
+    }
+
+    #[test]
+    fn rotation_composition() {
+        // Rz(a)Rz(b) = Rz(a+b)
+        let lhs = rz::<f64>(0.4).mul(&rz(0.8));
+        assert!(lhs.max_deviation(&rz(1.2)) < 1e-14);
+        // Ry(2π) = -I (spinor double cover)
+        let full = ry::<f64>(2.0 * std::f64::consts::PI);
+        let minus_id = Mat2::new(
+            [-Complex::<f64>::ONE, Complex::ZERO],
+            [Complex::ZERO, -Complex::<f64>::ONE],
+        );
+        assert!(full.max_deviation(&minus_id) < 1e-14);
+    }
+
+    #[test]
+    fn u_gate_specializations() {
+        use std::f64::consts::{FRAC_PI_2, PI};
+        // u(π/2, 0, π) = H
+        assert!(u::<f64>(FRAC_PI_2, 0.0, PI).max_deviation(&h()) < 1e-14);
+        // u(0, 0, λ) = p(λ)
+        assert!(u::<f64>(0.0, 0.0, 0.77).max_deviation(&p(0.77)) < 1e-14);
+        // u(θ, 0, 0) = Ry(θ)
+        assert!(u::<f64>(0.9, 0.0, 0.0).max_deviation(&ry(0.9)) < 1e-14);
+    }
+
+    #[test]
+    fn cr1_diag_structure() {
+        let g = cr1::<f64>(0.5);
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(g.m[i][j], Complex::ZERO);
+                }
+            }
+        }
+        assert_eq!(g.m[0][0], Complex::ONE);
+        assert_eq!(g.m[1][1], Complex::ONE);
+        assert_eq!(g.m[2][2], Complex::ONE);
+        assert!((g.m[3][3] - Complex::cis(0.5)).norm() < 1e-15);
+    }
+
+    #[test]
+    fn swap_self_inverse() {
+        let sw = swap::<f64>();
+        assert!(sw.mul(&sw).max_deviation(&Mat4::identity()) < 1e-15);
+        // SWAP = CX(hi,lo)·CX(lo,hi)·CX(hi,lo)
+        let cx_hl = cx::<f64>();
+        let cx_lh = cx_hl.swapped();
+        let composed = cx_hl.mul(&cx_lh).mul(&cx_hl);
+        assert!(composed.max_deviation(&sw) < 1e-14);
+    }
+
+    #[test]
+    fn rz_vs_p_global_phase() {
+        // Rz(θ) = e^{-iθ/2} p(θ)
+        let theta = 1.3f64;
+        let lhs = rz::<f64>(theta);
+        let phase = Complex::cis(-theta / 2.0);
+        let rhs = p::<f64>(theta);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!((lhs.m[i][j] - rhs.m[i][j] * phase).norm() < 1e-14);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Numeric foundation for the Q-GEAR reproduction.
+//!
+//! The paper's simulators operate on complex state vectors in either single
+//! (`fp32`) or double (`fp64`) precision (Table 1 lists both). This crate
+//! provides:
+//!
+//! * [`Complex`] — a minimal, `repr(C)` complex scalar with the fused
+//!   operations the state-vector kernels need (no external `num-complex`
+//!   dependency, so the storage layout stays under our control);
+//! * [`Scalar`] — the precision abstraction that lets every engine be
+//!   generic over `f32`/`f64` exactly like the CUDA-Q `fp32`/`fp64` targets;
+//! * [`Mat2`]/[`Mat4`] — dense 2×2 and 4×4 complex matrices used for gate
+//!   algebra, fusion, and unitarity checks;
+//! * [`gates`] — the standard gate matrices of the paper's native set
+//!   (`h`, `rx`, `ry`, `rz`, `cx`, … and the QFT's `cr1`, Eq. 9).
+
+pub mod approx;
+pub mod complex;
+pub mod gates;
+pub mod matrix;
+pub mod scalar;
+
+pub use approx::{approx_eq, approx_eq_c, approx_eq_slice};
+pub use complex::Complex;
+pub use matrix::{Mat2, Mat4};
+pub use scalar::Scalar;
+
+/// Complex number in the default double precision used by reference code.
+pub type C64 = Complex<f64>;
+/// Complex number in single precision (the paper's `fp32` GPU default).
+pub type C32 = Complex<f32>;

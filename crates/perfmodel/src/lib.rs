@@ -1,0 +1,33 @@
+//! Calibrated analytic performance model of the paper's testbed.
+//!
+//! The reproduction runs on a 1-core VM; the paper ran on Perlmutter
+//! (AMD EPYC-7763 CPU nodes, NVIDIA A100 GPU nodes, NVLink-3, HPE
+//! Slingshot-11 — §2.3). This crate converts the *exact operation counts*
+//! produced by the real engines (`qgear-statevec` kernel/byte counters,
+//! `qgear-cluster` dry-run traffic plans) into projected wall-clock on
+//! that hardware:
+//!
+//! * [`hardware`] — device and link constants taken from §2.3, with the
+//!   documented effective-efficiency factors;
+//! * [`cost`] — the timing formulas (bandwidth-bound kernel sweeps, launch
+//!   overheads, per-class exchange costs, straggler and occupancy effects,
+//!   sampling);
+//! * [`project`] — end-to-end projection: circuit → fuse → dry-run plan →
+//!   time breakdown per execution target;
+//! * [`memory`] — feasibility limits, reproducing the paper's capacity
+//!   edges (CPU node 34 q, one A100 32 q, 4×A100 34 q, 1024×A100 42 q);
+//! * [`calibration`] — exponential-fit helpers and the rationale for every
+//!   tuned constant.
+//!
+//! The model is a *shape* instrument: who wins, by what factor, where the
+//! memory walls and crossovers sit — not a cycle-accurate twin.
+
+pub mod calibration;
+pub mod cost;
+pub mod hardware;
+pub mod memory;
+pub mod project;
+
+pub use cost::{CostModel, TimeBreakdown};
+pub use hardware::{CpuNodeSpec, GpuSpec, LinkSpec};
+pub use project::{project_circuit, ModelTarget};

@@ -1,0 +1,104 @@
+//! Memory-capacity model.
+//!
+//! Fig. 4a's hard edges are memory walls, not performance cliffs:
+//! the CPU node runs out of RAM at 34 qubits, a single 40 GB A100 tops
+//! out at 32 qubits (fp32), and pooling 4 GPUs buys exactly two more
+//! qubits ("adding only two additional qubits requires four times more
+//! memory", §3). This module reproduces those limits from first
+//! principles.
+
+use crate::hardware::{CpuNodeSpec, GpuSpec};
+use qgear_num::scalar::Precision;
+
+/// Bytes per complex amplitude at a given precision.
+pub const fn amp_bytes(precision: Precision) -> u64 {
+    precision.bytes_per_amplitude() as u64
+}
+
+/// Aer needs scratch alongside the state (measurement buffers, OpenMP
+/// working sets); 2.2× is a conservative envelope that reproduces the
+/// observed 34-qubit ceiling on the 460 GB node.
+pub const CPU_OVERHEAD_FACTOR: f64 = 2.2;
+
+/// Largest register width the CPU node can simulate (Aer runs fp64).
+pub fn max_qubits_cpu(cpu: &CpuNodeSpec) -> u32 {
+    let mut n = 0u32;
+    loop {
+        let need = (1u128 << (n + 1)) as f64 * 16.0 * CPU_OVERHEAD_FACTOR;
+        if need > cpu.memory_bytes as f64 {
+            return n;
+        }
+        n += 1;
+    }
+}
+
+/// Largest register width one GPU can hold at the given precision.
+pub fn max_qubits_gpu(gpu: &GpuSpec, precision: Precision) -> u32 {
+    let bytes = amp_bytes(precision) as u128;
+    let mut n = 0u32;
+    while (1u128 << (n + 1)) * bytes <= gpu.memory_bytes {
+        n += 1;
+    }
+    n
+}
+
+/// Largest register width a pooled cluster of `devices = 2^p` GPUs can
+/// hold: each extra device-index bit buys one qubit.
+pub fn max_qubits_cluster(gpu: &GpuSpec, precision: Precision, devices: usize) -> u32 {
+    assert!(devices.is_power_of_two());
+    max_qubits_gpu(gpu, precision) + devices.trailing_zeros()
+}
+
+/// True if the target can hold an `n`-qubit state.
+pub fn cluster_feasible(gpu: &GpuSpec, precision: Precision, devices: usize, n: u32) -> bool {
+    n <= max_qubits_cluster(gpu, precision, devices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_node_caps_at_34_qubits() {
+        // Fig. 4a: "all available CPU RAM is exhausted at 34 qubits".
+        let cpu = CpuNodeSpec::perlmutter_cpu_node();
+        assert_eq!(max_qubits_cpu(&cpu), 33);
+        // 34 is the first width that *fails*: the paper plots the OOM point
+        // at 34 — the attempt that exhausted RAM.
+        let need_34 = (1u128 << 34) as f64 * 16.0 * CPU_OVERHEAD_FACTOR;
+        assert!(need_34 > cpu.memory_bytes as f64);
+    }
+
+    #[test]
+    fn single_a100_caps_at_32_qubits_fp32() {
+        // §3: "a single A100 GPU with a RAM of 40 GB restricts the
+        // simulable unitary to a maximum of 32 qubits".
+        let gpu = GpuSpec::a100_40gb();
+        assert_eq!(max_qubits_gpu(&gpu, Precision::Fp32), 32);
+        assert_eq!(max_qubits_gpu(&gpu, Precision::Fp64), 31);
+    }
+
+    #[test]
+    fn four_gpus_reach_34_qubits() {
+        // §3: "this configuration enables the simulation of up to a
+        // 34-qubit circuit".
+        let gpu = GpuSpec::a100_40gb();
+        assert_eq!(max_qubits_cluster(&gpu, Precision::Fp32, 4), 34);
+        assert!(cluster_feasible(&gpu, Precision::Fp32, 4, 34));
+        assert!(!cluster_feasible(&gpu, Precision::Fp32, 4, 35));
+    }
+
+    #[test]
+    fn cluster_of_1024_reaches_42_qubits() {
+        // Abstract: "simulations of up to 42 qubits on a cluster of 1024
+        // GPUs with a single circuit spread over all the GPUs".
+        let gpu = GpuSpec::a100_40gb();
+        assert_eq!(max_qubits_cluster(&gpu, Precision::Fp32, 1024), 42);
+    }
+
+    #[test]
+    fn amp_bytes_by_precision() {
+        assert_eq!(amp_bytes(Precision::Fp32), 8);
+        assert_eq!(amp_bytes(Precision::Fp64), 16);
+    }
+}

@@ -1,0 +1,261 @@
+//! The simulator interface shared by every engine.
+
+use crate::sampling;
+use crate::state::StateVector;
+use qgear_ir::Circuit;
+use qgear_num::Scalar;
+use std::collections::HashMap;
+use std::fmt;
+use std::time::Duration;
+
+/// Errors an engine can raise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The state vector would exceed the configured memory limit — the
+    /// failure mode Fig. 4a shows at 34 qubits on the CPU node and 33 on a
+    /// single 40 GB A100.
+    OutOfMemory {
+        /// Bytes the state would need.
+        required: u128,
+        /// Configured limit.
+        limit: u128,
+    },
+    /// Circuit contains gates the engine cannot execute directly.
+    UnsupportedGate(String),
+    /// Register too wide for this build's address space.
+    TooManyQubits(u32),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfMemory { required, limit } => {
+                write!(f, "state needs {required} B but device holds {limit} B")
+            }
+            SimError::UnsupportedGate(g) => write!(f, "unsupported gate: {g}"),
+            SimError::TooManyQubits(n) => write!(f, "{n} qubits exceed the address space"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Execution options shared by all engines.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Shots to sample from the final state (0 = no sampling).
+    pub shots: u64,
+    /// RNG seed for sampling.
+    pub seed: u64,
+    /// Gate-fusion window for kernel-based engines (the paper's
+    /// `gate fusion = 5`); ignored by the unfused baseline.
+    pub fusion_width: usize,
+    /// Keep the final state in the output (costs memory).
+    pub keep_state: bool,
+    /// Simulated device memory in bytes; `None` disables the check.
+    /// Set to 40 GB to reproduce the single-A100 limit, 460 GB for the
+    /// CPU-node limit.
+    pub memory_limit: Option<u128>,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            shots: 0,
+            seed: 0x5EED_0001,
+            fusion_width: qgear_ir::fusion::DEFAULT_FUSION_WIDTH,
+            keep_state: true,
+            memory_limit: None,
+        }
+    }
+}
+
+/// Operation counters captured during a run. The performance model
+/// converts these into projected wall-clock on the paper's hardware; the
+/// `elapsed` field is the *real* wall-clock on this machine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecStats {
+    /// Source gates processed (pre-fusion).
+    pub gates_applied: u64,
+    /// Kernels launched (fused blocks, or gates for the unfused baseline).
+    pub kernels_launched: u64,
+    /// State-vector bytes read + written across all sweeps.
+    pub bytes_touched: u128,
+    /// Complex multiply-adds performed by kernels.
+    pub flops: u128,
+    /// Real elapsed wall time of the unitary phase.
+    pub elapsed: Duration,
+    /// Real elapsed wall time of the sampling phase.
+    pub sampling_elapsed: Duration,
+    /// Inter-device communication bytes by link class:
+    /// `[intra-node, inter-node, inter-rack]`. Zero for single-device runs.
+    pub comm_bytes: [u128; 3],
+    /// Inter-device messages sent.
+    pub comm_messages: u64,
+}
+
+impl ExecStats {
+    /// Merge counters from a sub-run (used by multi-device execution).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.gates_applied += other.gates_applied;
+        self.kernels_launched += other.kernels_launched;
+        self.bytes_touched += other.bytes_touched;
+        self.flops += other.flops;
+        self.elapsed += other.elapsed;
+        self.sampling_elapsed += other.sampling_elapsed;
+        for i in 0..3 {
+            self.comm_bytes[i] += other.comm_bytes[i];
+        }
+        self.comm_messages += other.comm_messages;
+    }
+}
+
+/// Measurement outcome histogram over an ordered qubit subset.
+/// Keys pack `qubits[j]`'s outcome into bit `j`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Counts {
+    /// The measured qubits, in key-bit order.
+    pub qubits: Vec<u32>,
+    /// Outcome → occurrence count.
+    pub map: HashMap<u64, u64>,
+}
+
+impl Counts {
+    /// Total shots recorded.
+    pub fn total(&self) -> u64 {
+        self.map.values().sum()
+    }
+
+    /// Count for one outcome key.
+    pub fn get(&self, key: u64) -> u64 {
+        self.map.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Estimated probability of an outcome.
+    pub fn probability(&self, key: u64) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.get(key) as f64 / total as f64
+        }
+    }
+
+    /// Outcomes sorted by key — stable output for reports.
+    pub fn sorted(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.map.iter().map(|(&k, &c)| (k, c)).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// Result of one engine run.
+#[derive(Debug, Clone)]
+pub struct RunOutput<T: Scalar> {
+    /// Final state (if `keep_state` was set).
+    pub state: Option<StateVector<T>>,
+    /// Sampled counts (if `shots > 0` and the circuit measures qubits).
+    pub counts: Option<Counts>,
+    /// Operation counters and timings.
+    pub stats: ExecStats,
+}
+
+/// A state-vector engine: evolves `|0…0⟩` through a circuit and samples.
+pub trait Simulator<T: Scalar> {
+    /// Engine name, matching the paper's backend labels where applicable.
+    fn name(&self) -> &'static str;
+
+    /// Execute the circuit.
+    fn run(&self, circuit: &Circuit, opts: &RunOptions) -> Result<RunOutput<T>, SimError>;
+}
+
+/// Shared pre-flight checks: width vs address space and memory limit.
+pub(crate) fn check_capacity<T: Scalar>(
+    num_qubits: u32,
+    opts: &RunOptions,
+) -> Result<(), SimError> {
+    if num_qubits >= usize::BITS - 1 {
+        return Err(SimError::TooManyQubits(num_qubits));
+    }
+    if let Some(limit) = opts.memory_limit {
+        let required = (1u128 << num_qubits) * 2 * T::BYTES as u128;
+        if required > limit {
+            return Err(SimError::OutOfMemory { required, limit });
+        }
+    }
+    Ok(())
+}
+
+/// Shared post-run sampling: if the circuit measured qubits and shots were
+/// requested, draw a multinomial sample from the exact marginal.
+pub(crate) fn sample_measured<T: Scalar>(
+    state: &StateVector<T>,
+    measured: &[u32],
+    opts: &RunOptions,
+) -> Option<Counts> {
+    if opts.shots == 0 || measured.is_empty() {
+        return None;
+    }
+    let probs: Vec<f64> = state.marginal(measured).iter().map(|p| p.to_f64()).collect();
+    let draws = sampling::multinomial(&probs, opts.shots, opts.seed);
+    let mut map = HashMap::new();
+    for (key, count) in draws.into_iter().enumerate() {
+        if count > 0 {
+            map.insert(key as u64, count);
+        }
+    }
+    Some(Counts { qubits: measured.to_vec(), map })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_check_enforces_limit() {
+        let opts = RunOptions { memory_limit: Some(1024), ..Default::default() };
+        // 6 qubits fp64 = 64 * 16 = 1024 B: exactly fits.
+        assert!(check_capacity::<f64>(6, &opts).is_ok());
+        // 7 qubits = 2048 B: rejected.
+        assert_eq!(
+            check_capacity::<f64>(7, &opts),
+            Err(SimError::OutOfMemory { required: 2048, limit: 1024 })
+        );
+        // fp32 halves the footprint: 7 qubits fit.
+        assert!(check_capacity::<f32>(7, &opts).is_ok());
+    }
+
+    #[test]
+    fn capacity_check_paper_limits() {
+        // Single A100: 40 GB. fp32 32 qubits = 34.4 GB fits; 33 does not.
+        let a100 = RunOptions { memory_limit: Some(40_000_000_000), ..Default::default() };
+        assert!(check_capacity::<f32>(32, &a100).is_ok());
+        assert!(matches!(
+            check_capacity::<f32>(33, &a100),
+            Err(SimError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn counts_arithmetic() {
+        let mut c = Counts { qubits: vec![0, 1], map: HashMap::new() };
+        c.map.insert(0, 75);
+        c.map.insert(3, 25);
+        assert_eq!(c.total(), 100);
+        assert_eq!(c.get(3), 25);
+        assert_eq!(c.get(1), 0);
+        assert!((c.probability(0) - 0.75).abs() < 1e-12);
+        assert_eq!(c.sorted(), vec![(0, 75), (3, 25)]);
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = ExecStats { gates_applied: 5, kernels_launched: 2, bytes_touched: 100, flops: 50, ..Default::default() };
+        let b = ExecStats { gates_applied: 3, kernels_launched: 1, bytes_touched: 10, flops: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.gates_applied, 8);
+        assert_eq!(a.kernels_launched, 3);
+        assert_eq!(a.bytes_touched, 110);
+        assert_eq!(a.flops, 55);
+    }
+}

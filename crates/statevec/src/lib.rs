@@ -1,0 +1,28 @@
+//! State-vector simulation engines.
+//!
+//! Two engines implement the Appendix A semantics with very different
+//! execution models, mirroring the paper's CPU-vs-GPU comparison:
+//!
+//! * [`AerCpuBackend`] — the *baseline*: sequential, per-gate dense
+//!   application with no fusion, like Qiskit Aer's CPU state-vector method.
+//! * [`GpuDevice`] — the *simulated GPU*: circuits are first fused into
+//!   dense kernels (`qgear-ir::fusion`, the §2.2 "kernel transformation"),
+//!   then each kernel sweeps the state vector data-parallel over rayon
+//!   worker threads standing in for CUDA thread blocks. Execution
+//!   statistics (kernel launches, bytes touched) feed the calibrated
+//!   performance model in `qgear-perfmodel`.
+//!
+//! Shared infrastructure: [`StateVector`] storage generic over `f32`/`f64`
+//! ([`qgear_num::Scalar`]), Born-rule [`sampling`] with multinomial shot
+//! draws, and the [`Simulator`] trait the `qgear` core crate dispatches on.
+
+pub mod aer;
+pub mod backend;
+pub mod gpu;
+pub mod sampling;
+pub mod state;
+
+pub use aer::AerCpuBackend;
+pub use backend::{Counts, ExecStats, RunOptions, RunOutput, SimError, Simulator};
+pub use gpu::GpuDevice;
+pub use state::StateVector;

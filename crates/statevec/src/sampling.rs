@@ -1,0 +1,240 @@
+//! Born-rule shot sampling.
+//!
+//! The QCrank experiments draw up to 98 M shots (Table 2), so per-shot
+//! inverse-CDF sampling is far too slow. We sample the full multinomial
+//! with the *conditional binomial* method: walk the outcome bins once,
+//! drawing `Binomial(remaining_shots, p_i / remaining_mass)` for each —
+//! O(bins) regardless of the shot count. Binomials use exact inversion for
+//! small n and a normal approximation for large n (error far below shot
+//! noise at these magnitudes).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Draw a multinomial sample: `out[i]` counts of outcome `i`, summing to
+/// `shots`. Probabilities are normalized defensively; slightly negative
+/// inputs (fp round-off) are clamped to zero.
+pub fn multinomial(probs: &[f64], shots: u64, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = vec![0u64; probs.len()];
+    let total_mass: f64 = probs.iter().map(|&p| p.max(0.0)).sum();
+    if total_mass <= 0.0 || shots == 0 {
+        return out;
+    }
+    let mut remaining_mass = total_mass;
+    let mut remaining = shots;
+    for (i, &p_raw) in probs.iter().enumerate() {
+        if remaining == 0 {
+            break;
+        }
+        let p = p_raw.max(0.0);
+        if p <= 0.0 {
+            continue;
+        }
+        if p >= remaining_mass {
+            // Numerical tail: everything left lands here.
+            out[i] = remaining;
+            remaining = 0;
+            break;
+        }
+        let cond = (p / remaining_mass).clamp(0.0, 1.0);
+        let draw = binomial(&mut rng, remaining, cond);
+        out[i] = draw;
+        remaining -= draw;
+        remaining_mass -= p;
+    }
+    // Distribute any numerical residue onto the most probable bin.
+    if remaining > 0 {
+        let argmax = probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        out[argmax] += remaining;
+    }
+    out
+}
+
+/// Sample `Binomial(n, p)`.
+///
+/// Strategy: exact Bernoulli summation for tiny `n`; exact geometric-skip
+/// inversion when the expected count is small; otherwise a
+/// normal(np, np(1-p)) approximation rounded and clamped — standard for
+/// the `np(1-p) > ~1000` regime where the approximation error is orders of
+/// magnitude below shot noise.
+pub fn binomial(rng: &mut StdRng, n: u64, p: f64) -> u64 {
+    if p <= 0.0 || n == 0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return n;
+    }
+    // Exploit symmetry to keep p <= 0.5 for the exact paths.
+    if p > 0.5 {
+        return n - binomial(rng, n, 1.0 - p);
+    }
+    let np = n as f64 * p;
+    let var = np * (1.0 - p);
+    if var > 1000.0 {
+        // Normal approximation with continuity correction.
+        let z = standard_normal(rng);
+        let x = (np + z * var.sqrt()).round();
+        return x.clamp(0.0, n as f64) as u64;
+    }
+    if n <= 64 {
+        // Direct Bernoulli summation.
+        let mut k = 0u64;
+        for _ in 0..n {
+            if rng.gen::<f64>() < p {
+                k += 1;
+            }
+        }
+        return k;
+    }
+    // Geometric-skip (BG) algorithm: draw the gap to the next success as a
+    // Geometric(p) variable; expected iterations = np + 1.
+    let log_q = (1.0 - p).ln();
+    if log_q == 0.0 {
+        // p below ~2^-53: `1 - p` rounded to 1. Success probability over n
+        // trials is np < n·2^-53 — negligible next to shot noise.
+        return 0;
+    }
+    let mut k = 0u64;
+    let mut trials = 0.0f64;
+    loop {
+        let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        // Trials consumed until (and including) the next success.
+        let gap = (u.ln() / log_q).floor() + 1.0;
+        trials += gap;
+        if trials > n as f64 {
+            return k;
+        }
+        k += 1;
+        if k == n {
+            return k;
+        }
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multinomial_total_is_exact() {
+        let probs = vec![0.1, 0.2, 0.3, 0.4];
+        for shots in [0u64, 1, 100, 10_000, 1_000_000] {
+            let draw = multinomial(&probs, shots, 42);
+            assert_eq!(draw.iter().sum::<u64>(), shots, "shots={shots}");
+        }
+    }
+
+    #[test]
+    fn multinomial_tracks_probabilities() {
+        let probs = vec![0.5, 0.25, 0.125, 0.125];
+        let shots = 1_000_000u64;
+        let draw = multinomial(&probs, shots, 7);
+        for (i, &p) in probs.iter().enumerate() {
+            let observed = draw[i] as f64 / shots as f64;
+            // 5-sigma binomial tolerance.
+            let sigma = (p * (1.0 - p) / shots as f64).sqrt();
+            assert!(
+                (observed - p).abs() < 5.0 * sigma + 1e-9,
+                "bin {i}: observed {observed}, expected {p}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_zero_probability_bins_stay_empty() {
+        let probs = vec![0.0, 1.0, 0.0];
+        let draw = multinomial(&probs, 5000, 1);
+        assert_eq!(draw, vec![0, 5000, 0]);
+    }
+
+    #[test]
+    fn multinomial_handles_unnormalized_and_negative_noise() {
+        // Simulates fp round-off: tiny negative values and sum != 1.
+        let probs = vec![0.5000001, -1e-18, 0.4999999, 0.0];
+        let draw = multinomial(&probs, 10_000, 3);
+        assert_eq!(draw.iter().sum::<u64>(), 10_000);
+        assert_eq!(draw[1], 0);
+    }
+
+    #[test]
+    fn multinomial_deterministic_per_seed() {
+        let probs = vec![0.3, 0.7];
+        assert_eq!(multinomial(&probs, 1000, 5), multinomial(&probs, 1000, 5));
+        assert_ne!(multinomial(&probs, 100_000, 5), multinomial(&probs, 100_000, 6));
+    }
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+    }
+
+    #[test]
+    fn binomial_mean_small_n() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 20_000;
+        let (n, p) = (40u64, 0.3);
+        let mean: f64 =
+            (0..trials).map(|_| binomial(&mut rng, n, p) as f64).sum::<f64>() / trials as f64;
+        assert!((mean - n as f64 * p).abs() < 0.2, "mean {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_large_n_normal_path() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (n, p) = (10_000_000u64, 0.25);
+        let trials = 200;
+        let mean: f64 =
+            (0..trials).map(|_| binomial(&mut rng, n, p) as f64).sum::<f64>() / trials as f64;
+        let expect = n as f64 * p;
+        let sigma = (n as f64 * p * (1.0 - p)).sqrt();
+        assert!(
+            (mean - expect).abs() < 5.0 * sigma / (trials as f64).sqrt(),
+            "mean {mean} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn binomial_subnormal_p_returns_zero() {
+        // Regression: p so small that `1 - p` rounds to 1.0 used to send
+        // the geometric-skip loop to n (ln(1-p) underflowed to 0).
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(binomial(&mut rng, 192_000, 5e-35), 0);
+        assert_eq!(binomial(&mut rng, u64::MAX / 2, 1e-300), 0);
+    }
+
+    #[test]
+    fn binomial_never_exceeds_n() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..2000 {
+            let k = binomial(&mut rng, 100, 0.47);
+            assert!(k <= 100);
+        }
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+}

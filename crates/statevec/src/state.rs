@@ -1,0 +1,230 @@
+//! State-vector storage and basic linear-algebra queries.
+
+use qgear_num::{Complex, Scalar};
+
+/// A `2^n`-amplitude quantum state (Eq. 1), generic over precision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector<T: Scalar> {
+    num_qubits: u32,
+    amps: Vec<Complex<T>>,
+}
+
+impl<T: Scalar> StateVector<T> {
+    /// `|0…0⟩` over `n` qubits. Allocates `2^n` amplitudes; callers are
+    /// responsible for memory-capacity checks (see `RunOptions`).
+    pub fn zero(num_qubits: u32) -> Self {
+        assert!(num_qubits < usize::BITS, "qubit count overflows the address space");
+        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
+        amps[0] = Complex::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Wrap existing amplitudes (length must be a power of two).
+    pub fn from_amplitudes(amps: Vec<Complex<T>>) -> Self {
+        assert!(amps.len().is_power_of_two(), "amplitude count must be 2^n");
+        let num_qubits = amps.len().trailing_zeros();
+        StateVector { num_qubits, amps }
+    }
+
+    /// Register width.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of amplitudes (`2^n`).
+    pub fn len(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// True only for the (unrepresentable) zero-qubit edge case guard.
+    pub fn is_empty(&self) -> bool {
+        self.amps.is_empty()
+    }
+
+    /// Immutable amplitude access.
+    pub fn amplitudes(&self) -> &[Complex<T>] {
+        &self.amps
+    }
+
+    /// Mutable amplitude access (engines' working surface).
+    pub fn amplitudes_mut(&mut self) -> &mut [Complex<T>] {
+        &mut self.amps
+    }
+
+    /// Consume into the raw amplitude vector.
+    pub fn into_amplitudes(self) -> Vec<Complex<T>> {
+        self.amps
+    }
+
+    /// Memory footprint in bytes (2 reals per amplitude).
+    pub fn byte_len(&self) -> usize {
+        self.amps.len() * 2 * T::BYTES
+    }
+
+    /// Total squared norm; 1 for a valid state.
+    pub fn norm_sqr(&self) -> T {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Renormalize in place (guards against fp32 drift on deep circuits).
+    pub fn renormalize(&mut self) {
+        let n = self.norm_sqr().sqrt();
+        if n > T::ZERO {
+            let inv = T::ONE / n;
+            for a in &mut self.amps {
+                *a = a.scale(inv);
+            }
+        }
+    }
+
+    /// Born-rule probability of each basis state.
+    pub fn probabilities(&self) -> Vec<T> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Probability that qubit `q` measures `|1⟩`.
+    pub fn prob_one(&self, q: u32) -> T {
+        let mask = 1usize << q;
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| i & mask != 0)
+            .map(|(_, a)| a.norm_sqr())
+            .sum()
+    }
+
+    /// Expectation value of Pauli-Z on qubit `q`: `P(0) − P(1)`.
+    pub fn expect_z(&self, q: u32) -> T {
+        T::ONE - self.prob_one(q) - self.prob_one(q)
+    }
+
+    /// Marginal probability distribution over an ordered subset of qubits.
+    /// `qubits[j]` maps to bit `j` of the returned distribution's index.
+    /// Runs in one pass over the full state.
+    pub fn marginal(&self, qubits: &[u32]) -> Vec<T> {
+        let m = qubits.len();
+        assert!(m <= 30, "marginal over too many qubits");
+        let mut out = vec![T::ZERO; 1usize << m];
+        for (i, a) in self.amps.iter().enumerate() {
+            let mut key = 0usize;
+            for (j, &q) in qubits.iter().enumerate() {
+                key |= ((i >> q) & 1) << j;
+            }
+            out[key] += a.norm_sqr();
+        }
+        out
+    }
+
+    /// Inner product `⟨self|other⟩`.
+    pub fn inner(&self, other: &Self) -> Complex<T> {
+        assert_eq!(self.len(), other.len());
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .map(|(&a, &b)| a.conj() * b)
+            .sum()
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` (global-phase insensitive).
+    pub fn fidelity(&self, other: &Self) -> T {
+        self.inner(other).norm_sqr()
+    }
+
+    /// Convert precision (e.g. compare an fp32 run against the fp64 oracle).
+    pub fn cast<U: Scalar>(&self) -> StateVector<U> {
+        StateVector {
+            num_qubits: self.num_qubits,
+            amps: self.amps.iter().map(|a| a.cast()).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgear_num::C64;
+
+    #[test]
+    fn zero_state_basics() {
+        let s: StateVector<f64> = StateVector::zero(3);
+        assert_eq!(s.num_qubits(), 3);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.byte_len(), 8 * 16);
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-15);
+        assert_eq!(s.amplitudes()[0], C64::ONE);
+    }
+
+    #[test]
+    fn fp32_byte_len() {
+        let s: StateVector<f32> = StateVector::zero(10);
+        assert_eq!(s.byte_len(), 1024 * 8); // the paper's fp32: 8 B/amplitude
+    }
+
+    #[test]
+    fn from_amplitudes_infers_width() {
+        let amps = vec![C64::ZERO; 16];
+        let s = StateVector::from_amplitudes(amps);
+        assert_eq!(s.num_qubits(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2^n")]
+    fn non_power_of_two_rejected() {
+        StateVector::from_amplitudes(vec![C64::ZERO; 3]);
+    }
+
+    #[test]
+    fn prob_one_and_expect_z() {
+        // |10⟩: qubit 1 is 1, qubit 0 is 0.
+        let mut amps = vec![C64::ZERO; 4];
+        amps[2] = C64::ONE;
+        let s = StateVector::from_amplitudes(amps);
+        assert_eq!(s.prob_one(1), 1.0);
+        assert_eq!(s.prob_one(0), 0.0);
+        assert_eq!(s.expect_z(1), -1.0);
+        assert_eq!(s.expect_z(0), 1.0);
+    }
+
+    #[test]
+    fn marginal_distribution() {
+        // Uniform 2-qubit state: marginal over qubit 1 alone = [0.5, 0.5].
+        let amps = vec![C64::from_re(0.5); 4];
+        let s = StateVector::from_amplitudes(amps);
+        let m = s.marginal(&[1]);
+        assert!((m[0] - 0.5).abs() < 1e-15);
+        assert!((m[1] - 0.5).abs() < 1e-15);
+        // Marginal over both, reversed order: index bit 0 = qubit 1.
+        let m2 = s.marginal(&[1, 0]);
+        assert_eq!(m2.len(), 4);
+        for p in m2 {
+            assert!((p - 0.25).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn renormalize_restores_unit_norm() {
+        let mut s = StateVector::from_amplitudes(vec![C64::from_re(2.0), C64::ZERO]);
+        s.renormalize();
+        assert!((s.norm_sqr() - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fidelity_and_inner() {
+        let a: StateVector<f64> = StateVector::zero(2);
+        let b = a.clone();
+        assert!((a.fidelity(&b) - 1.0).abs() < 1e-15);
+        let mut amps = vec![C64::ZERO; 4];
+        amps[3] = C64::ONE;
+        let c = StateVector::from_amplitudes(amps);
+        assert_eq!(a.fidelity(&c), 0.0);
+    }
+
+    #[test]
+    fn cast_roundtrip() {
+        let mut s: StateVector<f64> = StateVector::zero(2);
+        s.amplitudes_mut()[1] = C64::new(0.25, -0.5);
+        let t: StateVector<f32> = s.cast();
+        let u: StateVector<f64> = t.cast();
+        assert_eq!(s.amplitudes()[1], u.amplitudes()[1]);
+    }
+}

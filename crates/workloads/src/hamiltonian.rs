@@ -1,0 +1,628 @@
+//! Hamiltonian partitioning (§2.4, Fig. 2c).
+//!
+//! "For larger and more complex circuits, the simulation process
+//! partitions them into distinct Hamiltonians, representing the evolution
+//! of quantum systems. These Hamiltonians are distributed across multiple
+//! hardware resources, thereby enabling efficient parallelization."
+//!
+//! This module provides the observable side of that workflow: weighted
+//! Pauli-sum Hamiltonians, qubit-wise-commuting (QWC) partitioning into
+//! simultaneously-measurable groups, and expectation evaluation — per
+//! group, so each group can be dispatched to a separate device (the mqpu
+//! pattern). The VQE-style example and the `qgear` core glue build on it.
+
+use qgear_ir::Circuit;
+use qgear_num::Scalar;
+use qgear_statevec::StateVector;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single-qubit Pauli operator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Pauli {
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+}
+
+impl Pauli {
+    /// Parse a single letter.
+    pub fn parse(c: char) -> Option<Pauli> {
+        match c.to_ascii_uppercase() {
+            'X' => Some(Pauli::X),
+            'Y' => Some(Pauli::Y),
+            'Z' => Some(Pauli::Z),
+            _ => None,
+        }
+    }
+
+    /// Letter form.
+    pub const fn letter(self) -> char {
+        match self {
+            Pauli::X => 'X',
+            Pauli::Y => 'Y',
+            Pauli::Z => 'Z',
+        }
+    }
+}
+
+/// A tensor product of single-qubit Paulis (identity elsewhere), e.g.
+/// `Z0 Z2 X3`. Stored sparsely as qubit → Pauli.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PauliString {
+    ops: BTreeMap<u32, Pauli>,
+}
+
+impl PauliString {
+    /// The identity string.
+    pub fn identity() -> Self {
+        PauliString::default()
+    }
+
+    /// Build from (qubit, Pauli) pairs; later pairs overwrite earlier.
+    pub fn new(pairs: impl IntoIterator<Item = (u32, Pauli)>) -> Self {
+        PauliString { ops: pairs.into_iter().collect() }
+    }
+
+    /// Parse compact text like `"ZZ"` (dense, qubit 0 first; `I` skips) or
+    /// `"X0 Z2 Y5"` (sparse).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.is_empty() || s.eq_ignore_ascii_case("i") {
+            return Some(PauliString::identity());
+        }
+        if s.contains(|c: char| c.is_ascii_digit()) {
+            // Sparse form.
+            let mut ops = BTreeMap::new();
+            for token in s.split_whitespace() {
+                let mut chars = token.chars();
+                let p = Pauli::parse(chars.next()?);
+                let idx: u32 = chars.as_str().parse().ok()?;
+                match p {
+                    Some(p) => {
+                        ops.insert(idx, p);
+                    }
+                    None if token.starts_with(['I', 'i']) => {}
+                    None => return None,
+                }
+            }
+            Some(PauliString { ops })
+        } else {
+            // Dense form.
+            let mut ops = BTreeMap::new();
+            for (i, c) in s.chars().enumerate() {
+                match c.to_ascii_uppercase() {
+                    'I' => {}
+                    c => {
+                        ops.insert(i as u32, Pauli::parse(c)?);
+                    }
+                }
+            }
+            Some(PauliString { ops })
+        }
+    }
+
+    /// Non-identity factors, ascending by qubit.
+    pub fn factors(&self) -> impl Iterator<Item = (u32, Pauli)> + '_ {
+        self.ops.iter().map(|(&q, &p)| (q, p))
+    }
+
+    /// Number of non-identity factors (the string's weight).
+    pub fn weight(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Highest qubit touched, if any.
+    pub fn max_qubit(&self) -> Option<u32> {
+        self.ops.keys().max().copied()
+    }
+
+    /// Qubit-wise commutation: two strings are QWC if on every shared
+    /// qubit they apply the same Pauli. QWC strings are simultaneously
+    /// measurable after one shared basis rotation.
+    pub fn qubit_wise_commutes(&self, other: &PauliString) -> bool {
+        self.ops.iter().all(|(q, p)| other.ops.get(q).is_none_or(|op| op == p))
+    }
+
+    /// The basis-rotation circuit mapping this string's measurement onto
+    /// the computational (Z) basis: `H` for X factors, `S† H` for Y.
+    pub fn measurement_basis_circuit(&self, num_qubits: u32) -> Circuit {
+        let mut c = Circuit::new(num_qubits);
+        for (&q, &p) in &self.ops {
+            match p {
+                Pauli::Z => {}
+                Pauli::X => {
+                    c.h(q);
+                }
+                Pauli::Y => {
+                    c.sdg(q).h(q);
+                }
+            }
+        }
+        c
+    }
+
+    /// Exact expectation value `⟨ψ|P|ψ⟩` on a state (rotate a copy into
+    /// the measurement basis, then sum signed probabilities).
+    pub fn expectation<T: Scalar>(&self, state: &StateVector<T>) -> f64 {
+        if self.ops.is_empty() {
+            return 1.0;
+        }
+        let n = state.num_qubits();
+        assert!(self.max_qubit().unwrap() < n, "string exceeds register");
+        // Rotate into the Z basis.
+        let mut rotated = state.clone();
+        let basis = self.measurement_basis_circuit(n);
+        for g in basis.gates() {
+            qgear_statevec::aer::AerCpuBackend::apply_gate(rotated.amplitudes_mut(), g)
+                .expect("basis gates are simple");
+        }
+        let mask: usize = self.ops.keys().map(|&q| 1usize << q).sum();
+        rotated
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .map(|(i, a)| {
+                let parity = (i & mask).count_ones() % 2;
+                let sign = if parity == 0 { 1.0 } else { -1.0 };
+                sign * a.norm_sqr().to_f64()
+            })
+            .sum()
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ops.is_empty() {
+            return f.write_str("I");
+        }
+        let mut first = true;
+        for (q, p) in self.factors() {
+            if !first {
+                f.write_str(" ")?;
+            }
+            write!(f, "{}{q}", p.letter())?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+/// A weighted Pauli-sum observable: `H = Σ_k c_k P_k` (+ constant).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Hamiltonian {
+    /// Weighted terms.
+    pub terms: Vec<(f64, PauliString)>,
+    /// Identity offset.
+    pub constant: f64,
+}
+
+impl Hamiltonian {
+    /// Empty Hamiltonian.
+    pub fn new() -> Self {
+        Hamiltonian::default()
+    }
+
+    /// Add a term (identity strings fold into the constant).
+    pub fn add(&mut self, coefficient: f64, string: PauliString) -> &mut Self {
+        if string.weight() == 0 {
+            self.constant += coefficient;
+        } else {
+            self.terms.push((coefficient, string));
+        }
+        self
+    }
+
+    /// Parse lines like `-1.05 ZZ` / `0.39 X0 X1` / `0.2 I`.
+    pub fn parse(text: &str) -> Option<Self> {
+        let mut h = Hamiltonian::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (coeff, rest) = line.split_once(char::is_whitespace)?;
+            let c: f64 = coeff.parse().ok()?;
+            h.add(c, PauliString::parse(rest)?);
+        }
+        Some(h)
+    }
+
+    /// Number of non-constant terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if only the constant remains.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Qubits required to evaluate this observable.
+    pub fn num_qubits(&self) -> u32 {
+        self.terms
+            .iter()
+            .filter_map(|(_, p)| p.max_qubit())
+            .max()
+            .map_or(0, |q| q + 1)
+    }
+
+    /// Exact expectation `⟨ψ|H|ψ⟩`.
+    pub fn expectation<T: Scalar>(&self, state: &StateVector<T>) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(c, p)| c * p.expectation(state))
+                .sum::<f64>()
+    }
+
+    /// Greedy qubit-wise-commuting partition: returns groups of term
+    /// indices; all strings in a group are simultaneously measurable, so
+    /// each group is one circuit execution — and groups can be spread
+    /// across devices (§2.4's "distributed across multiple hardware
+    /// resources").
+    pub fn qwc_groups(&self) -> Vec<Vec<usize>> {
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        for (i, (_, p)) in self.terms.iter().enumerate() {
+            let fits = groups.iter_mut().find(|g| {
+                g.iter().all(|&j| self.terms[j].1.qubit_wise_commutes(p))
+            });
+            match fits {
+                Some(g) => g.push(i),
+                None => groups.push(vec![i]),
+            }
+        }
+        groups
+    }
+
+    /// Evaluate by groups: returns `(group, partial_value)` pairs summing
+    /// (with the constant) to the full expectation. Each entry is the
+    /// piece one device computes in the distributed workflow.
+    pub fn expectation_by_groups<T: Scalar>(
+        &self,
+        state: &StateVector<T>,
+    ) -> Vec<(Vec<usize>, f64)> {
+        self.qwc_groups()
+            .into_iter()
+            .map(|g| {
+                let v = g
+                    .iter()
+                    .map(|&i| self.terms[i].0 * self.terms[i].1.expectation(state))
+                    .sum();
+                (g, v)
+            })
+            .collect()
+    }
+
+    /// First-order Trotter circuit approximating `exp(-i H t)` with the
+    /// given number of steps — the "evolution of quantum systems" the
+    /// §2.4 workflow distributes. Each Pauli-string term contributes one
+    /// exponential `exp(-i c θ P)` implemented with the standard
+    /// basis-rotation + CX-ladder + Rz construction.
+    ///
+    /// The constant term contributes only a global phase and is skipped.
+    pub fn trotter_circuit(&self, num_qubits: u32, time: f64, steps: u32) -> Circuit {
+        assert!(steps > 0, "at least one Trotter step");
+        assert!(self.num_qubits() <= num_qubits);
+        let dt = time / steps as f64;
+        let mut circ = Circuit::with_capacity(
+            num_qubits,
+            format!("trotter_{}q_{steps}steps", num_qubits),
+            steps as usize * self.terms.len() * 8,
+        );
+        for _ in 0..steps {
+            for (c, p) in &self.terms {
+                append_pauli_exponential(&mut circ, p, c * dt);
+            }
+        }
+        circ
+    }
+
+    /// The transverse-field Ising chain `H = -J Σ Z_i Z_{i+1} - h Σ X_i`,
+    /// a standard evolution benchmark.
+    pub fn tfim_chain(n: u32, coupling: f64, field: f64) -> Self {
+        let mut h = Hamiltonian::new();
+        for i in 0..n.saturating_sub(1) {
+            h.add(-coupling, PauliString::new([(i, Pauli::Z), (i + 1, Pauli::Z)]));
+        }
+        for i in 0..n {
+            h.add(-field, PauliString::new([(i, Pauli::X)]));
+        }
+        h
+    }
+}
+
+/// Append `exp(-i θ P)` for a Pauli string `P`: rotate each factor into
+/// the Z basis, entangle the support with a CX chain, `Rz(2θ)` on the
+/// chain end, then undo. The textbook construction (exact per term).
+pub fn append_pauli_exponential(circ: &mut Circuit, p: &PauliString, theta: f64) {
+    let qubits: Vec<(u32, Pauli)> = p.factors().collect();
+    if qubits.is_empty() {
+        return; // identity: global phase only
+    }
+    // Basis in.
+    for &(q, op) in &qubits {
+        match op {
+            Pauli::Z => {}
+            Pauli::X => {
+                circ.h(q);
+            }
+            Pauli::Y => {
+                circ.sdg(q).h(q);
+            }
+        }
+    }
+    // Parity chain onto the last support qubit.
+    let last = qubits.last().unwrap().0;
+    for w in qubits.windows(2) {
+        circ.cx(w[0].0, w[1].0);
+    }
+    circ.rz(2.0 * theta, last);
+    for w in qubits.windows(2).rev() {
+        circ.cx(w[0].0, w[1].0);
+    }
+    // Basis out.
+    for &(q, op) in &qubits {
+        match op {
+            Pauli::Z => {}
+            Pauli::X => {
+                circ.h(q);
+            }
+            Pauli::Y => {
+                circ.h(q).s(q);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgear_ir::reference;
+    use qgear_statevec::{AerCpuBackend, RunOptions, Simulator};
+
+    fn run(circ: &Circuit) -> StateVector<f64> {
+        let out: qgear_statevec::RunOutput<f64> =
+            AerCpuBackend.run(circ, &RunOptions::default()).unwrap();
+        out.state.unwrap()
+    }
+
+    #[test]
+    fn parse_dense_and_sparse() {
+        let a = PauliString::parse("ZZ").unwrap();
+        let b = PauliString::parse("Z0 Z1").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.weight(), 2);
+        let c = PauliString::parse("IXI").unwrap();
+        assert_eq!(c, PauliString::new([(1, Pauli::X)]));
+        assert_eq!(PauliString::parse("Q3"), None);
+        assert_eq!(PauliString::parse("I").unwrap().weight(), 0);
+        assert_eq!(format!("{}", PauliString::parse("X0 Y2").unwrap()), "X0 Y2");
+    }
+
+    #[test]
+    fn z_expectation_on_basis_states() {
+        let mut c = Circuit::new(2);
+        c.x(0);
+        let state = run(&c); // |01⟩ (qubit 0 = 1)
+        assert!((PauliString::parse("Z0").unwrap().expectation(&state) + 1.0).abs() < 1e-12);
+        assert!((PauliString::parse("Z1").unwrap().expectation(&state) - 1.0).abs() < 1e-12);
+        assert!((PauliString::parse("Z0 Z1").unwrap().expectation(&state) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn x_and_y_expectations() {
+        // |+⟩ on qubit 0: ⟨X⟩ = 1, ⟨Y⟩ = 0, ⟨Z⟩ = 0.
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let plus = run(&c);
+        assert!((PauliString::parse("X0").unwrap().expectation(&plus) - 1.0).abs() < 1e-12);
+        assert!(PauliString::parse("Y0").unwrap().expectation(&plus).abs() < 1e-12);
+        assert!(PauliString::parse("Z0").unwrap().expectation(&plus).abs() < 1e-12);
+        // |+i⟩ = S|+⟩: ⟨Y⟩ = 1.
+        let mut c = Circuit::new(1);
+        c.h(0).s(0);
+        let plus_i = run(&c);
+        assert!((PauliString::parse("Y0").unwrap().expectation(&plus_i) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bell_state_correlations() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let bell = run(&c);
+        for s in ["Z0 Z1", "X0 X1"] {
+            let e = PauliString::parse(s).unwrap().expectation(&bell);
+            assert!((e - 1.0).abs() < 1e-12, "{s}: {e}");
+        }
+        let e = PauliString::parse("Y0 Y1").unwrap().expectation(&bell);
+        assert!((e + 1.0).abs() < 1e-12, "Y0Y1: {e}");
+        // Single-qubit marginals vanish.
+        assert!(PauliString::parse("Z0").unwrap().expectation(&bell).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_expectation_is_one() {
+        let state = StateVector::<f64>::zero(3);
+        assert_eq!(PauliString::identity().expectation(&state), 1.0);
+    }
+
+    #[test]
+    fn qwc_detection() {
+        let zz = PauliString::parse("Z0 Z1").unwrap();
+        let zi = PauliString::parse("Z0").unwrap();
+        let xx = PauliString::parse("X0 X1").unwrap();
+        let x2 = PauliString::parse("X2").unwrap();
+        assert!(zz.qubit_wise_commutes(&zi));
+        assert!(!zz.qubit_wise_commutes(&xx));
+        assert!(zz.qubit_wise_commutes(&x2), "disjoint supports always QWC");
+        assert!(PauliString::identity().qubit_wise_commutes(&xx));
+    }
+
+    #[test]
+    fn tfim_partitions_into_two_groups() {
+        // All ZZ terms are mutually QWC; all X terms are mutually QWC;
+        // they clash with each other → exactly 2 groups.
+        let h = Hamiltonian::tfim_chain(6, 1.0, 0.7);
+        assert_eq!(h.len(), 5 + 6);
+        let groups = h.qwc_groups();
+        assert_eq!(groups.len(), 2);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert!(sizes.contains(&5) && sizes.contains(&6));
+    }
+
+    #[test]
+    fn grouped_expectation_sums_to_total() {
+        let h = Hamiltonian::tfim_chain(5, 1.0, 0.5);
+        let mut c = Circuit::new(5);
+        c.h(0).cx(0, 1).ry(0.4, 2).cx(2, 3).rx(0.9, 4).cx(3, 4);
+        let state = run(&c);
+        let total = h.expectation(&state);
+        let grouped: f64 = h.expectation_by_groups(&state).iter().map(|(_, v)| v).sum();
+        assert!((total - (grouped + h.constant)).abs() < 1e-10);
+    }
+
+    #[test]
+    fn tfim_ground_state_energy_limits() {
+        // h=0: |00…0⟩ is a ground state with E = -J(n-1).
+        let h = Hamiltonian::tfim_chain(4, 1.0, 0.0);
+        let zero = StateVector::<f64>::zero(4);
+        assert!((h.expectation(&zero) + 3.0).abs() < 1e-12);
+        // J=0: |+++…⟩ is the ground state with E = -h·n.
+        let h = Hamiltonian::tfim_chain(4, 0.0, 1.0);
+        let mut c = Circuit::new(4);
+        c.h(0).h(1).h(2).h(3);
+        let plus = run(&c);
+        assert!((h.expectation(&plus) + 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_hamiltonian_text() {
+        let h = Hamiltonian::parse(
+            "# comment\n-1.0 Z0 Z1\n0.5 X0\n0.25 I\n",
+        )
+        .unwrap();
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.constant, 0.25);
+        assert_eq!(h.num_qubits(), 2);
+    }
+
+    #[test]
+    fn pauli_exponential_matches_rotation_gates() {
+        // exp(-i θ/2 X) == Rx(θ), exp(-i θ/2 Z) == Rz(θ) — up to nothing:
+        // the construction is exact.
+        for (s, expect) in [("X0", "rx"), ("Z0", "rz"), ("Y0", "ry")] {
+            let p = PauliString::parse(s).unwrap();
+            let theta = 0.73f64;
+            let mut c = Circuit::new(1);
+            append_pauli_exponential(&mut c, &p, theta / 2.0);
+            let got = reference::run(&c);
+            let mut want_circ = Circuit::new(1);
+            match expect {
+                "rx" => {
+                    want_circ.rx(theta, 0);
+                }
+                "ry" => {
+                    want_circ.ry(theta, 0);
+                }
+                _ => {
+                    want_circ.rz(theta, 0);
+                }
+            }
+            let want = reference::run(&want_circ);
+            assert!(
+                qgear_num::approx::approx_eq_up_to_phase(&got, &want, 1e-12),
+                "{s}"
+            );
+        }
+    }
+
+    #[test]
+    fn zz_exponential_diagonal_action() {
+        // exp(-iθ Z0Z1) applies phase e^{-iθ(-1)^{parity}}: check on all
+        // four basis states via the state's relative phases.
+        let theta = 0.61f64;
+        for basis in 0..4u32 {
+            let mut c = Circuit::new(2);
+            for q in 0..2 {
+                if basis & (1 << q) != 0 {
+                    c.x(q);
+                }
+            }
+            append_pauli_exponential(&mut c, &PauliString::parse("Z0 Z1").unwrap(), theta);
+            let state = reference::run(&c);
+            let amp = state[basis as usize];
+            let parity = basis.count_ones() % 2;
+            let expect_phase = if parity == 0 { -theta } else { theta };
+            let expect = qgear_num::C64::cis(expect_phase);
+            assert!((amp - expect).norm() < 1e-12, "basis {basis}");
+        }
+    }
+
+    #[test]
+    fn trotter_conserves_energy_for_commuting_hamiltonian() {
+        // A ZZ-only Hamiltonian commutes with itself term-wise: Trotter is
+        // exact and ⟨H⟩ is conserved under its own evolution.
+        let mut h = Hamiltonian::new();
+        h.add(0.8, PauliString::parse("Z0 Z1").unwrap());
+        h.add(-0.3, PauliString::parse("Z1 Z2").unwrap());
+        let mut prep = Circuit::new(3);
+        prep.h(0).ry(0.7, 1).cx(0, 2);
+        let initial = run(&prep);
+        let e0 = h.expectation(&initial);
+        let mut evolved_circ = prep.clone();
+        evolved_circ.compose(&h.trotter_circuit(3, 1.3, 1)).unwrap();
+        let evolved = run(&evolved_circ);
+        let e1 = h.expectation(&evolved);
+        assert!((e0 - e1).abs() < 1e-10, "{e0} vs {e1}");
+    }
+
+    #[test]
+    fn trotter_error_shrinks_with_steps() {
+        // Non-commuting TFIM: compare 1-step vs 8-step evolution against a
+        // 64-step near-exact reference via state fidelity.
+        let h = Hamiltonian::tfim_chain(3, 1.0, 0.9);
+        let t = 0.8;
+        let evolve = |steps: u32| {
+            let mut c = Circuit::new(3);
+            c.h(0); // nontrivial initial state
+            c.compose(&h.trotter_circuit(3, t, steps)).unwrap();
+            reference::run(&c)
+        };
+        let exact = evolve(64);
+        let coarse = reference::fidelity(&evolve(1), &exact);
+        let fine = reference::fidelity(&evolve(8), &exact);
+        assert!(fine > coarse, "fidelity must improve: {coarse} vs {fine}");
+        assert!(fine > 0.99, "8 steps should be accurate: {fine}");
+    }
+
+    #[test]
+    fn trotter_circuit_is_native_ready() {
+        let h = Hamiltonian::tfim_chain(4, 1.0, 0.5);
+        let circ = h.trotter_circuit(4, 0.5, 2);
+        // Contains only gates the transpiler lowers (h, sdg/s, cx, rz).
+        let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
+        assert!(native.is_native());
+        assert!(circ.len() > 0);
+    }
+
+    #[test]
+    fn expectation_matches_dense_matrix_oracle() {
+        // Cross-check ⟨ψ|P|ψ⟩ against explicit matrix application for a
+        // random state and a mixed string.
+        let state_amps = reference::random_state(3, 99);
+        let state = StateVector::from_amplitudes(state_amps.clone());
+        let p = PauliString::parse("X0 Y1 Z2").unwrap();
+        // Build P|ψ⟩ by per-qubit matrix application.
+        let mut applied = state_amps.clone();
+        reference::apply_mat2(&mut applied, 0, &qgear_num::gates::x());
+        reference::apply_mat2(&mut applied, 1, &qgear_num::gates::y());
+        reference::apply_mat2(&mut applied, 2, &qgear_num::gates::z());
+        let expect: f64 = reference::inner(&state_amps, &applied).re;
+        assert!((p.expectation(&state) - expect).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,160 @@
+//! Synthetic grayscale images.
+//!
+//! The paper's image set (Finger 64×80, Shoes 128×128, Building 192×128,
+//! Zebra 384×256 — Table 2) is not redistributable; QCrank's circuit size
+//! and shot budget depend only on pixel count and the address/data qubit
+//! split, so deterministic synthetic images of identical dimensions
+//! preserve every benchmarked quantity. The generator mixes smooth
+//! gradients, sinusoidal texture, and soft blobs so reconstruction-quality
+//! metrics (Fig. 6) remain meaningful: the images have structure at
+//! several spatial scales rather than being pure noise.
+
+/// A grayscale image with `u8` pixels, row-major.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    /// Width in pixels.
+    pub width: u32,
+    /// Height in pixels.
+    pub height: u32,
+    /// Row-major pixel values.
+    pub pixels: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Total pixel count.
+    pub fn len(&self) -> usize {
+        self.pixels.len()
+    }
+
+    /// True for a degenerate 0×0 image.
+    pub fn is_empty(&self) -> bool {
+        self.pixels.is_empty()
+    }
+
+    /// Pixel at `(x, y)`.
+    pub fn at(&self, x: u32, y: u32) -> u8 {
+        self.pixels[(y * self.width + x) as usize]
+    }
+
+    /// Pixels normalized to `[-1, 1]` — the QCrank input domain
+    /// (Appendix D.3: "normalizes grayscale images to [-1, 1]").
+    pub fn normalized(&self) -> Vec<f64> {
+        self.pixels.iter().map(|&p| p as f64 / 127.5 - 1.0).collect()
+    }
+
+    /// Rebuild an image from `[-1, 1]` values (clamping), the inverse of
+    /// [`GrayImage::normalized`] used after reconstruction.
+    pub fn from_normalized(width: u32, height: u32, values: &[f64]) -> Self {
+        assert_eq!(values.len(), (width * height) as usize);
+        let pixels = values
+            .iter()
+            .map(|&v| ((v.clamp(-1.0, 1.0) + 1.0) * 127.5).round() as u8)
+            .collect();
+        GrayImage { width, height, pixels }
+    }
+}
+
+/// Generate a deterministic synthetic image. Equal `(width, height, seed)`
+/// always produces identical pixels.
+pub fn synthetic(width: u32, height: u32, seed: u64) -> GrayImage {
+    let mut pixels = Vec::with_capacity((width * height) as usize);
+    // Derive stable pattern parameters from the seed.
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s ^= s >> 12;
+        s ^= s << 25;
+        s ^= s >> 27;
+        (s.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let fx = 2.0 + next() * 6.0;
+    let fy = 2.0 + next() * 6.0;
+    let phase = next() * std::f64::consts::TAU;
+    let blobs: Vec<(f64, f64, f64, f64)> = (0..4)
+        .map(|_| (next(), next(), 0.05 + next() * 0.2, 0.4 + next() * 0.6))
+        .collect();
+
+    for y in 0..height {
+        for x in 0..width {
+            let u = x as f64 / width.max(1) as f64;
+            let v = y as f64 / height.max(1) as f64;
+            // Smooth diagonal gradient.
+            let mut val = 0.35 * (u + v) / 2.0;
+            // Mid-frequency sinusoidal texture.
+            val += 0.25
+                * (0.5
+                    + 0.5
+                        * (std::f64::consts::TAU * (fx * u + fy * v) + phase).sin());
+            // Soft Gaussian blobs.
+            for &(bx, by, r, a) in &blobs {
+                let d2 = (u - bx) * (u - bx) + (v - by) * (v - by);
+                val += 0.4 * a * (-d2 / (r * r)).exp();
+            }
+            pixels.push((val.clamp(0.0, 1.0) * 255.0).round() as u8);
+        }
+    }
+    GrayImage { width, height, pixels }
+}
+
+/// The paper's image roster with its exact dimensions (Table 2).
+pub fn paper_image(name: &str) -> Option<GrayImage> {
+    let (w, h, seed) = match name {
+        "finger" => (64, 80, 11),
+        "shoes" => (128, 128, 22),
+        "building" => (192, 128, 33),
+        "zebra" => (384, 256, 44),
+        _ => return None,
+    };
+    Some(synthetic(w, h, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        assert_eq!(synthetic(32, 16, 5), synthetic(32, 16, 5));
+        assert_ne!(synthetic(32, 16, 5), synthetic(32, 16, 6));
+    }
+
+    #[test]
+    fn paper_dimensions_match_table2() {
+        let finger = paper_image("finger").unwrap();
+        assert_eq!((finger.width, finger.height), (64, 80));
+        assert_eq!(finger.len(), 5120); // "5k gray pixels"
+        let shoes = paper_image("shoes").unwrap();
+        assert_eq!(shoes.len(), 16384); // "16k"
+        let building = paper_image("building").unwrap();
+        assert_eq!(building.len(), 24576); // "25k"
+        let zebra = paper_image("zebra").unwrap();
+        assert_eq!(zebra.len(), 98304); // "98k"
+        assert!(paper_image("cat").is_none());
+    }
+
+    #[test]
+    fn normalization_roundtrip() {
+        let img = synthetic(16, 16, 1);
+        let norm = img.normalized();
+        assert!(norm.iter().all(|&v| (-1.0..=1.0).contains(&v)));
+        let back = GrayImage::from_normalized(16, 16, &norm);
+        assert_eq!(img, back);
+    }
+
+    #[test]
+    fn images_have_contrast() {
+        // Structure at several scales: the pixel distribution must not be
+        // flat or constant, or reconstruction metrics degenerate.
+        let img = synthetic(64, 64, 3);
+        let min = *img.pixels.iter().min().unwrap();
+        let max = *img.pixels.iter().max().unwrap();
+        assert!(max - min > 100, "dynamic range {min}..{max}");
+        let mean: f64 = img.pixels.iter().map(|&p| p as f64).sum::<f64>() / img.len() as f64;
+        assert!((30.0..230.0).contains(&mean));
+    }
+
+    #[test]
+    fn at_accessor_row_major() {
+        let img = synthetic(8, 4, 9);
+        assert_eq!(img.at(3, 2), img.pixels[2 * 8 + 3]);
+    }
+}

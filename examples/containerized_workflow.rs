@@ -1,0 +1,64 @@
+//! The containerized Slurm workflow (§2.4): encode a batch of circuits
+//! into the HDF5-like payload, prepare podman-wrapper launches, schedule
+//! the jobs on a simulated Perlmutter slice, and execute them — the whole
+//! Fig. 2(c) "parallel mode" in one program.
+//!
+//! Run with: `cargo run --release --example containerized_workflow`
+
+use qgear::container::slurm::{Cluster, JobRequest, Scheduler};
+use qgear::{QGearConfig, Target, Workflow};
+use qgear_ir::Circuit;
+use qgear_num::scalar::Precision;
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+fn main() {
+    // A batch of small random circuits — "simultaneous execution of
+    // multiple smaller quantum circuits on separate GPUs".
+    let circuits: Vec<Circuit> = (0..12)
+        .map(|i| {
+            generate_random_gate_list(&RandomCircuitSpec {
+                num_qubits: 10,
+                num_blocks: 60,
+                seed: 1000 + i,
+                measure: true,
+            })
+        })
+        .collect();
+
+    let config = QGearConfig {
+        target: Target::Nvidia,
+        precision: Precision::Fp32,
+        shots: 2000,
+        keep_state: false,
+        ..Default::default()
+    };
+    let workflow = Workflow::new(config, 4); // 4 GPU nodes = 16 GPUs
+    let report = workflow.run_batch(&circuits).unwrap();
+
+    println!("encoded payload shipped to jobs: {} bytes", report.payload_bytes);
+    println!("\ncontainer launch (rank 0):\n  {}", report.launch_lines[0]);
+    println!("\nscheduler: makespan {} s, GPU utilization {:.1}%",
+        report.makespan,
+        report.gpu_utilization * 100.0
+    );
+    println!("\nper-job modeled A100 seconds: {:?}",
+        report.modeled_durations.iter().map(|d| (d * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+    );
+    println!("executed {} circuits; total sampled shots: {}",
+        report.results.len(),
+        report.results.iter().filter_map(|r| r.counts.as_ref()).map(|c| c.total()).sum::<u64>()
+    );
+
+    // The utilization claim, demonstrated directly: saturate 256 nodes
+    // (1024 GPUs) with back-to-back jobs.
+    let mut scheduler = Scheduler::new(Cluster::perlmutter_slice(256, 0));
+    for _ in 0..1024 {
+        scheduler
+            .submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 600).unwrap());
+    }
+    scheduler.run_to_completion();
+    println!(
+        "\nsaturating 1024 GPUs with 4-GPU jobs: utilization {:.2}% (abstract: 'approximately 100%')",
+        scheduler.gpu_utilization() * 100.0
+    );
+}

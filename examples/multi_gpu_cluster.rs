@@ -1,0 +1,78 @@
+//! Pooled multi-GPU execution (the `nvidia-mgpu` target): run one circuit
+//! spread over four simulated A100s, inspect the exchange traffic the
+//! distribution generated, and see how pooling extends the reachable
+//! qubit count (Fig. 4a's triangles; Fig. 4b's scaling).
+//!
+//! Run with: `cargo run --release --example multi_gpu_cluster`
+
+use qgear::cluster::{ClusterEngine, ClusterTopology, TrafficPlanner};
+use qgear::{QGear, QGearConfig, Target};
+use qgear_ir::fusion;
+use qgear_num::scalar::Precision;
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+fn main() {
+    // 1. Run a 14-qubit random unitary on the 4-GPU pooled target and
+    //    verify it against a single-device run.
+    let spec = RandomCircuitSpec { num_qubits: 14, num_blocks: 300, seed: 42, measure: true };
+    let circ = generate_random_gate_list(&spec);
+
+    let mgpu = QGear::new(QGearConfig {
+        target: Target::NvidiaMgpu { devices: 4 },
+        precision: Precision::Fp64,
+        shots: 5000,
+        ..Default::default()
+    });
+    let single = QGear::new(QGearConfig {
+        target: Target::Nvidia,
+        precision: Precision::Fp64,
+        shots: 5000,
+        ..Default::default()
+    });
+
+    let r4 = mgpu.run(&circ).unwrap();
+    let r1 = single.run(&circ).unwrap();
+    let fidelity = r1
+        .state
+        .as_ref()
+        .unwrap()
+        .fidelity(r4.state.as_ref().unwrap());
+    println!("4-GPU vs 1-GPU state fidelity: {fidelity:.12} (must be 1)");
+    assert!(fidelity > 1.0 - 1e-9);
+
+    println!(
+        "exchange traffic (4 devices): {} messages, {} bytes [nvlink {}, slingshot {}, inter-rack {}]",
+        r4.stats.comm_messages,
+        r4.stats.comm_bytes.iter().sum::<u128>(),
+        r4.stats.comm_bytes[0],
+        r4.stats.comm_bytes[1],
+        r4.stats.comm_bytes[2],
+    );
+
+    // 2. Capacity: what each cluster size can hold at fp32.
+    println!("\npooled capacity at fp32 (A100-40GB):");
+    for devices in [1usize, 4, 16, 64, 256, 1024] {
+        let engine = ClusterEngine::a100_cluster(devices);
+        println!("  {devices:>5} GPUs → {} qubits", engine.max_qubits(8));
+    }
+
+    // 3. Paper-scale communication plan: what a 40-qubit circuit on 256
+    //    GPUs would exchange, computed without allocating any amplitudes.
+    let spec = RandomCircuitSpec { num_qubits: 40, num_blocks: 3000, seed: 7, measure: false };
+    let big = generate_random_gate_list(&spec);
+    let program = fusion::fuse(&big, 5);
+    let mut planner = TrafficPlanner::new(40, 256, ClusterTopology::default(), 8);
+    planner.run_program(&program);
+    let t = planner.traffic();
+    println!(
+        "\n40 qubits / 256 GPUs / 3000 blocks (planned): {} kernels, {} remap swaps",
+        program.blocks.len(),
+        planner.swaps()
+    );
+    println!(
+        "  traffic: nvlink {:.1} GiB, slingshot {:.1} GiB, inter-rack {:.1} GiB",
+        t.bytes[0] as f64 / (1u64 << 30) as f64,
+        t.bytes[1] as f64 / (1u64 << 30) as f64,
+        t.bytes[2] as f64 / (1u64 << 30) as f64,
+    );
+}

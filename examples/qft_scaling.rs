@@ -1,0 +1,68 @@
+//! QFT scaling study (the Fig. 4c scenario at example scale): run the
+//! Quantum Fourier Transform through Q-Gear and through the unfused
+//! Pennylane-like baseline, measure real wall-clock at small sizes, and
+//! project both to the paper's 4×A100 testbed at large sizes.
+//!
+//! Run with: `cargo run --release --example qft_scaling`
+
+use qgear::{QGear, QGearConfig, Target};
+use qgear_num::scalar::Precision;
+use qgear_workloads::qft::{qft_circuit, QftOptions};
+
+fn main() {
+    println!("== measured on this machine (fp64, state kept) ==");
+    println!("{:>7} {:>10} {:>14} {:>14} {:>7}", "qubits", "gates", "qgear", "pennylane", "ratio");
+    for n in [10u32, 12, 14, 16] {
+        let circ = qft_circuit(n, &QftOptions::default());
+        let qgear = QGear::new(QGearConfig {
+            target: Target::Nvidia,
+            precision: Precision::Fp64,
+            keep_state: false,
+            ..Default::default()
+        });
+        let penny = QGear::new(QGearConfig {
+            target: Target::PennylaneLightningGpu,
+            precision: Precision::Fp64,
+            keep_state: false,
+            ..Default::default()
+        });
+        let rq = qgear.run(&circ).unwrap();
+        let rp = penny.run(&circ).unwrap();
+        println!(
+            "{n:>7} {:>10} {:>12.2}ms {:>12.2}ms {:>6.1}x",
+            circ.len(),
+            rq.measured_seconds() * 1e3,
+            rp.measured_seconds() * 1e3,
+            rp.measured_seconds() / rq.measured_seconds()
+        );
+    }
+
+    println!("\n== projected on 4xA100 (fp32, 100 shots — the Fig. 4c setup) ==");
+    println!("{:>7} {:>14} {:>14} {:>7}", "qubits", "qgear", "pennylane", "ratio");
+    for n in [20u32, 24, 28, 33] {
+        let mut circ = qft_circuit(n, &QftOptions::default());
+        circ.measure_all();
+        let mk = |target| {
+            QGear::new(QGearConfig {
+                target,
+                precision: Precision::Fp32,
+                shots: 100,
+                ..Default::default()
+            })
+        };
+        let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
+        let tq = mk(Target::NvidiaMgpu { devices: 4 }).project(&native).total();
+        let tp = mk(Target::PennylaneLightningGpu).project(&native).total();
+        println!("{n:>7} {tq:>13.2}s {tp:>13.2}s {:>6.1}x", tp / tq);
+    }
+
+    // The AQFT option: prune negligible rotations (Appendix D.2).
+    println!("\n== AQFT pruning at 24 qubits ==");
+    let full = qft_circuit(24, &QftOptions::default());
+    let aqft = qft_circuit(
+        24,
+        &QftOptions { approx_threshold: Some(0.01), ..Default::default() },
+    );
+    println!("full QFT: {} gates; AQFT(0.01): {} gates ({} rotations pruned)",
+        full.len(), aqft.len(), full.len() - aqft.len());
+}

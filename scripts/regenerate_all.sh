@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerate every table/figure of the paper plus the ablations.
+# Console output lands in results/console/, rows in results/*.jsonl.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p results/console
+
+BINS=(table1 table2 fig4a fig4b fig4c fig5 fig6 appendix_c headline \
+      ablation_fusion ablation_precision ablation_remap ablation_mixing ablation_compress)
+
+cargo build --release -p qgear-bench --bins
+
+for bin in "${BINS[@]}"; do
+    echo "=== $bin ==="
+    cargo run -q --release -p qgear-bench --bin "$bin" \
+        | tee "results/console/$bin.txt"
+done
+
+# Measured modes (real wall-clock on this machine).
+for bin in fig4a fig4c fig5; do
+    echo "=== $bin --measured ==="
+    cargo run -q --release -p qgear-bench --bin "$bin" -- --measured \
+        | tee "results/console/${bin}_measured.txt"
+done
+echo "all experiments regenerated."

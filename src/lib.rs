@@ -1,0 +1,6 @@
+//! Umbrella crate for the Q-GEAR reproduction workspace.
+//!
+//! This crate exists to host the workspace-level `examples/` and `tests/`
+//! directories; all functionality lives in the `qgear-*` member crates and is
+//! re-exported by the [`qgear`] core crate.
+pub use qgear as core;

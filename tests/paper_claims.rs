@@ -1,0 +1,163 @@
+//! Integration: the paper's quantitative claims, checked end to end
+//! against the model and the real engines. These are the assertions
+//! EXPERIMENTS.md cites.
+
+use qgear_num::scalar::Precision;
+use qgear_perfmodel::memory;
+use qgear_perfmodel::project::{project_circuit, ModelTarget, ProjectOptions};
+use qgear_perfmodel::CostModel;
+use qgear_workloads::qcrank::paper_configs;
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+fn model() -> CostModel {
+    CostModel::paper_testbed()
+}
+
+#[test]
+fn abstract_claim_two_orders_cpu_speedup() {
+    // "Q-Gear accelerates … CPU-based simulations by two orders of
+    // magnitude" — modeled at the Fig. 4a operating point.
+    let m = model();
+    let circ = generate_random_gate_list(&RandomCircuitSpec {
+        num_qubits: 32,
+        num_blocks: 100,
+        seed: 1,
+        measure: true,
+    });
+    let opts = ProjectOptions { precision: Precision::Fp32, shots: 3000, fusion_width: 5 };
+    let cpu = project_circuit(&m, &circ, ModelTarget::QiskitCpu, &opts).total();
+    let gpu = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
+    let speedup = cpu / gpu;
+    assert!(
+        (100.0..1000.0).contains(&speedup),
+        "expected two-orders speedup, got {speedup:.0}x"
+    );
+}
+
+#[test]
+fn abstract_claim_ten_times_gpu_speedup() {
+    // "…and GPU-based simulations by ten times" — vs the unfused,
+    // per-gate-transpiling GPU baseline.
+    let m = model();
+    let circ = generate_random_gate_list(&RandomCircuitSpec {
+        num_qubits: 30,
+        num_blocks: 100,
+        seed: 2,
+        measure: true,
+    });
+    let opts = ProjectOptions { precision: Precision::Fp32, shots: 3000, fusion_width: 5 };
+    let penny = project_circuit(&m, &circ, ModelTarget::PennylaneGpu { devices: 1 }, &opts).total();
+    let qgear = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
+    let gain = penny / qgear;
+    assert!((3.0..100.0).contains(&gain), "expected ~10x, got {gain:.1}x");
+}
+
+#[test]
+fn abstract_claim_42_qubits_on_1024_gpus() {
+    let m = model();
+    assert_eq!(memory::max_qubits_cluster(&m.gpu, Precision::Fp32, 1024), 42);
+    assert!(memory::max_qubits_cluster(&m.gpu, Precision::Fp32, 512) < 42);
+}
+
+#[test]
+fn fig4a_memory_walls() {
+    let m = model();
+    // CPU node: 33 fits, 34 OOMs (the open-square wall).
+    assert_eq!(memory::max_qubits_cpu(&m.cpu), 33);
+    // One A100-40GB at fp32: 32.
+    assert_eq!(memory::max_qubits_gpu(&m.gpu, Precision::Fp32), 32);
+    // Four pooled: 34 ("adding only two additional qubits requires four
+    // times more memory").
+    assert_eq!(memory::max_qubits_cluster(&m.gpu, Precision::Fp32, 4), 34);
+}
+
+#[test]
+fn fig4b_reversal_and_feasibility() {
+    let m = model();
+    let circ = generate_random_gate_list(&RandomCircuitSpec {
+        num_qubits: 40,
+        num_blocks: 3000,
+        seed: 3,
+        measure: false,
+    });
+    let opts = ProjectOptions { precision: Precision::Fp32, shots: 0, fusion_width: 5 };
+    let t256 = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 256 }, &opts).total();
+    let t1024 = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1024 }, &opts).total();
+    assert!(
+        t1024 > t256,
+        "paper: 1024 GPUs lower throughput than 256 at 40 qubits ({t1024:.0}s vs {t256:.0}s)"
+    );
+}
+
+#[test]
+fn table2_shot_budgets_and_qubit_splits() {
+    let rows = paper_configs();
+    let shots: Vec<u64> = rows.iter().map(|r| r.shots()).collect();
+    assert_eq!(
+        shots,
+        vec![3_072_000, 6_144_000, 12_288_000, 24_576_000, 49_152_000, 98_304_000]
+    );
+    for r in &rows {
+        assert_eq!(r.config.capacity(), r.pixels(), "{}", r.image);
+    }
+    // The three Zebra splits trade address depth against data width at a
+    // constant pixel budget.
+    let zebras: Vec<_> = rows.iter().filter(|r| r.image == "zebra").collect();
+    assert_eq!(zebras.len(), 3);
+    for z in &zebras {
+        assert_eq!(z.pixels(), 98_304);
+    }
+}
+
+#[test]
+fn qcrank_cx_count_equals_pixels_end_to_end() {
+    use qgear_workloads::images;
+    use qgear_workloads::qcrank::QcrankCodec;
+    // §3: CX count == gray pixel count, for every Table 2 row.
+    for row in paper_configs() {
+        let img = images::paper_image(row.image).unwrap();
+        let circ = QcrankCodec::new(row.config).encode_image(&img);
+        assert_eq!(
+            circ.count_kind(qgear_ir::GateKind::Cx),
+            row.pixels(),
+            "{} {}a{}d",
+            row.image,
+            row.config.addr_qubits,
+            row.config.data_qubits
+        );
+    }
+}
+
+#[test]
+fn fig5_speedup_decreases_with_image_size() {
+    let m = model();
+    use qgear_workloads::images;
+    use qgear_workloads::qcrank::QcrankCodec;
+    let rows = paper_configs();
+    let mut speedups = Vec::new();
+    for row in [&rows[0], &rows[5]] {
+        let img = images::paper_image(row.image).unwrap();
+        let circ = QcrankCodec::new(row.config).encode_image(&img);
+        let opts = ProjectOptions {
+            precision: Precision::Fp64,
+            shots: row.shots(),
+            fusion_width: 5,
+        };
+        let cpu = project_circuit(&m, &circ, ModelTarget::QiskitCpu, &opts).total();
+        let gpu = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
+        speedups.push(cpu / gpu);
+    }
+    assert!(speedups[0] > 50.0, "small-image speedup ~two orders: {speedups:?}");
+    assert!(speedups[1] < speedups[0], "speedup must shrink with size: {speedups:?}");
+}
+
+#[test]
+fn slurm_utilization_claim() {
+    use qgear_container::slurm::{Cluster, JobRequest, Scheduler};
+    let mut s = Scheduler::new(Cluster::perlmutter_slice(256, 0));
+    for _ in 0..1024 {
+        s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 120).unwrap());
+    }
+    s.run_to_completion();
+    assert!(s.gpu_utilization() > 0.99, "got {}", s.gpu_utilization());
+}

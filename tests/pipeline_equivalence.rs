@@ -1,0 +1,149 @@
+//! Cross-crate integration: every execution target must produce the same
+//! physics for the same circuit — the reference simulator is the oracle,
+//! targets differ only in execution strategy (and global phase).
+
+use qgear::{QGear, QGearConfig, Target};
+use qgear_ir::{reference, Circuit};
+use qgear_num::approx::approx_eq_up_to_phase;
+use qgear_num::scalar::Precision;
+use qgear_workloads::qft::{qft_circuit, QftOptions};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+const TARGETS: [Target; 4] = [
+    Target::QiskitAerCpu,
+    Target::Nvidia,
+    Target::NvidiaMgpu { devices: 4 },
+    Target::PennylaneLightningGpu,
+];
+
+fn assert_all_targets_agree(circ: &Circuit, tol: f64) {
+    let expect = reference::run(circ);
+    for target in TARGETS {
+        let qgear = QGear::new(QGearConfig {
+            target,
+            precision: Precision::Fp64,
+            ..Default::default()
+        });
+        let result = qgear.run(circ).unwrap();
+        let state = result.state.expect("state kept");
+        assert!(
+            approx_eq_up_to_phase(state.amplitudes(), &expect, tol),
+            "target {target} diverged on '{}'",
+            circ.name
+        );
+    }
+}
+
+#[test]
+fn random_unitaries_agree_across_targets() {
+    for seed in [1u64, 2] {
+        let circ = generate_random_gate_list(&RandomCircuitSpec {
+            num_qubits: 9,
+            num_blocks: 120,
+            seed,
+            measure: false,
+        });
+        assert_all_targets_agree(&circ, 1e-9);
+    }
+}
+
+#[test]
+fn qft_agrees_across_targets() {
+    let circ = qft_circuit(8, &QftOptions::default());
+    assert_all_targets_agree(&circ, 1e-9);
+}
+
+#[test]
+fn qcrank_agrees_across_targets() {
+    use qgear_workloads::qcrank::{QcrankCodec, QcrankConfig};
+    let config = QcrankConfig { addr_qubits: 4, data_qubits: 3 };
+    let values: Vec<f64> = (0..config.capacity())
+        .map(|i| ((i * 31 % 97) as f64 / 48.5) - 1.0)
+        .collect();
+    let circ = QcrankCodec::new(config).encode(&values);
+    // Drop measurements for the pure-state comparison.
+    let (unitary, _) = circ.split_measurements();
+    assert_all_targets_agree(&unitary, 1e-9);
+}
+
+#[test]
+fn counts_distributions_consistent_across_targets() {
+    // Sampled histograms from different engines must agree within shot
+    // noise, since they sample the same exact distribution.
+    let mut circ = generate_random_gate_list(&RandomCircuitSpec {
+        num_qubits: 6,
+        num_blocks: 40,
+        seed: 9,
+        measure: false,
+    });
+    circ.measure_all();
+    let shots = 200_000u64;
+    let reference_probs = {
+        let (unitary, _) = circ.split_measurements();
+        let state = reference::run(&unitary);
+        reference::probabilities(&state)
+    };
+    for target in TARGETS {
+        let qgear = QGear::new(QGearConfig {
+            target,
+            precision: Precision::Fp64,
+            shots,
+            ..Default::default()
+        });
+        let counts = qgear.run(&circ).unwrap().counts.unwrap();
+        assert_eq!(counts.total(), shots);
+        for (key, &p) in reference_probs.iter().enumerate() {
+            let observed = counts.get(key as u64) as f64 / shots as f64;
+            let sigma = (p * (1.0 - p) / shots as f64).sqrt();
+            assert!(
+                (observed - p).abs() < 6.0 * sigma + 1e-5,
+                "target {target}, outcome {key}: {observed} vs {p}"
+            );
+        }
+    }
+}
+
+#[test]
+fn fp32_tracks_fp64_within_tolerance() {
+    let circ = generate_random_gate_list(&RandomCircuitSpec {
+        num_qubits: 10,
+        num_blocks: 300,
+        seed: 4,
+        measure: false,
+    });
+    let f64_result = QGear::new(QGearConfig {
+        precision: Precision::Fp64,
+        ..Default::default()
+    })
+    .run(&circ)
+    .unwrap();
+    let f32_result = QGear::new(QGearConfig {
+        precision: Precision::Fp32,
+        ..Default::default()
+    })
+    .run(&circ)
+    .unwrap();
+    let fid = f64_result
+        .state
+        .unwrap()
+        .fidelity(&f32_result.state.unwrap());
+    assert!(fid > 0.999_9, "fp32 infidelity too high: {}", 1.0 - fid);
+}
+
+#[test]
+fn transpiled_global_phase_is_exact() {
+    // The reported global phase must reconcile the transformed state with
+    // the original unitary exactly (not just up to phase).
+    let mut circ = Circuit::new(5);
+    circ.t(0).cz(1, 2).swap(3, 4).u(0.4, -0.9, 1.3, 2).ccx(0, 1, 3).p(0.7, 4);
+    let qgear = QGear::new(QGearConfig {
+        target: Target::Nvidia,
+        precision: Precision::Fp64,
+        ..Default::default()
+    });
+    let result = qgear.run(&circ).unwrap();
+    let mut state = result.state.unwrap().into_amplitudes();
+    reference::apply_global_phase(&mut state, result.global_phase);
+    let expect = reference::run(&circ);
+    assert!(qgear_num::approx::max_deviation(&state, &expect) < 1e-10);
+}

@@ -1,0 +1,249 @@
+//! Workspace-level property tests (proptest): invariants that must hold
+//! for *arbitrary* circuits, not just the fixtures unit tests pick.
+
+use proptest::prelude::*;
+use qgear::{QGear, QGearConfig, Target};
+use qgear_ir::{qpy, reference, Circuit, GateKind, TensorEncoding};
+use qgear_num::approx::approx_eq_up_to_phase;
+use qgear_num::scalar::Precision;
+
+/// Strategy: an arbitrary circuit over `n` qubits with `len` gates drawn
+/// from the full user-facing gate set (including non-native gates).
+fn arb_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (2..=max_qubits, 0..=max_gates)
+        .prop_flat_map(|(n, len)| {
+            let gate = (0u8..12, 0..n, 1..n, -6.3..6.3f64);
+            (Just(n), proptest::collection::vec(gate, len))
+        })
+        .prop_map(|(n, gates)| {
+            let mut c = Circuit::new(n);
+            for (kind, a, boff, theta) in gates {
+                let b = (a + boff) % n;
+                match kind {
+                    0 => {
+                        c.h(a);
+                    }
+                    1 => {
+                        c.x(a);
+                    }
+                    2 => {
+                        c.rx(theta, a);
+                    }
+                    3 => {
+                        c.ry(theta, a);
+                    }
+                    4 => {
+                        c.rz(theta, a);
+                    }
+                    5 => {
+                        c.p(theta, a);
+                    }
+                    6 => {
+                        c.t(a);
+                    }
+                    7 => {
+                        c.u(theta, theta * 0.5, -theta, a);
+                    }
+                    8 => {
+                        c.cx(a, b);
+                    }
+                    9 => {
+                        c.cz(a, b);
+                    }
+                    10 => {
+                        c.cr1(theta, a, b);
+                    }
+                    _ => {
+                        c.swap(a, b);
+                    }
+                }
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn norm_preserved_by_any_circuit(circ in arb_circuit(6, 40)) {
+        let state = reference::run(&circ);
+        let norm = reference::norm_sqr(&state);
+        prop_assert!((norm - 1.0).abs() < 1e-9, "norm {norm}");
+    }
+
+    #[test]
+    fn qpy_roundtrip_any_circuit(circ in arb_circuit(8, 60)) {
+        let bytes = qpy::write(std::slice::from_ref(&circ));
+        let back = qpy::read(&bytes).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        prop_assert_eq!(&back[0], &circ);
+    }
+
+    #[test]
+    fn tensor_encoding_roundtrip_any_native_circuit(circ in arb_circuit(8, 60)) {
+        // Encoding requires arity <= 2 (always true for this gate set).
+        let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
+        let enc = TensorEncoding::encode(std::slice::from_ref(&native), None).unwrap();
+        prop_assert_eq!(enc.decode_one(0).unwrap(), native);
+    }
+
+    #[test]
+    fn transpile_preserves_unitary_exactly(circ in arb_circuit(5, 25)) {
+        let (native, phase) = qgear_ir::transpile::decompose_to_native(&circ);
+        let mut got = reference::run(&native);
+        reference::apply_global_phase(&mut got, phase);
+        let expect = reference::run(&circ);
+        prop_assert!(
+            qgear_num::approx::max_deviation(&got, &expect) < 1e-9,
+            "deviation {}",
+            qgear_num::approx::max_deviation(&got, &expect)
+        );
+    }
+
+    #[test]
+    fn fusion_equivalent_at_any_width(
+        circ in arb_circuit(5, 30),
+        width in 1usize..=5,
+    ) {
+        let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
+        let (unitary, _) = native.split_measurements();
+        let program = qgear_ir::fusion::fuse(&unitary, width);
+        let mut fused = reference::zero_state(circ.num_qubits());
+        program.apply_to_state(&mut fused);
+        let expect = reference::run(&unitary);
+        prop_assert!(
+            qgear_num::approx::max_deviation(&fused, &expect) < 1e-9
+        );
+    }
+
+    #[test]
+    fn pipeline_targets_agree_on_any_circuit(circ in arb_circuit(5, 20)) {
+        let expect = reference::run(&circ);
+        for target in [Target::Nvidia, Target::NvidiaMgpu { devices: 2 }] {
+            if matches!(target, Target::NvidiaMgpu { .. }) && circ.num_qubits() < 3 {
+                // mgpu needs at least a 2-qubit local slice per device.
+                continue;
+            }
+            let qgear = QGear::new(QGearConfig {
+                target,
+                precision: Precision::Fp64,
+                ..Default::default()
+            });
+            let result = qgear.run(&circ).unwrap();
+            prop_assert!(
+                approx_eq_up_to_phase(result.state.unwrap().amplitudes(), &expect, 1e-8)
+            );
+        }
+    }
+
+    #[test]
+    fn merge_pass_preserves_semantics(circ in arb_circuit(5, 30)) {
+        let merged = qgear_ir::transpile::merge_adjacent(&circ);
+        prop_assert!(merged.len() <= circ.len());
+        let a = reference::run(&circ);
+        let b = reference::run(&merged);
+        prop_assert!(qgear_num::approx::max_deviation(&a, &b) < 1e-9);
+    }
+
+    #[test]
+    fn counts_total_matches_shots(
+        circ in arb_circuit(4, 12),
+        shots in 1u64..5000,
+        seed in any::<u64>(),
+    ) {
+        let mut measured = circ.clone();
+        measured.measure_all();
+        let qgear = QGear::new(QGearConfig {
+            shots,
+            seed,
+            precision: Precision::Fp64,
+            keep_state: false,
+            ..Default::default()
+        });
+        let counts = qgear.run(&measured).unwrap().counts.unwrap();
+        prop_assert_eq!(counts.total(), shots);
+        // Keys are within range.
+        for (&k, _) in counts.map.iter() {
+            prop_assert!(k < (1 << measured.num_qubits()));
+        }
+    }
+
+    #[test]
+    fn hdf5_container_roundtrip_any_payload(
+        values in proptest::collection::vec(any::<f64>().prop_filter("finite", |v| v.is_finite()), 0..500),
+    ) {
+        use qgear_hdf5lite::{Compression, Dataset, H5File};
+        let mut f = H5File::new();
+        let n = values.len() as u64;
+        f.write_dataset("grp/data", Dataset::from_f64(&values, &[n])).unwrap();
+        for codec in [Compression::None, Compression::Rle, Compression::ShuffleRle] {
+            let back = H5File::from_bytes(&f.to_bytes(codec)).unwrap();
+            prop_assert_eq!(back.dataset("grp/data").unwrap().as_f64().unwrap(), values.clone());
+        }
+    }
+
+    #[test]
+    fn ucry_angles_invert(theta in proptest::collection::vec(-3.1..3.1f64, 1..=4).prop_map(|v| {
+        // Pad to the next power of two.
+        let mut v = v;
+        while !v.len().is_power_of_two() { v.push(0.0); }
+        v
+    })) {
+        // The Walsh/Gray transform used by QCrank must be invertible:
+        // applying it twice (with the right normalization) recovers the
+        // input — the matrix is orthogonal up to 2^k.
+        use qgear_workloads::qcrank::ucry_angles;
+        let phi = ucry_angles(&theta);
+        // θ_a = Σ_j (−1)^{⟨a, g(j)⟩} φ_j — invert manually.
+        let n = theta.len();
+        for a in 0..n {
+            let mut acc = 0.0;
+            for (j, &p) in phi.iter().enumerate() {
+                let g = qgear_workloads::qcrank::gray(j);
+                let sign = if (a & g).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                acc += sign * p;
+            }
+            prop_assert!((acc - theta[a]).abs() < 1e-9);
+        }
+    }
+}
+
+// A deterministic regression companion: the proptest strategies above
+// shrink to minimal cases, but keep one fixed mixed circuit exercising
+// every gate kind in a single pipeline pass.
+#[test]
+fn kitchen_sink_circuit_through_pipeline() {
+    let mut c = Circuit::new(6);
+    c.h(0)
+        .x(1)
+        .y(2)
+        .z(3)
+        .s(4)
+        .sdg(5)
+        .t(0)
+        .tdg(1)
+        .rx(0.3, 2)
+        .ry(-0.8, 3)
+        .rz(1.1, 4)
+        .p(0.5, 5)
+        .u(0.2, 0.4, 0.6, 0)
+        .cx(0, 1)
+        .cz(1, 2)
+        .cr1(0.9, 2, 3)
+        .cry(-0.7, 3, 4)
+        .swap(4, 5)
+        .ccx(0, 1, 2)
+        .barrier()
+        .measure_all();
+    assert!(c.gates().iter().map(|g| g.kind).collect::<std::collections::HashSet<_>>().len() >= GateKind::ALL.len() - 1);
+    let qgear = QGear::new(QGearConfig { precision: Precision::Fp64, shots: 1000, ..Default::default() });
+    let result = qgear.run(&c).unwrap();
+    let expect = reference::run(&c);
+    assert!(approx_eq_up_to_phase(
+        result.state.unwrap().amplitudes(),
+        &expect,
+        1e-9
+    ));
+    assert_eq!(result.counts.unwrap().total(), 1000);
+}

@@ -1,0 +1,132 @@
+//! Robustness properties: the binary format parsers must *reject*, never
+//! panic, on arbitrary or corrupted input; the scheduler must preserve
+//! resource invariants under arbitrary job mixes.
+
+use proptest::prelude::*;
+use qgear_container::slurm::{Cluster, Constraint, JobRequest, JobState, Scheduler};
+use qgear_hdf5lite::{Compression, H5File};
+use qgear_ir::{qpy, Circuit};
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+
+    #[test]
+    fn qpy_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        // Arbitrary bytes: must return Err (the CRC alone rejects almost
+        // everything) and must not panic.
+        let _ = qpy::read(&bytes);
+    }
+
+    #[test]
+    fn h5_parser_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = H5File::from_bytes(&bytes);
+    }
+
+    #[test]
+    fn qpy_parser_never_panics_on_bitflips(
+        flip_at in 0usize..1000,
+        flip_bit in 0u8..8,
+    ) {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 1).ry(0.5, 2).cr1(0.25, 2, 3).measure_all();
+        let mut bytes = qpy::write(&[c.clone()]).to_vec();
+        let i = flip_at % bytes.len();
+        bytes[i] ^= 1 << flip_bit;
+        match qpy::read(&bytes) {
+            // A flip that hits padding inside an f64 can survive the CRC
+            // only by restoring the same byte — otherwise Err. Either way,
+            // no panic, and Ok must decode *some* circuit batch.
+            Ok(batch) => prop_assert_eq!(batch.len(), 1),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn h5_parser_never_panics_on_bitflips(
+        flip_at in 0usize..4000,
+        flip_bit in 0u8..8,
+    ) {
+        let mut f = H5File::new();
+        f.write_dataset(
+            "a/b",
+            qgear_hdf5lite::Dataset::from_f64(&[1.5, -2.0, 0.25], &[3]),
+        )
+        .unwrap();
+        f.set_attr("a", "k", qgear_hdf5lite::Attr::Str("v".into())).unwrap();
+        let mut bytes = f.to_bytes(Compression::ShuffleRle);
+        let i = flip_at % bytes.len();
+        bytes[i] ^= 1 << flip_bit;
+        let _ = H5File::from_bytes(&bytes); // must not panic
+    }
+
+    #[test]
+    fn scheduler_invariants_under_arbitrary_job_mixes(
+        jobs in proptest::collection::vec((1u32..3, 1u32..9, 1u64..50), 1..20),
+    ) {
+        // Cluster: 4 GPU nodes (16 GPUs).
+        let mut s = Scheduler::new(Cluster::perlmutter_slice(4, 0));
+        let mut ids = Vec::new();
+        for (nodes, tasks, duration) in jobs {
+            // Keep requests satisfiable: <= 4 GPUs per node.
+            let tasks = tasks.min(nodes * 4);
+            ids.push(s.submit(JobRequest {
+                nodes,
+                tasks,
+                gpus_per_task: 1,
+                constraint: Constraint::Gpu,
+                duration,
+            }));
+        }
+        let makespan = s.run_to_completion();
+        // Every job completed, within the makespan, on the requested
+        // number of distinct nodes.
+        for &id in &ids {
+            match s.state(id) {
+                JobState::Completed { start, end } => {
+                    prop_assert!(end <= makespan);
+                    prop_assert!(start < end);
+                }
+                other => prop_assert!(false, "job {id} not completed: {other:?}"),
+            }
+            let nodes = s.assigned_nodes(id);
+            let mut uniq = nodes.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            prop_assert_eq!(uniq.len(), nodes.len(), "duplicate node assignment");
+        }
+        // Utilization is a valid fraction.
+        let u = s.gpu_utilization();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+        // No two jobs overlap on the same node in time.
+        for &a in &ids {
+            for &b in &ids {
+                if a >= b {
+                    continue;
+                }
+                let (JobState::Completed { start: sa, end: ea },
+                     JobState::Completed { start: sb, end: eb }) = (s.state(a), s.state(b))
+                else { unreachable!() };
+                let shares_node = s
+                    .assigned_nodes(a)
+                    .iter()
+                    .any(|n| s.assigned_nodes(b).contains(n));
+                if shares_node {
+                    prop_assert!(ea <= sb || eb <= sa, "jobs {a} and {b} overlap on a node");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compression_roundtrip_arbitrary_bytes(
+        data in proptest::collection::vec(any::<u8>(), 0..3000),
+        width in prop_oneof![Just(1usize), Just(4), Just(8)],
+    ) {
+        use qgear_hdf5lite::codec;
+        for comp in [Compression::None, Compression::Rle, Compression::ShuffleRle] {
+            let chunks = codec::compress_payload(&data, comp, width);
+            let back = codec::decompress_payload(&chunks, width).unwrap();
+            prop_assert_eq!(&back, &data);
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Integration: the separate-process handoff path (§3) — circuits written
+//! to disk by the "Qiskit side" and read back by the "CUDA-Q side" must
+//! execute to identical physics, through both interchange formats
+//! (QPY-lite and the HDF5-like tensor container).
+
+use qgear::storage;
+use qgear::{QGear, QGearConfig, Target};
+use qgear_hdf5lite::{Compression, H5File};
+use qgear_ir::{qpy, reference, Circuit, TensorEncoding};
+use qgear_num::approx::approx_eq_up_to_phase;
+use qgear_num::scalar::Precision;
+use qgear_workloads::qft::{qft_circuit, QftOptions};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+fn workload_batch() -> Vec<Circuit> {
+    let mut batch = vec![qft_circuit(7, &QftOptions::default())];
+    for seed in 0..3 {
+        batch.push(generate_random_gate_list(&RandomCircuitSpec {
+            num_qubits: 7,
+            num_blocks: 60,
+            seed,
+            measure: false,
+        }));
+    }
+    batch
+}
+
+#[test]
+fn hdf5_file_on_disk_roundtrip_and_execute() {
+    let batch = workload_batch();
+    // The tensor encoding requires native gates; transpile first.
+    let natives: Vec<Circuit> = batch
+        .iter()
+        .map(|c| qgear_ir::transpile::decompose_to_native(c).0)
+        .collect();
+    let enc = TensorEncoding::encode(&natives, None).unwrap();
+    let file = storage::encoding_to_h5(&enc).unwrap();
+
+    let dir = std::env::temp_dir().join("qgear_integration");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("batch.h5l");
+    file.save(&path, Compression::ShuffleRle).unwrap();
+
+    // "Separate program": read from disk, decode, execute.
+    let loaded = H5File::open(&path).unwrap();
+    let decoded = storage::encoding_from_h5(&loaded).unwrap().decode().unwrap();
+    assert_eq!(decoded, natives);
+
+    let qgear = QGear::new(QGearConfig {
+        target: Target::Nvidia,
+        precision: Precision::Fp64,
+        ..Default::default()
+    });
+    for (native, original) in decoded.iter().zip(&batch) {
+        let result = qgear.run(native).unwrap();
+        let expect = reference::run(original);
+        assert!(approx_eq_up_to_phase(
+            result.state.unwrap().amplitudes(),
+            &expect,
+            1e-9
+        ));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn qpy_lite_interchange() {
+    let batch = workload_batch();
+    let bytes = qpy::write(&batch);
+    let loaded = qpy::read(&bytes).unwrap();
+    assert_eq!(loaded, batch);
+    // Executing the loaded circuits matches the originals exactly.
+    for (a, b) in loaded.iter().zip(&batch) {
+        let sa = reference::run(a);
+        let sb = reference::run(b);
+        assert_eq!(sa, sb);
+    }
+}
+
+#[test]
+fn compressed_and_raw_containers_decode_identically() {
+    let batch = workload_batch();
+    let natives: Vec<Circuit> = batch
+        .iter()
+        .map(|c| qgear_ir::transpile::decompose_to_native(c).0)
+        .collect();
+    let enc = TensorEncoding::encode(&natives, Some(512)).unwrap();
+    let file = storage::encoding_to_h5(&enc).unwrap();
+    for codec in [Compression::None, Compression::Rle, Compression::ShuffleRle] {
+        let bytes = file.to_bytes(codec);
+        let back = storage::encoding_from_h5(&H5File::from_bytes(&bytes).unwrap()).unwrap();
+        assert_eq!(back, enc, "{codec:?}");
+    }
+}
+
+#[test]
+fn workflow_payload_equals_direct_execution() {
+    // The Workflow ships circuits through the container payload; results
+    // must match running the same circuits directly.
+    use qgear::Workflow;
+    let circuits: Vec<Circuit> = (0..3)
+        .map(|i| {
+            let mut c = generate_random_gate_list(&RandomCircuitSpec {
+                num_qubits: 6,
+                num_blocks: 30,
+                seed: 50 + i,
+                measure: false,
+            });
+            c.measure_all();
+            c
+        })
+        .collect();
+    let config = QGearConfig {
+        target: Target::Nvidia,
+        precision: Precision::Fp64,
+        shots: 4096,
+        ..Default::default()
+    };
+    let workflow = Workflow::new(config.clone(), 2);
+    let report = workflow.run_batch(&circuits).unwrap();
+    let direct = QGear::new(config);
+    for (wf_result, circ) in report.results.iter().zip(&circuits) {
+        let direct_result = direct.run(circ).unwrap();
+        // Same seeds → identical sampled counts.
+        assert_eq!(wf_result.counts, direct_result.counts);
+    }
+}
