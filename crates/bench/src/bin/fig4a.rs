@@ -89,6 +89,10 @@ fn main() {
 
     if measured_mode {
         println!("\n--- measured mode (this machine, laptop scale) ---");
+        // Record spans/counters for the whole sweep; Report::finish
+        // exports them as results/telemetry/fig4a_measured.json.
+        qgear_telemetry::reset();
+        qgear_telemetry::enable();
         let mut m = Report::new("fig4a_measured", "real wall-clock, small n");
         for n in 14..=20u32 {
             let (aer, gpu) = measured::random_blocks_measured(n, SHORT_BLOCKS, 2);
@@ -108,6 +112,7 @@ fn main() {
             .collect();
         let (_, b) = fit_exponential(&pts);
         println!("measured unfused-baseline scaling fit: t ∝ 2^({b:.3}·n) — the paper's ~2^n shape, on real execution");
+        qgear_telemetry::disable();
         m.finish();
     }
 }

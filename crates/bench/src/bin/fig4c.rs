@@ -70,6 +70,10 @@ fn main() {
 
     if measured_mode {
         println!("\n--- measured mode (this machine) ---");
+        // Record spans/counters for the sweep; Report::finish exports
+        // them as results/telemetry/fig4c_measured.json.
+        qgear_telemetry::reset();
+        qgear_telemetry::enable();
         let mut m = Report::new("fig4c_measured", "real QFT wall-clock, small n");
         for n in 12..=18u32 {
             let circ = qft_circuit(n, &QftOptions { reverse: true, ..Default::default() });
@@ -87,6 +91,7 @@ fn main() {
                 unfused / fused
             );
         }
+        qgear_telemetry::disable();
         m.finish();
     }
 }

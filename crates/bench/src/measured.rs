@@ -2,14 +2,60 @@
 //! laptop scale. These runs validate the *shape* the model projects —
 //! exponential scaling in qubits, fusion beating unfused execution — with
 //! actual execution rather than arithmetic.
+//!
+//! Timing goes through `qgear-telemetry` spans rather than ad-hoc
+//! stopwatches: the engines already open `simulate`/`sample` spans around
+//! their hot phases, so the harness turns recording on for the timed
+//! region and reads the durations back from the registry. The numbers a
+//! bench prints and the spans a [`qgear_telemetry::JsonSink`] exports are
+//! therefore the same measurements.
 
 use qgear_ir::Circuit;
 use qgear_num::Scalar;
 use qgear_statevec::{AerCpuBackend, GpuDevice, RunOptions, Simulator};
+use qgear_telemetry::names::spans;
 use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
-use std::time::Instant;
+use std::sync::Mutex;
 
-/// Wall-clock one engine run (unitary phase only), repeated `reps` times,
+/// Serializes timed regions within one process so span records read back
+/// from the global registry belong to exactly one run.
+static TIMING_LOCK: Mutex<()> = Mutex::new(());
+
+/// Execute one engine run with telemetry recording and return the
+/// seconds spent in its top-level `simulate` and `sample` spans.
+///
+/// Recording state is restored afterwards. When the caller had telemetry
+/// off and the registry was empty, it is reset again on the way out so
+/// repeated timed runs cannot creep toward the registry's span-storage
+/// cap; inside a caller's own recording session the measured spans stay,
+/// ready for export.
+pub fn timed_run<T: Scalar, S: Simulator<T>>(
+    engine: &S,
+    circuit: &Circuit,
+    opts: &RunOptions,
+) -> f64 {
+    let _lock = TIMING_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let was_recording = qgear_telemetry::is_enabled();
+    let before = qgear_telemetry::snapshot().spans.len();
+    qgear_telemetry::enable();
+    let out = engine.run(circuit, opts).expect("engine run");
+    std::hint::black_box(&out);
+    if !was_recording {
+        qgear_telemetry::disable();
+    }
+    let snap = qgear_telemetry::snapshot();
+    let ns: u128 = snap.spans[before.min(snap.spans.len())..]
+        .iter()
+        .filter(|s| s.depth == 0 && (s.name == spans::SIMULATE || s.name == spans::SAMPLE))
+        .map(|s| s.duration_ns)
+        .sum();
+    if !was_recording && before == 0 {
+        qgear_telemetry::reset();
+    }
+    ns as f64 / 1e9
+}
+
+/// Time one engine run (unitary phase only), repeated `reps` times,
 /// returning the minimum (standard noise-floor practice for short runs).
 pub fn time_engine<T: Scalar, S: Simulator<T>>(
     engine: &S,
@@ -19,11 +65,7 @@ pub fn time_engine<T: Scalar, S: Simulator<T>>(
 ) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps.max(1) {
-        let start = Instant::now();
-        let out = engine.run(circuit, opts).expect("engine run");
-        let dt = start.elapsed().as_secs_f64();
-        std::hint::black_box(&out);
-        best = best.min(dt);
+        best = best.min(timed_run(engine, circuit, opts));
     }
     best
 }

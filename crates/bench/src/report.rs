@@ -137,6 +137,23 @@ impl Report {
         self.print();
         let path = self.save().expect("write results file");
         println!("→ rows written to {}", path.display());
+        self.export_telemetry();
+    }
+
+    /// Export recorded telemetry (if any) alongside the rows, as
+    /// `results/telemetry/<experiment>.json`. A no-op when nothing was
+    /// recorded, so harnesses that never enable telemetry stay silent.
+    fn export_telemetry(&self) {
+        let snap = qgear_telemetry::snapshot();
+        if snap.spans.is_empty() && snap.counters.is_empty() && snap.histograms.is_empty() {
+            return;
+        }
+        let sink = qgear_telemetry::JsonSink::new(results_dir().join("telemetry"));
+        match qgear_telemetry::TelemetrySink::export(&sink, &self.experiment, &snap) {
+            Ok(Some(path)) => println!("→ telemetry written to {}", path.display()),
+            Ok(None) => {}
+            Err(e) => eprintln!("telemetry export failed: {e}"),
+        }
     }
 }
 

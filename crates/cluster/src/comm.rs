@@ -136,6 +136,14 @@ impl TrafficStats {
 /// sends, then receives, like the MPI `sendrecv` the paper's pipeline
 /// uses).
 pub fn exchange_buffers<T: Send>(a: Vec<T>, b: Vec<T>) -> (Vec<T>, Vec<T>) {
+    let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::EXCHANGE);
+    // This rendezvous is the single choke point all simulated fabric
+    // traffic passes through, so the fabric counters live here.
+    qgear_telemetry::counter_add(
+        qgear_telemetry::names::FABRIC_BYTES_MOVED,
+        ((a.len() + b.len()) * std::mem::size_of::<T>()) as u128,
+    );
+    qgear_telemetry::counter_add(qgear_telemetry::names::FABRIC_MESSAGES, 2);
     let (to_b, from_a) = channel::bounded::<Vec<T>>(1);
     let (to_a, from_b) = channel::bounded::<Vec<T>>(1);
     let mut recv_a: Option<Vec<T>> = None;

@@ -56,6 +56,7 @@ impl ClusterEngine {
         circuits: &[Circuit],
         opts: &RunOptions,
     ) -> Vec<Result<RunOutput<T>, SimError>> {
+        let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::RUN_BATCH);
         circuits
             .iter()
             .enumerate()
@@ -107,13 +108,17 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
         let (unitary, measured) = circuit.split_measurements();
         let mut stats = ExecStats::default();
         let start = Instant::now();
+        let sim_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SIMULATE);
         let program = fusion::fuse(&unitary, width as usize);
         let mut dist: DistributedState<T> = DistributedState::zero(n, self.num_devices, self.topology);
         dist.set_restore_layout(self.restore_layout);
         dist.run_program(&program);
+        drop(sim_span);
         stats.elapsed = start.elapsed();
         stats.gates_applied = program.source_gate_count() as u64;
         stats.kernels_launched = program.blocks.len() as u64;
+        qgear_telemetry::counter_add(qgear_telemetry::names::GATES_APPLIED, stats.gates_applied as u128);
+        qgear_telemetry::counter_add(qgear_telemetry::names::KERNELS_LAUNCHED, stats.kernels_launched as u128);
         let n_amps = 1u128 << n;
         stats.bytes_touched = 2 * n_amps * amp_bytes * program.blocks.len() as u128;
         stats.flops = program
@@ -128,6 +133,7 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
         // Sampling: exact marginal reduced across devices, then one
         // multinomial draw.
         let sample_start = Instant::now();
+        let sample_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SAMPLE);
         let counts = if opts.shots > 0 && !measured.is_empty() {
             let probs: Vec<f64> = dist.marginal(&measured).iter().map(|p| p.to_f64()).collect();
             let draws = sampling::multinomial(&probs, opts.shots, opts.seed);
@@ -141,6 +147,10 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
         } else {
             None
         };
+        if opts.shots > 0 && !measured.is_empty() {
+            qgear_telemetry::counter_add(qgear_telemetry::names::SHOTS_SAMPLED, opts.shots as u128);
+        }
+        drop(sample_span);
         stats.sampling_elapsed = sample_start.elapsed();
 
         let state = opts.keep_state.then(|| dist.gather());

@@ -139,12 +139,16 @@ impl QGear {
             merge: true,
             prune_eps: self.config.prune_eps,
         };
+        let transpile_span = qgear_telemetry::span!(qgear_telemetry::names::spans::TRANSPILE);
         let out = transpile::transpile(circuit, opts);
+        drop(transpile_span);
+        let encode_span = qgear_telemetry::span!(qgear_telemetry::names::spans::ENCODE);
         let encoding = TensorEncoding::encode(std::slice::from_ref(&out.circuit), None)?;
         // Decode back: execution consumes the *decoded* circuit, so any
         // encoding defect would be caught by the equivalence tests rather
         // than silently shipping a different unitary.
         let decoded = encoding.decode_one(0)?;
+        drop(encode_span);
         let (unitary, _) = decoded.split_measurements();
         let program = fusion::fuse(&unitary, self.config.fusion_width);
         Ok(TransformArtifacts {
@@ -198,6 +202,7 @@ impl QGear {
     /// baseline, which runs the input as-is) and execute, returning real
     /// results plus the modeled testbed time.
     pub fn run(&self, circuit: &Circuit) -> Result<RunResult, PipelineError> {
+        let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::RUN);
         let (exec_circuit, global_phase) = if self.config.target == Target::QiskitAerCpu {
             // The baseline does not get Q-Gear's transformation.
             (circuit.clone(), 0.0)

@@ -348,6 +348,7 @@ pub fn fuse(circ: &Circuit, width: usize) -> FusedProgram {
         (1..=MAX_FUSION_WIDTH).contains(&width),
         "fusion width must be in 1..={MAX_FUSION_WIDTH}"
     );
+    let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::FUSE);
     let mut blocks: Vec<FusedBlock> = Vec::new();
     let mut cur_qubits: Vec<u32> = Vec::new();
     let mut cur: Option<DenseUnitary> = None;
@@ -411,6 +412,17 @@ pub fn fuse(circ: &Circuit, width: usize) -> FusedProgram {
     }
     flush(&mut cur, &mut cur_qubits, &mut cur_sources, &mut blocks);
 
+    if qgear_telemetry::is_enabled() {
+        use qgear_telemetry::names;
+        qgear_telemetry::counter_add(names::FUSED_BLOCKS, blocks.len() as u128);
+        qgear_telemetry::counter_add(
+            names::FUSION_SOURCE_GATES,
+            blocks.iter().map(|b| b.source_gates as u128).sum(),
+        );
+        for b in &blocks {
+            qgear_telemetry::histogram_record(names::FUSION_BLOCK_WIDTH, b.qubits.len() as f64);
+        }
+    }
     FusedProgram { num_qubits: circ.num_qubits(), blocks, fusion_width: width }
 }
 

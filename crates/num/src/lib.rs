@@ -13,6 +13,18 @@
 //!   algebra, fusion, and unitarity checks;
 //! * [`gates`] — the standard gate matrices of the paper's native set
 //!   (`h`, `rx`, `ry`, `rz`, `cx`, … and the QFT's `cr1`, Eq. 9).
+//!
+//! ```
+//! use qgear_num::{gates, C64, Complex};
+//!
+//! // One Hadamard on |0⟩ gives the equal superposition (|0⟩+|1⟩)/√2 …
+//! let h = gates::h::<f64>();
+//! let (a0, a1) = h.apply(Complex::new(1.0, 0.0), C64::ZERO);
+//! assert!((a0.re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-15);
+//! assert!((a1.re - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-15);
+//! // … and the matrix is unitary, like every gate in the native set.
+//! assert!(h.is_unitary(1e-15));
+//! ```
 
 pub mod approx;
 pub mod complex;

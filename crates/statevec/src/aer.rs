@@ -150,6 +150,8 @@ impl<T: Scalar> Simulator<T> for AerCpuBackend {
 
         let mut stats = ExecStats::default();
         let start = Instant::now();
+        let sim_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SIMULATE);
+        let telemetry_on = qgear_telemetry::is_enabled();
         for g in unitary.gates() {
             if g.kind == GateKind::Barrier {
                 continue;
@@ -159,11 +161,28 @@ impl<T: Scalar> Simulator<T> for AerCpuBackend {
             stats.kernels_launched += 1; // unfused: one sweep per gate
             stats.bytes_touched += 2 * n_amps * amp_bytes; // read + write
             stats.flops += n_amps * (1 << g.operands().len()) as u128;
+            if telemetry_on {
+                // Per-kind dispatch counters; the format! only runs while
+                // telemetry is recording.
+                qgear_telemetry::counter_inc(&format!("aer.dispatch.{}", g.kind.name()));
+            }
         }
+        if telemetry_on {
+            use qgear_telemetry::names;
+            qgear_telemetry::counter_add(names::GATES_APPLIED, stats.gates_applied as u128);
+            qgear_telemetry::counter_add(names::KERNELS_LAUNCHED, stats.kernels_launched as u128);
+            qgear_telemetry::counter_add(
+                names::AMPLITUDES_TOUCHED,
+                2 * n_amps * stats.kernels_launched as u128,
+            );
+        }
+        drop(sim_span);
         stats.elapsed = start.elapsed();
 
         let sample_start = Instant::now();
+        let sample_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SAMPLE);
         let counts = sample_measured(&state, &measured, opts);
+        drop(sample_span);
         stats.sampling_elapsed = sample_start.elapsed();
 
         Ok(RunOutput { state: opts.keep_state.then_some(state), counts, stats })

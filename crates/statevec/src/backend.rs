@@ -198,6 +198,7 @@ pub(crate) fn sample_measured<T: Scalar>(
     }
     let probs: Vec<f64> = state.marginal(measured).iter().map(|p| p.to_f64()).collect();
     let draws = sampling::multinomial(&probs, opts.shots, opts.seed);
+    qgear_telemetry::counter_add(qgear_telemetry::names::SHOTS_SAMPLED, opts.shots as u128);
     let mut map = HashMap::new();
     for (key, count) in draws.into_iter().enumerate() {
         if count > 0 {

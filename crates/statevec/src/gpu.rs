@@ -84,6 +84,12 @@ impl GpuDevice {
     /// construction, which is the safety argument for the shared-pointer
     /// write access below.
     pub fn apply_block<T: Scalar>(state: &mut [Complex<T>], block: &FusedBlock) {
+        let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::APPLY_BLOCK);
+        // Each kernel reads and writes every amplitude once.
+        qgear_telemetry::counter_add(
+            qgear_telemetry::names::AMPLITUDES_TOUCHED,
+            2 * state.len() as u128,
+        );
         let k = block.qubits.len();
         let dim = 1usize << k;
         debug_assert!(dim <= 64);
@@ -201,6 +207,7 @@ impl<T: Scalar> Simulator<T> for GpuDevice {
 
         let mut stats = ExecStats::default();
         let start = Instant::now();
+        let sim_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SIMULATE);
         let program = fusion::fuse(&unitary, opts.fusion_width.clamp(1, fusion::MAX_FUSION_WIDTH));
         for block in &program.blocks {
             GpuDevice::apply_block(state.amplitudes_mut(), block);
@@ -209,10 +216,15 @@ impl<T: Scalar> Simulator<T> for GpuDevice {
             stats.flops += n_amps * (1u128 << block.qubits.len());
         }
         stats.gates_applied = program.source_gate_count() as u64;
+        qgear_telemetry::counter_add(qgear_telemetry::names::GATES_APPLIED, stats.gates_applied as u128);
+        qgear_telemetry::counter_add(qgear_telemetry::names::KERNELS_LAUNCHED, stats.kernels_launched as u128);
+        drop(sim_span);
         stats.elapsed = start.elapsed();
 
         let sample_start = Instant::now();
+        let sample_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SAMPLE);
         let counts = sample_measured(&state, &measured, &effective);
+        drop(sample_span);
         stats.sampling_elapsed = sample_start.elapsed();
 
         Ok(RunOutput { state: effective.keep_state.then_some(state), counts, stats })

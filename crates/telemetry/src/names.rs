@@ -1,0 +1,59 @@
+//! Canonical counter, histogram and span names.
+//!
+//! Naming convention (documented in `docs/TELEMETRY.md`):
+//! `subsystem.quantity`, lowercase, dot-separated, with `snake_case`
+//! quantities. Using these constants instead of string literals keeps
+//! producers (engines) and consumers (benches, tests) agreeing on
+//! spelling.
+
+/// Gates applied to the state vector, post-fusion for fused engines.
+pub const GATES_APPLIED: &str = "gates.applied";
+
+/// Dense fused kernels launched by the simulated-GPU engine.
+pub const KERNELS_LAUNCHED: &str = "kernels.launched";
+
+/// Fused blocks produced by the fusion pass.
+pub const FUSED_BLOCKS: &str = "fusion.blocks";
+
+/// Source gates consumed by the fusion pass (pre-fusion count).
+pub const FUSION_SOURCE_GATES: &str = "fusion.source_gates";
+
+/// State-vector amplitudes read or written by kernels.
+pub const AMPLITUDES_TOUCHED: &str = "amplitudes.touched";
+
+/// Bytes moved across the simulated inter-GPU fabric, all link classes.
+pub const FABRIC_BYTES_MOVED: &str = "fabric.bytes_moved";
+
+/// Messages exchanged across the simulated inter-GPU fabric.
+pub const FABRIC_MESSAGES: &str = "fabric.messages";
+
+/// Measurement shots drawn from final distributions.
+pub const SHOTS_SAMPLED: &str = "shots.sampled";
+
+/// Histogram of fused-block widths (qubits per block).
+pub const FUSION_BLOCK_WIDTH: &str = "fusion.block_width";
+
+/// Span names used by the pipeline, in nesting order: the `core`
+/// pipeline opens `run` ⊃ (`transpile`, `encode`, `fuse`), and each
+/// engine opens `simulate` and `sample` itself so direct
+/// `Simulator::run` calls are observable too.
+pub mod spans {
+    /// Whole `QGear::run` pipeline.
+    pub const RUN: &str = "run";
+    /// Decomposition to the native gate set.
+    pub const TRANSPILE: &str = "transpile";
+    /// Circuit-to-tensor encoding (the Q-GEAR representation).
+    pub const ENCODE: &str = "encode";
+    /// Gate-fusion pass.
+    pub const FUSE: &str = "fuse";
+    /// State-vector execution inside an engine.
+    pub const SIMULATE: &str = "simulate";
+    /// Shot sampling from the final state.
+    pub const SAMPLE: &str = "sample";
+    /// One dense fused kernel application.
+    pub const APPLY_BLOCK: &str = "apply_block";
+    /// One inter-device exchange in the cluster engine.
+    pub const EXCHANGE: &str = "exchange";
+    /// One mqpu batch of independent circuits across devices.
+    pub const RUN_BATCH: &str = "run_batch";
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full local gate: build, tests, docs (warnings fatal), and lint on the
+# telemetry crate. CI and pre-merge both run exactly this.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --workspace"
+cargo build --release --workspace
+
+echo "==> cargo test -q --workspace"
+cargo test -q --workspace
+
+echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+# clippy is optional in minimal toolchains; the gate still fails if it
+# is installed and finds anything.
+if cargo clippy --version >/dev/null 2>&1; then
+    echo "==> cargo clippy -p qgear-telemetry (-D warnings)"
+    cargo clippy -p qgear-telemetry --release -- -D warnings
+else
+    echo "==> cargo clippy not installed; skipping lint"
+fi
+
+echo "All checks passed."

@@ -1,0 +1,260 @@
+//! Offline stand-in for `bytes` (Bytes/BytesMut + Buf/BufMut subset).
+//!
+//! The workspace's binary formats (QPY-style circuit serialization and
+//! the HDF5-lite container) write through `BytesMut`/`BufMut` and read
+//! through `Buf` on `&[u8]`. This shim provides exactly that surface
+//! over plain `Vec<u8>`, little-endian accessors included.
+
+use std::ops::Deref;
+
+/// Immutable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Copy the contents into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+/// Growable byte buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut(Vec<u8>);
+
+impl BytesMut {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        BytesMut(Vec::new())
+    }
+
+    /// New empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut(Vec::with_capacity(cap))
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes(self.0)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Write-cursor trait (subset of `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a single byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.0.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read-cursor trait (subset of `bytes::Buf`).
+///
+/// Like the real crate, the getters panic if the buffer has fewer bytes
+/// than requested — binary-format readers bound-check via `remaining()`
+/// before calling them.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copy `dst.len()` bytes out, advancing the cursor.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Advance the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a little-endian `u16`.
+    fn get_u16_le(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_le_bytes(b)
+    }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_le_bytes(b)
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(dst.len() <= self.len(), "buffer underflow");
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "buffer underflow");
+        *self = &self[cnt..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_u8(7);
+        w.put_u16_le(0x1234);
+        w.put_u32_le(0xdead_beef);
+        w.put_u64_le(42);
+        w.put_i64_le(-9);
+        w.put_f64_le(2.5);
+        w.put_slice(b"qpy");
+        let frozen = w.freeze();
+
+        let mut r: &[u8] = &frozen;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 0x1234);
+        assert_eq!(r.get_u32_le(), 0xdead_beef);
+        assert_eq!(r.get_u64_le(), 42);
+        assert_eq!(r.get_i64_le(), -9);
+        assert_eq!(r.get_f64_le(), 2.5);
+        let mut tag = [0u8; 3];
+        r.copy_to_slice(&mut tag);
+        assert_eq!(&tag, b"qpy");
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn advance_skips_bytes() {
+        let data = [1u8, 2, 3, 4];
+        let mut r: &[u8] = &data;
+        r.advance(2);
+        assert_eq!(r.remaining(), 2);
+        assert_eq!(r.get_u8(), 3);
+    }
+}

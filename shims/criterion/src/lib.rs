@@ -1,0 +1,200 @@
+//! Offline stand-in for `criterion` (API subset).
+//!
+//! Provides the `Criterion` / `BenchmarkGroup` / `Bencher` surface the
+//! workspace's benches use, with a simple median-of-samples timer in
+//! place of criterion's statistical machinery. Good enough to run the
+//! benches offline and compare orders of magnitude; not a substitute
+//! for real criterion statistics.
+
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Identifier for one benchmark: a function name plus a parameter.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { full: parameter.to_string() }
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Budget for the measurement phase.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Accepted for compatibility; this shim takes one untimed warm-up
+    /// iteration regardless.
+    pub fn warm_up_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark over a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            median: None,
+        };
+        f(&mut bencher, input);
+        match bencher.median {
+            Some(median) => {
+                println!("{}/{}: {}", self.name, id.full, human_duration(median));
+            }
+            None => println!("{}/{}: no measurement (Bencher::iter not called)", self.name, id.full),
+        }
+        self
+    }
+
+    /// Run one benchmark with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = BenchmarkId { full: id.into() };
+        self.bench_with_input(id, &(), |b, ()| f(b))
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Timer handed to each benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, recording the median over the sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let budget = Instant::now();
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            samples.push(start.elapsed());
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        samples.sort();
+        self.median = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn human_duration(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Declare a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group_name:ident, $($target:path),+ $(,)?) => {
+        fn $group_name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group_name:path),+ $(,)?) => {
+        fn main() {
+            $($group_name();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                (0..n).sum::<u64>()
+            })
+        });
+        group.finish();
+        assert!(runs >= 2); // warm-up + at least one timed sample
+    }
+
+    #[test]
+    fn human_duration_bands() {
+        assert!(human_duration(Duration::from_nanos(50)).ends_with("ns"));
+        assert!(human_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(human_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(human_duration(Duration::from_secs(5)).ends_with("s"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Offline stand-in for `crossbeam` (channel + scoped-thread subset).
+//!
+//! The workspace's cluster engine moves state-vector halves between
+//! simulated devices through rendezvous channels on scoped threads. This
+//! shim provides that surface — `channel::bounded` and `thread::scope`
+//! with crossbeam's signatures — implemented over `std::sync::mpsc` and
+//! `std::thread::scope`.
+
+/// Multi-producer multi-consumer channels (subset: bounded SPSC usage).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel. Unlike `std`'s receiver,
+    /// crossbeam's is `Sync` (shared across scoped threads by
+    /// reference), so the inner receiver sits behind a mutex.
+    pub struct Receiver<T>(std::sync::Mutex<mpsc::Receiver<T>>);
+
+    /// Error returned when the receiving side disconnected.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned when the sending side disconnected.
+    pub type RecvError = mpsc::RecvError;
+
+    impl<T> Sender<T> {
+        /// Blocking send; errors if the receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive; errors if all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv()
+        }
+    }
+
+    /// Create a bounded channel with the given capacity.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(std::sync::Mutex::new(rx)))
+    }
+}
+
+/// Scoped threads with crossbeam's `scope(|s| ...)` shape.
+pub mod thread {
+    /// A scope handle; `spawn` closures receive a reference to it (unused
+    /// by this workspace, but required for signature compatibility).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread; `Err` carries the panic payload.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives the scope
+        /// handle, like crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope_ref = Scope { inner: self.inner };
+            ScopedJoinHandle { inner: self.inner.spawn(move || f(&scope_ref)) }
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned; all
+    /// threads are joined before this returns. Mirrors crossbeam's
+    /// `Result`-returning signature (`Err` only on unjoined panics, which
+    /// `std::thread::scope` instead propagates — so this always returns
+    /// `Ok` or unwinds).
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn rendezvous_exchange() {
+        let (to_b, from_a) = super::channel::bounded::<u32>(1);
+        let (to_a, from_b) = super::channel::bounded::<u32>(1);
+        let got = super::thread::scope(|s| {
+            let ha = s.spawn(|_| {
+                to_b.send(1).unwrap();
+                from_b.recv().unwrap()
+            });
+            let hb = s.spawn(|_| {
+                to_a.send(2).unwrap();
+                from_a.recv().unwrap()
+            });
+            (ha.join().unwrap(), hb.join().unwrap())
+        })
+        .unwrap();
+        assert_eq!(got, (2, 1));
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let n = super::thread::scope(|s| {
+            let h = s.spawn(|inner| inner.spawn(|_| 41).join().unwrap() + 1);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,206 @@
+//! Offline stand-in for `rayon` (parallel-iterator subset).
+//!
+//! Implements the small parallel-iterator surface the workspace's
+//! simulated-GPU engine uses — `slice.par_iter_mut().enumerate()
+//! .for_each(..)` and `(0..n).into_par_iter().for_each(..)` — with real
+//! data parallelism over `std::thread::scope`, chunking work across
+//! `available_parallelism` threads. Small workloads run inline to avoid
+//! thread-spawn overhead dominating laptop-scale states.
+//!
+//! Semantics match rayon for the patterns used here: each element /
+//! index is visited exactly once, with no ordering guarantee across
+//! chunks.
+
+use std::ops::Range;
+
+/// Work below this many items runs inline on the calling thread.
+const PAR_THRESHOLD: usize = 4096;
+
+fn worker_count(len: usize) -> usize {
+    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    hw.min(len.max(1)).min(16)
+}
+
+/// Run `f(start_index, chunk)` over mutable chunks of `slice` in parallel.
+fn par_chunks_mut<T: Send, F>(slice: &mut [T], f: F)
+where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let len = slice.len();
+    let workers = worker_count(len);
+    if len < PAR_THRESHOLD || workers <= 1 {
+        f(0, slice);
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|s| {
+        let mut rest = slice;
+        let mut base = 0usize;
+        let f = &f;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            s.spawn(move || f(base, head));
+            base += take;
+            rest = tail;
+        }
+    });
+}
+
+/// Run `f(i)` for every `i` in `range`, in parallel.
+fn par_range<F>(range: Range<usize>, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let len = range.end.saturating_sub(range.start);
+    let workers = worker_count(len);
+    if len < PAR_THRESHOLD || workers <= 1 {
+        for i in range {
+            f(i);
+        }
+        return;
+    }
+    let chunk = len.div_ceil(workers);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut lo = range.start;
+        while lo < range.end {
+            let hi = (lo + chunk).min(range.end);
+            s.spawn(move || {
+                for i in lo..hi {
+                    f(i);
+                }
+            });
+            lo = hi;
+        }
+    });
+}
+
+/// Parallel iterator over `&mut [T]`.
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Pair each element with its index.
+    pub fn enumerate(self) -> EnumerateParIterMut<'a, T> {
+        EnumerateParIterMut { slice: self.slice }
+    }
+
+    /// Visit every element.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync + Send,
+    {
+        par_chunks_mut(self.slice, |_, chunk| {
+            for item in chunk {
+                f(item);
+            }
+        });
+    }
+}
+
+/// Enumerated parallel iterator over `&mut [T]`.
+pub struct EnumerateParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<T: Send> EnumerateParIterMut<'_, T> {
+    /// Visit every `(index, element)` pair.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut T)) + Sync + Send,
+    {
+        par_chunks_mut(self.slice, |base, chunk| {
+            for (off, item) in chunk.iter_mut().enumerate() {
+                f((base + off, item));
+            }
+        });
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Visit every index.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(usize) + Sync + Send,
+    {
+        par_range(self.range, f);
+    }
+}
+
+/// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Mutable-slice entry point (rayon's `ParallelSliceMut`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { slice: self.as_mut_slice() }
+    }
+}
+
+/// Glob-import module mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::{IntoParallelIterator, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn par_iter_mut_visits_every_element_once() {
+        for len in [0usize, 1, 7, 5000, 100_000] {
+            let mut v = vec![0u32; len];
+            v.par_iter_mut().for_each(|x| *x += 1);
+            assert!(v.iter().all(|&x| x == 1), "len {len}");
+        }
+    }
+
+    #[test]
+    fn enumerate_indices_are_correct() {
+        let mut v = vec![0usize; 50_000];
+        v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+        for (i, &x) in v.iter().enumerate() {
+            assert_eq!(i, x);
+        }
+    }
+
+    #[test]
+    fn range_for_each_covers_range() {
+        let hits = AtomicUsize::new(0);
+        (0..30_000usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 30_000);
+    }
+}

@@ -1,0 +1,504 @@
+//! Offline stand-in for `serde` (data-model subset).
+//!
+//! Instead of serde's visitor architecture, this shim funnels every
+//! value through one self-describing tree, [`Content`]: [`Serialize`]
+//! renders a value into a `Content`, [`Deserialize`] rebuilds a value
+//! from one. The companion `serde_derive` proc-macro generates both
+//! impls for plain structs and unit-variant enums — the only shapes
+//! this workspace derives — and the `serde_json` shim converts
+//! `Content` to and from JSON text.
+//!
+//! Maps are kept as insertion-ordered `(key, value)` pairs so emitted
+//! JSON preserves struct field declaration order, like real
+//! `serde_json` with its default map behaves for derived structs.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Self-describing value tree: the serialization data model.
+///
+/// `serde_json::Value` is an alias for this type, so the helper
+/// accessors below (`get`, `as_f64`, …) mirror `serde_json::Value`'s
+/// API.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (wide enough for `u128` byte counters).
+    U64(u128),
+    /// Signed integer.
+    I64(i128),
+    /// Finite floating-point number. Non-finite floats are encoded as
+    /// [`Content::Null`], matching `serde_json`'s treatment.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Seq(Vec<Content>),
+    /// Map with insertion-ordered string keys.
+    Map(Vec<(String, Content)>),
+}
+
+static NULL_CONTENT: Content = Content::Null;
+
+impl Content {
+    /// Look up a key in a map; `None` for missing keys or non-maps.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Content::Null)
+    }
+
+    /// As a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Content::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// As a `u64`, if it is an in-range integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Content::U64(v) => (*v).try_into().ok(),
+            Content::I64(v) => (*v).try_into().ok(),
+            _ => None,
+        }
+    }
+
+    /// As a `u128`, if it is a non-negative integer.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            Content::U64(v) => Some(*v),
+            Content::I64(v) => (*v).try_into().ok(),
+            _ => None,
+        }
+    }
+
+    /// As an `i64`, if it is an in-range integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Content::U64(v) => (*v).try_into().ok(),
+            Content::I64(v) => (*v).try_into().ok(),
+            _ => None,
+        }
+    }
+
+    /// As an `f64` (integers convert), if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Content::F64(v) => Some(*v),
+            Content::U64(v) => Some(*v as f64),
+            Content::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// As a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// As a sequence, if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Content>> {
+        match self {
+            Content::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// As ordered key/value pairs, if it is a map.
+    pub fn as_object(&self) -> Option<&Vec<(String, Content)>> {
+        match self {
+            Content::Map(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Content {
+    type Output = Content;
+
+    /// Map lookup; missing keys and non-maps index to `Null`, like
+    /// `serde_json::Value`.
+    fn index(&self, key: &str) -> &Content {
+        self.get(key).unwrap_or(&NULL_CONTENT)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Content {
+    /// Mutable map lookup, inserting `Null` for a missing key. A
+    /// `Null` value silently becomes an empty map first (the
+    /// `serde_json` behaviour); any other non-map panics.
+    fn index_mut(&mut self, key: &str) -> &mut Content {
+        if self.is_null() {
+            *self = Content::Map(Vec::new());
+        }
+        let Content::Map(pairs) = self else {
+            panic!("cannot index non-object value with a string key");
+        };
+        if let Some(pos) = pairs.iter().position(|(k, _)| k == key) {
+            return &mut pairs[pos].1;
+        }
+        pairs.push((key.to_owned(), Content::Null));
+        &mut pairs.last_mut().expect("just pushed").1
+    }
+}
+
+impl std::ops::Index<usize> for Content {
+    type Output = Content;
+
+    /// Sequence lookup; out-of-range and non-sequences index to `Null`.
+    fn index(&self, idx: usize) -> &Content {
+        match self {
+            Content::Seq(items) => items.get(idx).unwrap_or(&NULL_CONTENT),
+            _ => &NULL_CONTENT,
+        }
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Content {
+    /// Compact JSON, matching `serde_json::to_string` output.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Content::Null => f.write_str("null"),
+            Content::Bool(b) => write!(f, "{b}"),
+            Content::U64(v) => write!(f, "{v}"),
+            Content::I64(v) => write!(f, "{v}"),
+            Content::F64(v) if v.is_finite() => write!(f, "{v}"),
+            Content::F64(_) => f.write_str("null"),
+            Content::Str(s) => write_escaped(f, s),
+            Content::Seq(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Content::Map(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Error produced when rebuilding a value from [`Content`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Create an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Render into the serialization data model.
+pub trait Serialize {
+    /// Produce the [`Content`] tree for `self`.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Rebuild from the serialization data model.
+pub trait Deserialize: Sized {
+    /// Reconstruct `Self` from a [`Content`] tree.
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Derive-support helper: extract and deserialize a struct field.
+///
+/// A missing key deserializes from `Null`, so `Option` fields default
+/// to `None` while required fields report a descriptive error.
+pub fn map_field<T: Deserialize>(content: &Content, key: &str) -> Result<T, DeError> {
+    let value = content.get(key).unwrap_or(&NULL_CONTENT);
+    T::deserialize_content(value).map_err(|e| DeError(format!("field `{key}`: {e}")))
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl Serialize for Content {
+    /// Identity: a `Content` tree (= `serde_json::Value`) serializes
+    /// as itself.
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content.as_bool().ok_or_else(|| DeError::new("expected bool"))
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::U64(*self as u128)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                content
+                    .as_u128()
+                    .and_then(|v| <$t>::try_from(v).ok())
+                    .ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                Content::I64(*self as i128)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let v = match content {
+                    Content::I64(v) => <$t>::try_from(*v).ok(),
+                    Content::U64(v) => <$t>::try_from(*v).ok(),
+                    _ => None,
+                };
+                v.ok_or_else(|| DeError::new(concat!("expected ", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_unsigned!(u8, u16, u32, u64, u128, usize);
+impl_signed!(i8, i16, i32, i64, i128, isize);
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        if self.is_finite() {
+            Content::F64(*self)
+        } else {
+            Content::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content.as_f64().ok_or_else(|| DeError::new("expected number"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        (*self as f64).serialize_content()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content.as_str().map(str::to_owned).ok_or_else(|| DeError::new("expected string"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        if content.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize_content(content).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_array()
+            .ok_or_else(|| DeError::new("expected sequence"))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        Vec::<T>::deserialize_content(content)?
+            .try_into()
+            .map_err(|_| DeError(format!("expected sequence of length {N}")))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        content
+            .as_object()
+            .ok_or_else(|| DeError::new("expected map"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Content::Map(vec![
+            ("name".into(), Content::Str("a\"b".into())),
+            ("xs".into(), Content::Seq(vec![Content::U64(1), Content::Null])),
+            ("ok".into(), Content::Bool(true)),
+        ]);
+        assert_eq!(v.to_string(), r#"{"name":"a\"b","xs":[1,null],"ok":true}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(f64::NAN.serialize_content(), Content::Null);
+        assert_eq!(Content::F64(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn option_roundtrip_through_null() {
+        let none: Option<f64> = None;
+        assert!(none.serialize_content().is_null());
+        assert_eq!(Option::<f64>::deserialize_content(&Content::Null), Ok(None));
+        assert_eq!(Option::<f64>::deserialize_content(&Content::F64(1.5)), Ok(Some(1.5)));
+    }
+
+    #[test]
+    fn index_mut_overwrites_and_inserts() {
+        let mut v = Content::Map(vec![("value".into(), Content::F64(1.0))]);
+        v["value"] = Content::Null;
+        assert!(v["value"].is_null());
+        v["new"] = Content::Bool(false);
+        assert_eq!(v["new"], Content::Bool(false));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn array_and_map_roundtrip() {
+        let arr = [1u64, 2, 3];
+        let c = arr.serialize_content();
+        assert_eq!(<[u64; 3]>::deserialize_content(&c), Ok(arr));
+        assert!(<[u64; 2]>::deserialize_content(&c).is_err());
+
+        let mut m = BTreeMap::new();
+        m.insert("a".to_owned(), 1u128 << 100);
+        let c = m.serialize_content();
+        assert_eq!(BTreeMap::<String, u128>::deserialize_content(&c), Ok(m));
+    }
+}

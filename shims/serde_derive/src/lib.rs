@@ -1,0 +1,263 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `Serialize` / `Deserialize` impls for the shim `serde`
+//! crate's `Content` data model. Implemented with direct
+//! `proc_macro::TokenStream` parsing (no `syn`/`quote`, which are
+//! unavailable offline), so it supports exactly the shapes this
+//! workspace derives:
+//!
+//! - structs with named fields (no generics),
+//! - enums with unit variants only.
+//!
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (shim): render into `serde::Content`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Serialize)
+}
+
+/// Derive `serde::Deserialize` (shim): rebuild from `serde::Content`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Direction::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Direction {
+    Serialize,
+    Deserialize,
+}
+
+enum Item {
+    /// Struct name + named-field list.
+    Struct(String, Vec<String>),
+    /// Enum name + unit-variant list.
+    Enum(String, Vec<String>),
+}
+
+fn expand(input: TokenStream, dir: Direction) -> TokenStream {
+    let code = match parse_item(input) {
+        Ok(Item::Struct(name, fields)) => match dir {
+            Direction::Serialize => struct_serialize(&name, &fields),
+            Direction::Deserialize => struct_deserialize(&name, &fields),
+        },
+        Ok(Item::Enum(name, variants)) => match dir {
+            Direction::Serialize => enum_serialize(&name, &variants),
+            Direction::Deserialize => enum_deserialize(&name, &variants),
+        },
+        Err(msg) => format!("compile_error!({msg:?});"),
+    };
+    code.parse().expect("derive output parses")
+}
+
+/// Skip a `#[...]` / `#![...]` attribute whose `#` was just consumed.
+fn skip_attribute(it: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '!' {
+            it.next();
+        }
+    }
+    it.next(); // the [...] group
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    // Header: attributes and visibility before `struct` / `enum`.
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attribute(&mut it),
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                match word.as_str() {
+                    "pub" => {
+                        if let Some(TokenTree::Group(g)) = it.peek() {
+                            if g.delimiter() == Delimiter::Parenthesis {
+                                it.next(); // pub(crate) etc.
+                            }
+                        }
+                    }
+                    "struct" | "enum" => break word,
+                    "union" => return Err("serde shim derive: unions are unsupported".into()),
+                    _ => {}
+                }
+            }
+            Some(_) => {}
+            None => return Err("serde shim derive: no struct or enum found".into()),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde shim derive: missing item name".into()),
+    };
+    let body = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("serde shim derive: `{name}` is generic, which is unsupported"));
+        }
+        _ => {
+            return Err(format!(
+                "serde shim derive: `{name}` must be a braced struct or enum (tuple/unit \
+                 structs are unsupported)"
+            ));
+        }
+    };
+    if kind == "struct" {
+        parse_struct_fields(body).map(|fields| Item::Struct(name, fields))
+    } else {
+        parse_enum_variants(body).map(|variants| Item::Enum(name, variants))
+    }
+}
+
+fn parse_struct_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Per-field attributes and visibility.
+        let name = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attribute(&mut it),
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = it.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            it.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("serde shim derive: unexpected token `{other}` in struct"));
+                }
+                None => return Ok(fields),
+            }
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("serde shim derive: expected `:` after field `{name}`")),
+        }
+        // Skip the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break,
+            }
+        }
+        fields.push(name);
+    }
+}
+
+fn parse_enum_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut it = body.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        let name = loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => skip_attribute(&mut it),
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                Some(other) => {
+                    return Err(format!("serde shim derive: unexpected token `{other}` in enum"));
+                }
+                None => return Ok(variants),
+            }
+        };
+        match it.next() {
+            None => {
+                variants.push(name);
+                return Ok(variants);
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(_) => {
+                return Err(format!(
+                    "serde shim derive: variant `{name}` carries data; only unit variants are \
+                     supported"
+                ));
+            }
+        }
+    }
+}
+
+fn struct_serialize(name: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "pairs.push((::std::string::String::from({f:?}), \
+                 ::serde::Serialize::serialize_content(&self.{f})));"
+            )
+        })
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_content(&self) -> ::serde::Content {{\n\
+                 let mut pairs = ::std::vec::Vec::new();\n\
+                 {pushes}\n\
+                 ::serde::Content::Map(pairs)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn struct_deserialize(name: &str, fields: &[String]) -> String {
+    let inits: String =
+        fields.iter().map(|f| format!("{f}: ::serde::map_field(content, {f:?})?,")).collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_content(content: &::serde::Content)\n\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 if content.as_object().is_none() {{\n\
+                     return ::std::result::Result::Err(::serde::DeError::new(\n\
+                         concat!(\"expected map for struct \", {name:?})));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_serialize(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => ::serde::Content::Str(::std::string::String::from({v:?})),"))
+        .collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_content(&self) -> ::serde::Content {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn enum_deserialize(name: &str, variants: &[String]) -> String {
+    let arms: String =
+        variants.iter().map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),")).collect();
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_content(content: &::serde::Content)\n\
+                 -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match content.as_str() {{\n\
+                     ::std::option::Option::Some(s) => match s {{\n\
+                         {arms}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::new(\n\
+                             ::std::format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                     }},\n\
+                     ::std::option::Option::None => ::std::result::Result::Err(\n\
+                         ::serde::DeError::new(concat!(\"expected string for enum \", {name:?}))),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

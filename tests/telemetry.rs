@@ -1,0 +1,192 @@
+//! Integration tests for the `qgear-telemetry` observability layer:
+//! span nesting and counter totals on a real 10-qubit QFT, bitwise
+//! non-interference of the instrumentation, and the documented JSON
+//! schema (docs/TELEMETRY.md) round-tripping through `serde_json`.
+//!
+//! Telemetry state is process-global, so every test takes `LOCK` and
+//! resets the registry around its recording window.
+
+use qgear_statevec::{AerCpuBackend, GpuDevice, RunOptions, RunOutput, Simulator};
+use qgear_telemetry::names::{self, spans};
+use qgear_telemetry::{JsonSink, NullSink, TelemetrySink, TelemetrySnapshot};
+use qgear_workloads::qft::{qft_circuit, QftOptions};
+use std::sync::Mutex;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn qft10() -> qgear_ir::Circuit {
+    let mut c = qft_circuit(10, &QftOptions::default());
+    c.measure_all();
+    c
+}
+
+/// Record one engine run and return (output, snapshot).
+fn instrumented_run<S: Simulator<f64>>(
+    engine: &S,
+    opts: &RunOptions,
+) -> (RunOutput<f64>, TelemetrySnapshot) {
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+    let out = engine.run(&qft10(), opts).expect("run");
+    qgear_telemetry::disable();
+    let snap = qgear_telemetry::snapshot();
+    qgear_telemetry::reset();
+    (out, snap)
+}
+
+#[test]
+fn gpu_qft_spans_nest_and_counters_match_exec_stats() {
+    let _l = LOCK.lock().unwrap();
+    let opts = RunOptions { shots: 1000, ..Default::default() };
+    let (out, snap) = instrumented_run(&GpuDevice::a100_40gb(), &opts);
+
+    // Counter totals agree with the engine's own ExecStats: gates.applied
+    // is the post-fusion source-gate count, one kernel per fused block.
+    assert_eq!(snap.counter(names::GATES_APPLIED), u128::from(out.stats.gates_applied));
+    assert_eq!(snap.counter(names::KERNELS_LAUNCHED), u128::from(out.stats.kernels_launched));
+    assert_eq!(snap.counter(names::SHOTS_SAMPLED), 1000);
+    // Fusion consumed every applied gate and produced one block per kernel.
+    assert_eq!(snap.counter(names::FUSION_SOURCE_GATES), u128::from(out.stats.gates_applied));
+    assert_eq!(snap.counter(names::FUSED_BLOCKS), u128::from(out.stats.kernels_launched));
+    // Every kernel reads and writes all 2^10 amplitudes.
+    assert_eq!(
+        snap.counter(names::AMPLITUDES_TOUCHED),
+        2 * 1024 * u128::from(out.stats.kernels_launched)
+    );
+
+    // Span nesting: fuse and apply_block sit inside simulate; sample is a
+    // sibling top-level phase; one apply_block span per kernel launch.
+    let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+    assert!(paths.contains(&spans::SIMULATE));
+    assert!(paths.contains(&"simulate/fuse"));
+    assert!(paths.contains(&"simulate/apply_block"));
+    assert!(paths.contains(&spans::SAMPLE));
+    assert_eq!(
+        snap.spans.iter().filter(|s| s.path == "simulate/apply_block").count() as u64,
+        out.stats.kernels_launched
+    );
+    // Children start and end within their parent.
+    let sim = snap.spans.iter().find(|s| s.path == "simulate").unwrap();
+    let fuse = snap.spans.iter().find(|s| s.path == "simulate/fuse").unwrap();
+    assert_eq!(sim.depth, 0);
+    assert_eq!(fuse.depth, 1);
+    assert!(fuse.start_ns >= sim.start_ns);
+    assert!(fuse.start_ns + fuse.duration_ns <= sim.start_ns + sim.duration_ns);
+    // Fused-block widths were observed, one per block, within 1..=5.
+    let widths = &snap.histograms[names::FUSION_BLOCK_WIDTH];
+    assert_eq!(u128::from(widths.count), snap.counter(names::FUSED_BLOCKS));
+    assert!(widths.min >= 1.0 && widths.max <= 5.0);
+}
+
+#[test]
+fn aer_qft_counters_match_exec_stats() {
+    let _l = LOCK.lock().unwrap();
+    let opts = RunOptions { shots: 500, ..Default::default() };
+    let (out, snap) = instrumented_run(&AerCpuBackend, &opts);
+
+    assert_eq!(snap.counter(names::GATES_APPLIED), u128::from(out.stats.gates_applied));
+    assert_eq!(snap.counter(names::KERNELS_LAUNCHED), u128::from(out.stats.kernels_launched));
+    assert_eq!(snap.counter(names::SHOTS_SAMPLED), 500);
+    // The unfused baseline never runs the fusion pass.
+    assert_eq!(snap.counter(names::FUSED_BLOCKS), 0);
+    // Per-kind dispatch counters partition the applied gates.
+    let dispatched: u128 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("aer.dispatch."))
+        .map(|(_, &v)| v)
+        .sum();
+    assert_eq!(dispatched, u128::from(out.stats.gates_applied));
+    // A QFT is h + cr1 (+ swap reversal): all three kinds show up.
+    assert!(snap.counter("aer.dispatch.h") > 0);
+    assert!(snap.counter("aer.dispatch.cr1") > 0);
+    let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+    assert!(paths.contains(&spans::SIMULATE));
+    assert!(paths.contains(&spans::SAMPLE));
+}
+
+#[test]
+fn full_pipeline_records_run_transpile_encode_fuse_chain() {
+    use qgear::{QGear, QGearConfig, Target};
+    use qgear_num::scalar::Precision;
+    let _l = LOCK.lock().unwrap();
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+    let qgear = QGear::new(QGearConfig {
+        target: Target::Nvidia,
+        precision: Precision::Fp64,
+        shots: 100,
+        ..Default::default()
+    });
+    qgear.run(&qft10()).expect("pipeline run");
+    qgear_telemetry::disable();
+    let snap = qgear_telemetry::snapshot();
+    qgear_telemetry::reset();
+
+    let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+    for expected in [
+        "run",
+        "run/transpile",
+        "run/encode",
+        "run/fuse",
+        "run/simulate",
+        "run/simulate/fuse",
+        "run/simulate/apply_block",
+        "run/sample",
+    ] {
+        assert!(paths.contains(&expected), "missing span path {expected}; got {paths:?}");
+    }
+}
+
+#[test]
+fn instrumented_run_is_bitwise_identical_to_uninstrumented() {
+    let _l = LOCK.lock().unwrap();
+    let opts = RunOptions { shots: 1000, ..Default::default() };
+
+    qgear_telemetry::reset();
+    qgear_telemetry::disable();
+    let plain: RunOutput<f64> = GpuDevice::a100_40gb().run(&qft10(), &opts).expect("run");
+
+    let (instrumented, snap) = instrumented_run(&GpuDevice::a100_40gb(), &opts);
+    assert!(!snap.spans.is_empty(), "second run really was recorded");
+    // Exporting through the NullSink produces no file and changes nothing.
+    assert_eq!(NullSink.export("qft_n10", &snap).unwrap(), None);
+
+    let a = plain.state.expect("state kept");
+    let b = instrumented.state.expect("state kept");
+    assert_eq!(a.amplitudes().len(), b.amplitudes().len());
+    for (x, y) in a.amplitudes().iter().zip(b.amplitudes().iter()) {
+        assert_eq!(x.re.to_bits(), y.re.to_bits());
+        assert_eq!(x.im.to_bits(), y.im.to_bits());
+    }
+    assert_eq!(plain.counts.unwrap().map, instrumented.counts.unwrap().map);
+}
+
+#[test]
+fn json_sink_roundtrips_against_documented_schema() {
+    let _l = LOCK.lock().unwrap();
+    let opts = RunOptions { shots: 200, ..Default::default() };
+    let (_, snap) = instrumented_run(&GpuDevice::a100_40gb(), &opts);
+
+    let dir = std::env::temp_dir().join(format!("qgear-telemetry-it-{}", std::process::id()));
+    let sink = JsonSink::new(&dir);
+    let path = sink.export("qft n=10", &snap).expect("export").expect("a file");
+    let text = std::fs::read_to_string(&path).expect("read back");
+
+    // The document parses as JSON and carries the schema documented in
+    // docs/TELEMETRY.md: version marker, label, spans, counters,
+    // histograms.
+    let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    assert_eq!(value["schema_version"].as_u64(), Some(qgear_telemetry::SCHEMA_VERSION));
+    assert_eq!(value["label"].as_str(), Some("qft n=10"));
+    assert!(value["spans"].as_array().is_some_and(|s| !s.is_empty()));
+    assert!(value["counters"].as_object().is_some());
+    assert!(value["histograms"].as_object().is_some());
+
+    // And it round-trips into an identical snapshot.
+    let (label, back) = TelemetrySnapshot::from_value(&value).expect("schema decode");
+    assert_eq!(label, "qft n=10");
+    assert_eq!(back, snap);
+
+    std::fs::remove_dir_all(&dir).ok();
+}
