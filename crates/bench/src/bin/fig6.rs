@@ -45,7 +45,8 @@ fn main() {
     let mut report = Report::new("fig6", "QCrank reconstruction quality per image");
 
     // (name, source dims, reduced dims, addr, data)
-    let rows: [(&str, (u32, u32), (u32, u32), u32, u32); 4] = [
+    type Row = (&'static str, (u32, u32), (u32, u32), u32, u32);
+    let rows: [Row; 4] = [
         ("finger", (64, 80), (32, 40), 8, 5),
         ("shoes", (128, 128), (32, 32), 8, 4),
         ("building", (192, 128), (48, 32), 8, 6),
@@ -65,7 +66,7 @@ fn main() {
         let codec = QcrankCodec::new(config);
         let circ = codec.encode_image(&img);
         let shots = config.shots();
-        let opts = RunOptions { shots, seed: 0xF16_6 + addr as u64, keep_state: true, ..Default::default() };
+        let opts = RunOptions { shots, seed: 0xF166 + addr as u64, keep_state: true, ..Default::default() };
         let out: qgear_statevec::RunOutput<f64> =
             GpuDevice::a100_40gb().run(&circ, &opts).unwrap();
 

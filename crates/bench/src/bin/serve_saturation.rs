@@ -1,0 +1,236 @@
+//! Saturation benchmark for the `qgear-serve` runtime.
+//!
+//! Floods the service with a mixed workload — QFT kernels, randomized
+//! CX-block unitaries (Appendix D.1), and QCrank image encodings — from
+//! three tenants at three priorities, with a small injected transient
+//! fault rate, then reports throughput, p50/p95/p99 service latency
+//! (computed from `serve_job` telemetry spans), queue-depth pressure,
+//! cache effectiveness, and the cold-vs-cached latency ratio.
+//!
+//! Usage: `cargo run --release -p qgear-bench --bin serve_saturation
+//!         [--jobs N] [--workers N]`
+//!
+//! Invariants checked (the bench exits nonzero on violation):
+//! * every accepted job reaches exactly one terminal outcome (none lost);
+//! * no job is dispatched twice;
+//! * every cache hit replays the cold run's counts bit-identically.
+//!
+//! The full telemetry snapshot (schema v1) is exported to
+//! `results/telemetry/serve_saturation.json`.
+
+use qgear_ir::Circuit;
+use qgear_num::scalar::Precision;
+use qgear_serve::{Admission, FaultPlan, JobOutcome, JobSpec, Priority, ServeConfig, Service};
+use qgear_telemetry::{names, JsonSink};
+use qgear_workloads::images;
+use qgear_workloads::qcrank::QcrankCodec;
+use qgear_workloads::qft::{qft_circuit, QftOptions};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+use qgear_workloads::QcrankConfig;
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+fn arg_value(name: &str) -> Option<u64> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// The mixed job roster: round-robin over the three workload families,
+/// with seeds arranged so roughly a quarter of submissions repeat an
+/// earlier circuit and exercise the cache.
+fn build_mix(total: usize) -> Vec<JobSpec> {
+    let tenants = ["alice", "bob", "carol"];
+    let priorities = [Priority::High, Priority::Normal, Priority::Normal, Priority::Low];
+    let qcrank_img = images::synthetic(16, 8, 7);
+    let qcrank_cfg = QcrankConfig::fitting(qcrank_img.len(), 4);
+    (0..total)
+        .map(|i| {
+            // `seed_slot` folds every 4th job back onto an earlier one so
+            // the cache sees genuine repeats.
+            let seed_slot = if i % 4 == 3 { (i / 4) as u64 } else { i as u64 };
+            let circuit: Circuit = match i % 3 {
+                0 => qft_circuit(
+                    10 + (seed_slot % 3) as u32,
+                    &QftOptions { measure: true, ..Default::default() },
+                ),
+                1 => generate_random_gate_list(&RandomCircuitSpec {
+                    num_qubits: 10,
+                    num_blocks: 60,
+                    seed: seed_slot,
+                    measure: true,
+                }),
+                _ => QcrankCodec::new(qcrank_cfg).encode_image(&qcrank_img),
+            };
+            JobSpec::new(circuit)
+                .shots(1000)
+                // QCrank jobs share one circuit; vary only every other seed
+                // so they also produce repeats.
+                .seed(0x5EED + (seed_slot % 8))
+                .precision(Precision::Fp32)
+                .tenant(tenants[i % tenants.len()])
+                .priority(priorities[i % priorities.len()])
+        })
+        .collect()
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn main() {
+    let total_jobs = arg_value("--jobs").unwrap_or(240) as usize;
+    let workers = arg_value("--workers").unwrap_or(4) as usize;
+    assert!(workers >= 4, "saturation run wants >= 4 workers");
+    assert!(total_jobs >= 200, "saturation run wants >= 200 jobs");
+
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+
+    let service = Service::start(ServeConfig {
+        workers,
+        queue_capacity: 48,
+        fault: FaultPlan::with_rate(0.02, 0xFA017),
+        retry_backoff: Duration::from_micros(200),
+        ..Default::default()
+    });
+
+    println!(
+        "serve_saturation: {total_jobs} mixed jobs (qft / random-cx / qcrank) on {workers} workers"
+    );
+
+    // --- flood the service, riding through backpressure -----------------
+    let specs = build_mix(total_jobs);
+    let wall_start = Instant::now();
+    let mut ids = Vec::with_capacity(total_jobs);
+    let mut queue_full_events = 0u64;
+    let mut max_depth_seen = 0usize;
+    for spec in specs {
+        loop {
+            match service.submit(spec.clone()) {
+                Admission::Accepted(id) => {
+                    ids.push(id);
+                    max_depth_seen = max_depth_seen.max(service.queue_depth());
+                    break;
+                }
+                Admission::QueueFull { .. } => {
+                    // Explicit backpressure: back off briefly and retry.
+                    queue_full_events += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                other => panic!("unexpected admission verdict: {other:?}"),
+            }
+        }
+    }
+    let submit_done = wall_start.elapsed();
+
+    // --- wait for every job and check the no-loss invariant -------------
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut cache_hit_jobs = 0u64;
+    for &id in &ids {
+        match service.wait(id).expect("accepted job must reach an outcome") {
+            JobOutcome::Completed(result) => {
+                completed += 1;
+                if result.from_cache {
+                    cache_hit_jobs += 1;
+                }
+            }
+            JobOutcome::Failed(err) => {
+                failed += 1;
+                eprintln!("job {id:?} failed: {err}");
+            }
+            other => panic!("unexpected outcome for {id:?}: {other:?}"),
+        }
+    }
+    let wall = wall_start.elapsed();
+
+    // --- no-duplicate-dispatch invariant ---------------------------------
+    let log = service.dispatch_log();
+    let unique: HashSet<u64> = log.iter().map(|r| r.id.0).collect();
+    assert_eq!(unique.len(), log.len(), "a job was dispatched more than once");
+    assert_eq!(
+        log.len(),
+        ids.len(),
+        "dispatch count must equal accepted count (none lost, none invented)"
+    );
+
+    // --- cold vs cached latency on a fresh heavy circuit -----------------
+    let probe = JobSpec::new(generate_random_gate_list(&RandomCircuitSpec {
+        num_qubits: 16,
+        num_blocks: 400,
+        seed: 0xC01D,
+        measure: true,
+    }))
+    .shots(2000)
+    .tenant("probe");
+    let cold_id = service.submit(probe.clone()).job_id().expect("probe accepted");
+    let cold = service.wait(cold_id).unwrap();
+    let cold = cold.result().expect("probe cold run completes");
+    let warm_id = service.submit(probe).job_id().expect("probe resubmit accepted");
+    let warm = service.wait(warm_id).unwrap();
+    let warm = warm.result().expect("probe warm run completes");
+    assert!(warm.from_cache, "second identical probe must hit the cache");
+    assert_eq!(cold.counts, warm.counts, "cache hit must be bit-identical");
+    let speedup = cold.service_time.as_secs_f64() / warm.service_time.as_secs_f64().max(1e-9);
+
+    service.shutdown();
+
+    // --- report from telemetry ------------------------------------------
+    let snapshot = qgear_telemetry::snapshot();
+    let mut latencies_ms: Vec<f64> = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.name == names::spans::SERVE_JOB)
+        .map(|s| s.duration_ns as f64 / 1e6)
+        .collect();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let throughput = completed as f64 / wall.as_secs_f64();
+    println!("\n--- results ---");
+    println!("accepted jobs        : {}", ids.len());
+    println!("completed / failed   : {completed} / {failed}");
+    println!("wall clock           : {:.2} s (submit phase {:.2} s)", wall.as_secs_f64(), submit_done.as_secs_f64());
+    println!("throughput           : {throughput:.1} jobs/s");
+    println!("queue-full backoffs  : {queue_full_events} (max depth seen {max_depth_seen})");
+    println!(
+        "service latency (ms) : p50 {:.2}  p95 {:.2}  p99 {:.2}  (from {} serve_job spans)",
+        percentile(&latencies_ms, 0.50),
+        percentile(&latencies_ms, 0.95),
+        percentile(&latencies_ms, 0.99),
+        latencies_ms.len()
+    );
+    if let Some(depth) = snapshot.histograms.get(names::SERVE_QUEUE_DEPTH) {
+        println!(
+            "queue depth          : samples {}  mean {:.1}  max {:.0}",
+            depth.count,
+            depth.mean(),
+            depth.max
+        );
+    }
+    println!(
+        "cache                : {} hits / {} misses ({} hit jobs in the mix)",
+        snapshot.counter(names::SERVE_CACHE_HITS),
+        snapshot.counter(names::SERVE_CACHE_MISSES),
+        cache_hit_jobs
+    );
+    println!("retries              : {}", snapshot.counter(names::SERVE_RETRIES));
+    println!("cold vs cached probe : {:.0}x faster from cache", speedup);
+    assert!(
+        speedup >= 10.0,
+        "cache-hit path should be >= 10x faster than cold execution (got {speedup:.1}x)"
+    );
+
+    let sink = JsonSink::workspace_default();
+    match qgear_telemetry::export_with("serve_saturation", &sink) {
+        Ok(Some(path)) => println!("telemetry JSON       : {}", path.display()),
+        Ok(None) => println!("telemetry JSON       : sink declined export"),
+        Err(e) => eprintln!("telemetry export failed: {e}"),
+    }
+}

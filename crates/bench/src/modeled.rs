@@ -53,7 +53,7 @@ pub fn random_blocks_point(
     let spec = RandomCircuitSpec {
         num_qubits,
         num_blocks: blocks,
-        seed: 0xF16_4A + num_qubits as u64,
+        seed: 0x000F_164A + num_qubits as u64,
         measure: shots > 0,
     };
     let circ = generate_random_gate_list(&spec);

@@ -89,8 +89,8 @@ impl Report {
     pub fn print(&self) {
         println!("\n=== {} — {} ===", self.experiment, self.title);
         println!(
-            "{:<28} {:>10} {:>14} {:>6} {:>9}  {:<12} {}",
-            "series", "x", "value", "unit", "mode", "paper", "note"
+            "{:<28} {:>10} {:>14} {:>6} {:>9}  {:<12} note",
+            "series", "x", "value", "unit", "mode", "paper"
         );
         for r in &self.rows {
             let value = if r.value.is_nan() {

@@ -3,7 +3,7 @@
 use crate::comm::ClusterTopology;
 use crate::distributed::DistributedState;
 use qgear_ir::fusion;
-use qgear_ir::{Circuit, GateKind};
+use qgear_ir::Circuit;
 use qgear_num::Scalar;
 use qgear_statevec::backend::{ExecStats, RunOptions, RunOutput, SimError, Simulator};
 use qgear_statevec::sampling;
@@ -101,15 +101,12 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
         if local_bytes > limit {
             return Err(SimError::OutOfMemory { required: local_bytes, limit });
         }
-        if let Some(g) = circuit.gates().iter().find(|g| g.kind == GateKind::Ccx) {
-            return Err(SimError::UnsupportedGate(g.kind.name().to_owned()));
-        }
-
         let (unitary, measured) = circuit.split_measurements();
         let mut stats = ExecStats::default();
         let start = Instant::now();
         let sim_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SIMULATE);
-        let program = fusion::fuse(&unitary, width as usize);
+        let program = fusion::try_fuse(&unitary, width as usize)
+            .map_err(|e| SimError::UnsupportedGate(e.to_string()))?;
         let mut dist: DistributedState<T> = DistributedState::zero(n, self.num_devices, self.topology);
         dist.set_restore_layout(self.restore_layout);
         dist.run_program(&program);

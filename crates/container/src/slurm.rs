@@ -10,6 +10,55 @@
 //! resources, a discrete clock, and GPU-second utilization accounting.
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Why a job can never run on a given cluster, detected at submit time.
+///
+/// Returned by [`Scheduler::submit`] so infeasible requests reject
+/// immediately instead of deadlocking (or panicking) the event loop later.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// No node in the cluster matches the requested constraint class.
+    NoMatchingNodes {
+        /// The constraint the job asked for.
+        constraint: Constraint,
+    },
+    /// Matching nodes exist, but none has enough GPUs for the per-node
+    /// task packing the request implies.
+    GpusPerNodeExceeded {
+        /// GPUs one node would need (`ceil(tasks/nodes) * gpus_per_task`).
+        needed: u32,
+        /// Largest GPU count on any matching node.
+        available: u32,
+    },
+    /// Fewer matching nodes exist than the job requests.
+    NotEnoughNodes {
+        /// Nodes requested (`-N`).
+        requested: u32,
+        /// Matching nodes in the cluster (with enough GPUs each).
+        available: u32,
+    },
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScheduleError::NoMatchingNodes { constraint } => {
+                write!(f, "no node matches constraint {constraint:?}")
+            }
+            ScheduleError::GpusPerNodeExceeded { needed, available } => write!(
+                f,
+                "job needs {needed} GPUs per node but the largest matching node has {available}"
+            ),
+            ScheduleError::NotEnoughNodes { requested, available } => write!(
+                f,
+                "job requests {requested} nodes but only {available} match the constraint"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
 
 /// Node hardware constraint labels (Appendix E.3's `-C` flags).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,14 +246,44 @@ impl Scheduler {
         }
     }
 
-    /// Submit a job; returns its id.
-    pub fn submit(&mut self, request: JobRequest) -> usize {
+    /// Submit a job; returns its id, or a typed [`ScheduleError`] when
+    /// the request can never run on this cluster (wrong constraint, more
+    /// GPUs per node than any node has, or more nodes than exist).
+    pub fn submit(&mut self, request: JobRequest) -> Result<usize, ScheduleError> {
+        self.check_feasible(&request)?;
         self.jobs.push(ScheduledJob {
             request,
             state: JobState::Pending,
             assigned_nodes: Vec::new(),
         });
-        self.jobs.len() - 1
+        Ok(self.jobs.len() - 1)
+    }
+
+    /// Static feasibility: ignoring time, could an empty cluster ever
+    /// host this request?
+    fn check_feasible(&self, req: &JobRequest) -> Result<(), ScheduleError> {
+        let matching: Vec<&NodeSpec> = self
+            .cluster
+            .nodes
+            .iter()
+            .filter(|n| n.constraint == req.constraint)
+            .collect();
+        if matching.is_empty() {
+            return Err(ScheduleError::NoMatchingNodes { constraint: req.constraint });
+        }
+        let per_node_tasks = req.tasks.div_ceil(req.nodes.max(1));
+        let gpus_needed = per_node_tasks * req.gpus_per_task;
+        let fitting = matching.iter().filter(|n| n.gpus >= gpus_needed).count() as u32;
+        if fitting == 0 {
+            return Err(ScheduleError::GpusPerNodeExceeded {
+                needed: gpus_needed,
+                available: matching.iter().map(|n| n.gpus).max().unwrap_or(0),
+            });
+        }
+        if fitting < req.nodes {
+            return Err(ScheduleError::NotEnoughNodes { requested: req.nodes, available: fitting });
+        }
+        Ok(())
     }
 
     /// Current state of a job.
@@ -293,11 +372,15 @@ impl Scheduler {
                     }
                 }
                 None => {
-                    if self.jobs.iter().all(|j| !matches!(j.state, JobState::Pending)) {
-                        return self.clock;
-                    }
-                    // Pending jobs that can never run (bad constraints).
-                    panic!("pending jobs cannot be scheduled on this cluster");
+                    // `submit` rejects statically infeasible jobs, and a
+                    // feasible pending job always fits once earlier jobs
+                    // release their nodes, so no job can remain pending
+                    // with nothing running.
+                    debug_assert!(
+                        self.jobs.iter().all(|j| !matches!(j.state, JobState::Pending)),
+                        "feasible pending job starved with an idle cluster"
+                    );
+                    return self.clock;
                 }
             }
         }
@@ -362,7 +445,9 @@ mod tests {
     #[test]
     fn single_job_runs_immediately() {
         let mut s = Scheduler::new(Cluster::perlmutter_slice(2, 0));
-        let id = s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 100).unwrap());
+        let id = s
+            .submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 100).unwrap())
+            .unwrap();
         let makespan = s.run_to_completion();
         assert_eq!(makespan, 100);
         assert!(matches!(s.state(id), JobState::Completed { start: 0, end: 100 }));
@@ -372,8 +457,12 @@ mod tests {
     #[test]
     fn jobs_queue_when_cluster_full() {
         let mut s = Scheduler::new(Cluster::perlmutter_slice(1, 0));
-        let a = s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 100).unwrap());
-        let b = s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 50).unwrap());
+        let a = s
+            .submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 100).unwrap())
+            .unwrap();
+        let b = s
+            .submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 50).unwrap())
+            .unwrap();
         let makespan = s.run_to_completion();
         assert_eq!(makespan, 150);
         assert!(matches!(s.state(a), JobState::Completed { start: 0, .. }));
@@ -386,22 +475,50 @@ mod tests {
         // (small) cannot jump ahead because nodes are busy, but once the
         // first ends both fit in FIFO+fit order.
         let mut s = Scheduler::new(Cluster::perlmutter_slice(2, 0));
-        s.submit(JobRequest::parse_sbatch("-N 2 -n 8 -C gpu --gpus-per-task 1", 100).unwrap());
-        let small =
-            s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 10).unwrap());
+        s.submit(JobRequest::parse_sbatch("-N 2 -n 8 -C gpu --gpus-per-task 1", 100).unwrap())
+            .unwrap();
+        let small = s
+            .submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 10).unwrap())
+            .unwrap();
         let makespan = s.run_to_completion();
         assert_eq!(makespan, 110);
         assert!(matches!(s.state(small), JobState::Completed { start: 100, .. }));
     }
 
     #[test]
-    fn wrong_constraint_never_schedules() {
+    fn wrong_constraint_rejected_at_submit() {
+        // Regression for the old behavior: a GPU job on a CPU-only
+        // cluster used to sit pending until run_to_completion panicked.
+        // It must now reject at submit time with a typed error.
         let mut s = Scheduler::new(Cluster::perlmutter_slice(0, 2));
-        s.submit(JobRequest::parse_sbatch("-N 1 -n 1 -C gpu --gpus-per-task 1", 10).unwrap());
-        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            s.run_to_completion();
-        }));
-        assert!(result.is_err(), "GPU job on a CPU-only cluster must fail loudly");
+        let err = s
+            .submit(JobRequest::parse_sbatch("-N 1 -n 1 -C gpu --gpus-per-task 1", 10).unwrap())
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::NoMatchingNodes { constraint: Constraint::Gpu });
+        // The rejected job is not retained: the event loop completes.
+        assert_eq!(s.run_to_completion(), 0);
+        assert!(s.state_counts().is_empty());
+    }
+
+    #[test]
+    fn oversized_requests_rejected_at_submit() {
+        let mut s = Scheduler::new(Cluster::perlmutter_slice(2, 0));
+        // 8 tasks on one node = 8 GPUs; a Perlmutter node has 4.
+        let err = s
+            .submit(JobRequest::parse_sbatch("-N 1 -n 8 -C gpu --gpus-per-task 1", 10).unwrap())
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::GpusPerNodeExceeded { needed: 8, available: 4 });
+        // 3 nodes requested on a 2-node cluster.
+        let err = s
+            .submit(JobRequest::parse_sbatch("-N 3 -n 3 -C gpu --gpus-per-task 1", 10).unwrap())
+            .unwrap_err();
+        assert_eq!(err, ScheduleError::NotEnoughNodes { requested: 3, available: 2 });
+        // A feasible job still schedules normally afterwards.
+        let ok = s
+            .submit(JobRequest::parse_sbatch("-N 2 -n 8 -C gpu --gpus-per-task 1", 10).unwrap())
+            .unwrap();
+        s.run_to_completion();
+        assert!(matches!(s.state(ok), JobState::Completed { .. }));
     }
 
     #[test]
@@ -410,7 +527,8 @@ mod tests {
         // equal-sized 4-GPU jobs back to back.
         let mut s = Scheduler::new(Cluster::perlmutter_slice(256, 0));
         for _ in 0..512 {
-            s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 300).unwrap());
+            s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 300).unwrap())
+                .unwrap();
         }
         s.run_to_completion();
         let util = s.gpu_utilization();
@@ -421,7 +539,8 @@ mod tests {
     fn utilization_reflects_idle_gpus() {
         // One 4-GPU job on a 2-node (8-GPU) cluster: 50% utilization.
         let mut s = Scheduler::new(Cluster::perlmutter_slice(2, 0));
-        s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 100).unwrap());
+        s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 100).unwrap())
+            .unwrap();
         s.run_to_completion();
         assert!((s.gpu_utilization() - 0.5).abs() < 1e-12);
     }
@@ -429,7 +548,8 @@ mod tests {
     #[test]
     fn state_counts_progress() {
         let mut s = Scheduler::new(Cluster::perlmutter_slice(1, 0));
-        s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 10).unwrap());
+        s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 10).unwrap())
+            .unwrap();
         assert_eq!(s.state_counts().get("pending"), Some(&1));
         s.run_to_completion();
         assert_eq!(s.state_counts().get("completed"), Some(&1));

@@ -85,9 +85,11 @@ mod tests {
 
     #[test]
     fn seconds_accessors() {
-        let mut stats = ExecStats::default();
-        stats.elapsed = std::time::Duration::from_millis(250);
-        stats.sampling_elapsed = std::time::Duration::from_millis(50);
+        let stats = ExecStats {
+            elapsed: std::time::Duration::from_millis(250),
+            sampling_elapsed: std::time::Duration::from_millis(50),
+            ..Default::default()
+        };
         let out = RunOutput::<f64> { state: None, counts: None, stats };
         let modeled = TimeBreakdown { compute: 2.0, ..Default::default() };
         let r = RunResult::from_output(out, modeled, Precision::Fp64, 0.0);

@@ -6,11 +6,12 @@ use std::fmt;
 use std::str::FromStr;
 
 /// Where a transformed circuit executes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Target {
     /// The Qiskit Aer baseline on a CPU node (sequential, unfused).
     QiskitAerCpu,
     /// One simulated A100 (`nvidia`).
+    #[default]
     Nvidia,
     /// Pooled memory over a GPU cluster (`nvidia-mgpu`).
     NvidiaMgpu {
@@ -27,11 +28,6 @@ pub enum Target {
     PennylaneLightningGpu,
 }
 
-impl Default for Target {
-    fn default() -> Self {
-        Target::Nvidia
-    }
-}
 
 impl Target {
     /// Canonical target string.

@@ -83,6 +83,8 @@ impl TransformArtifacts {
 pub enum PipelineError {
     /// IR/encoding failure.
     Ir(IrError),
+    /// Kernel-transformation failure (unsupported arity, bad window).
+    Fusion(qgear_ir::FusionError),
     /// Engine failure (OOM, unsupported gate).
     Sim(SimError),
     /// Target/batch shape mismatch.
@@ -92,6 +94,12 @@ pub enum PipelineError {
 impl From<IrError> for PipelineError {
     fn from(e: IrError) -> Self {
         PipelineError::Ir(e)
+    }
+}
+
+impl From<qgear_ir::FusionError> for PipelineError {
+    fn from(e: qgear_ir::FusionError) -> Self {
+        PipelineError::Fusion(e)
     }
 }
 
@@ -105,6 +113,7 @@ impl std::fmt::Display for PipelineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             PipelineError::Ir(e) => write!(f, "ir error: {e}"),
+            PipelineError::Fusion(e) => write!(f, "fusion error: {e}"),
             PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
             PipelineError::Usage(m) => write!(f, "usage error: {m}"),
         }
@@ -150,7 +159,7 @@ impl QGear {
         let decoded = encoding.decode_one(0)?;
         drop(encode_span);
         let (unitary, _) = decoded.split_measurements();
-        let program = fusion::fuse(&unitary, self.config.fusion_width);
+        let program = fusion::try_fuse(&unitary, self.config.fusion_width)?;
         Ok(TransformArtifacts {
             native: decoded,
             global_phase: out.global_phase,

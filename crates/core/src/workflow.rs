@@ -90,15 +90,17 @@ impl Workflow {
         for circ in circuits {
             let modeled = qgear.project(circ).total();
             modeled_durations.push(modeled);
-            let per_node = devices.min(4).max(1);
+            let per_node = devices.clamp(1, 4);
             let nodes = devices.div_ceil(4).max(1);
-            scheduler.submit(JobRequest {
-                nodes,
-                tasks: per_node * nodes,
-                gpus_per_task: u32::from(constraint != Constraint::Cpu),
-                constraint,
-                duration: modeled.ceil().max(1.0) as u64,
-            });
+            scheduler
+                .submit(JobRequest {
+                    nodes,
+                    tasks: per_node * nodes,
+                    gpus_per_task: u32::from(constraint != Constraint::Cpu),
+                    constraint,
+                    duration: modeled.ceil().max(1.0) as u64,
+                })
+                .map_err(|e| PipelineError::Usage(format!("slurm submission failed: {e}")))?;
         }
         let makespan = scheduler.run_to_completion();
 

@@ -63,7 +63,7 @@ pub fn rle_encode(data: &[u8]) -> Vec<u8> {
 /// Invert [`rle_encode`]. Returns `None` on malformed input (odd length or
 /// zero run counts).
 pub fn rle_decode(data: &[u8]) -> Option<Vec<u8>> {
-    if data.len() % 2 != 0 {
+    if !data.len().is_multiple_of(2) {
         return None;
     }
     let mut out = Vec::with_capacity(data.len());
@@ -72,7 +72,7 @@ pub fn rle_decode(data: &[u8]) -> Option<Vec<u8>> {
         if count == 0 {
             return None;
         }
-        out.extend(std::iter::repeat(byte).take(count as usize));
+        out.extend(std::iter::repeat_n(byte, count as usize));
     }
     Some(out)
 }
@@ -233,8 +233,8 @@ mod tests {
         // The §2.1 tensors are mostly zero padding beyond the populated
         // slots; Appendix C reports ≥ 50 % savings — verify we achieve it.
         let mut data = vec![0u8; 100_000];
-        for i in 0..2_000 {
-            data[i] = (i % 251) as u8;
+        for (i, byte) in data.iter_mut().enumerate().take(2_000) {
+            *byte = (i % 251) as u8;
         }
         let chunks = compress_payload(&data, Compression::ShuffleRle, 8);
         let stored: usize = chunks.iter().map(Vec::len).sum();

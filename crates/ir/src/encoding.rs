@@ -25,6 +25,11 @@ pub const NO_CONTROL: i32 = -1;
 /// Number of parameter slots per gate row (covers `u(θ, φ, λ)`).
 pub const PARAMS_PER_GATE: usize = 3;
 
+/// Borrowed column views of a [`TensorEncoding`]:
+/// `(names, gate_counts, gate_type, control, target, param)`.
+pub type EncodingColumns<'a> =
+    (&'a [String], &'a [u32], &'a [u8], &'a [i32], &'a [i32], &'a [f64]);
+
 /// A batch of circuits packed into fixed-shape column arrays.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TensorEncoding {
@@ -216,7 +221,7 @@ impl TensorEncoding {
 
     /// Raw column access for storage backends: `(names, gate_counts,
     /// gate_type, control, target, param)`.
-    pub fn columns(&self) -> (&[String], &[u32], &[u8], &[i32], &[i32], &[f64]) {
+    pub fn columns(&self) -> EncodingColumns<'_> {
         (
             &self.names,
             &self.gate_counts,
@@ -433,9 +438,9 @@ mod tests {
     #[test]
     fn one_hot_matrix_is_identity() {
         let m = TensorEncoding::one_hot_matrix();
-        for i in 0..5 {
-            for j in 0..5 {
-                assert_eq!(m[i][j], u8::from(i == j));
+        for (i, row) in m.iter().enumerate() {
+            for (j, &cell) in row.iter().enumerate() {
+                assert_eq!(cell, u8::from(i == j));
             }
         }
     }

@@ -14,10 +14,57 @@
 use crate::circuit::Circuit;
 use crate::gate::Gate;
 use qgear_num::C64;
+use std::fmt;
 
 /// Maximum supported fusion window; `2^6 × 2^6` matrices are the largest
 /// dense kernels we materialize (the paper uses 5).
 pub const MAX_FUSION_WIDTH: usize = 6;
+
+/// Errors the fusion pass can report instead of aborting the process.
+///
+/// Long-running callers (the `qgear-serve` workers, the core pipeline)
+/// use [`try_fuse`] and surface these as job failures; the panicking
+/// [`fuse`] wrapper keeps the original fail-fast contract for harnesses
+/// that feed known-good circuits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusionError {
+    /// A gate had more operands than dense-kernel fusion supports.
+    UnsupportedArity {
+        /// Gate mnemonic (e.g. `ccx`).
+        gate: String,
+        /// Operand count of the offending gate.
+        arity: usize,
+    },
+    /// A gate claimed an arity its matrix accessors cannot satisfy.
+    MissingMatrix {
+        /// Gate mnemonic.
+        gate: String,
+    },
+    /// The requested window is outside `1..=MAX_FUSION_WIDTH`.
+    InvalidWidth {
+        /// Requested window.
+        width: usize,
+    },
+}
+
+impl fmt::Display for FusionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FusionError::UnsupportedArity { gate, arity } => write!(
+                f,
+                "fusion requires gates of arity <= 2; lower '{gate}' (arity {arity}) first"
+            ),
+            FusionError::MissingMatrix { gate } => {
+                write!(f, "gate '{gate}' has no dense matrix of its declared arity")
+            }
+            FusionError::InvalidWidth { width } => {
+                write!(f, "fusion width must be in 1..={MAX_FUSION_WIDTH}, got {width}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusionError {}
 
 /// Default fusion window matching the paper's `gate fusion = 5`.
 pub const DEFAULT_FUSION_WIDTH: usize = 5;
@@ -95,14 +142,24 @@ impl DenseUnitary {
     ///
     /// `positions` maps each gate operand to its local bit (operand 0 → the
     /// control/high bit of a [`qgear_num::Mat4`]).
+    ///
+    /// Panicking wrapper around [`DenseUnitary::try_push_gate`] for
+    /// callers that have already validated arity.
     pub fn push_gate(&mut self, gate: &Gate, positions: &[usize]) {
+        self.try_push_gate(gate, positions).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Fallible form of [`DenseUnitary::push_gate`]: rejects gates of
+    /// unsupported arity instead of panicking, so a serving worker can
+    /// turn a malformed circuit into a job error.
+    pub fn try_push_gate(&mut self, gate: &Gate, positions: &[usize]) -> Result<(), FusionError> {
         let dim = self.dim();
         let mut out = vec![C64::ZERO; dim * dim];
         match positions.len() {
             1 => {
-                let g = gate
-                    .matrix2::<f64>()
-                    .expect("1-operand gate must have a 2x2 matrix");
+                let g = gate.matrix2::<f64>().ok_or_else(|| FusionError::MissingMatrix {
+                    gate: gate.kind.name().to_owned(),
+                })?;
                 let p = positions[0];
                 let pm = 1usize << p;
                 // out[r][c] = sum_s E[r][s]·m[s][c]; E couples only rows
@@ -118,9 +175,9 @@ impl DenseUnitary {
                 }
             }
             2 => {
-                let g = gate
-                    .matrix4::<f64>()
-                    .expect("2-operand gate must have a 4x4 matrix");
+                let g = gate.matrix4::<f64>().ok_or_else(|| FusionError::MissingMatrix {
+                    gate: gate.kind.name().to_owned(),
+                })?;
                 let (pa, pb) = (positions[0], positions[1]);
                 let (ma, mb) = (1usize << pa, 1usize << pb);
                 for r in 0..dim {
@@ -138,9 +195,15 @@ impl DenseUnitary {
                     }
                 }
             }
-            n => panic!("unsupported operand count {n} in fusion"),
+            n => {
+                return Err(FusionError::UnsupportedArity {
+                    gate: gate.kind.name().to_owned(),
+                    arity: n,
+                })
+            }
         }
         self.m = out;
+        Ok(())
     }
 
     /// Apply this unitary to a full state vector, with `qubits[j]` giving
@@ -342,12 +405,19 @@ impl FusedProgram {
 /// # Panics
 ///
 /// Panics if `width` is 0 or exceeds [`MAX_FUSION_WIDTH`], or if the
-/// circuit contains arity-3 gates (lower `ccx` first).
+/// circuit contains arity-3 gates (lower `ccx` first). Use [`try_fuse`]
+/// when the circuit comes from an untrusted source (e.g. a serving
+/// request) and must reject instead of aborting.
 pub fn fuse(circ: &Circuit, width: usize) -> FusedProgram {
-    assert!(
-        (1..=MAX_FUSION_WIDTH).contains(&width),
-        "fusion width must be in 1..={MAX_FUSION_WIDTH}"
-    );
+    try_fuse(circ, width).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Fallible form of [`fuse`]: invalid widths and unsupported gate
+/// arities come back as a [`FusionError`] instead of a panic.
+pub fn try_fuse(circ: &Circuit, width: usize) -> Result<FusedProgram, FusionError> {
+    if !(1..=MAX_FUSION_WIDTH).contains(&width) {
+        return Err(FusionError::InvalidWidth { width });
+    }
     let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::FUSE);
     let mut blocks: Vec<FusedBlock> = Vec::new();
     let mut cur_qubits: Vec<u32> = Vec::new();
@@ -372,11 +442,12 @@ pub fn fuse(circ: &Circuit, width: usize) -> FusedProgram {
             continue;
         }
         let ops = g.operands();
-        assert!(
-            ops.len() <= 2,
-            "fusion requires gates of arity <= 2; lower '{}' first",
-            g.kind.name()
-        );
+        if ops.len() > 2 {
+            return Err(FusionError::UnsupportedArity {
+                gate: g.kind.name().to_owned(),
+                arity: ops.len(),
+            });
+        }
         // For a minimum-width window that cannot hold a 2-qubit gate, fall
         // back to per-gate blocks of the gate's own arity.
         let needed: Vec<u32> = ops
@@ -403,7 +474,7 @@ pub fn fuse(circ: &Circuit, width: usize) -> FusedProgram {
             .iter()
             .map(|q| cur_qubits.iter().position(|c| c == q).unwrap())
             .collect();
-        cur.as_mut().unwrap().push_gate(g, &positions);
+        cur.as_mut().unwrap().try_push_gate(g, &positions)?;
         cur_sources += 1;
         // A width-1 window never accumulates across 2-qubit gates.
         if ops.len() > width {
@@ -423,7 +494,7 @@ pub fn fuse(circ: &Circuit, width: usize) -> FusedProgram {
             qgear_telemetry::histogram_record(names::FUSION_BLOCK_WIDTH, b.qubits.len() as f64);
         }
     }
-    FusedProgram { num_qubits: circ.num_qubits(), blocks, fusion_width: width }
+    Ok(FusedProgram { num_qubits: circ.num_qubits(), blocks, fusion_width: width })
 }
 
 #[cfg(test)]
@@ -554,6 +625,31 @@ mod tests {
         let mut c = Circuit::new(3);
         c.ccx(0, 1, 2);
         fuse(&c, 5);
+    }
+
+    #[test]
+    fn try_fuse_rejects_ccx_without_panicking() {
+        let mut c = Circuit::new(3);
+        c.h(0).ccx(0, 1, 2);
+        match try_fuse(&c, 5) {
+            Err(FusionError::UnsupportedArity { gate, arity }) => {
+                assert_eq!(gate, "ccx");
+                assert_eq!(arity, 3);
+            }
+            other => panic!("expected UnsupportedArity, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_fuse_rejects_invalid_widths() {
+        assert_eq!(try_fuse(&Circuit::new(1), 0), Err(FusionError::InvalidWidth { width: 0 }));
+        assert_eq!(try_fuse(&Circuit::new(1), 7), Err(FusionError::InvalidWidth { width: 7 }));
+    }
+
+    #[test]
+    fn try_fuse_matches_fuse_on_valid_input() {
+        let c = mixed_circuit(5);
+        assert_eq!(try_fuse(&c, 4).unwrap(), fuse(&c, 4));
     }
 
     #[test]

@@ -42,6 +42,6 @@ pub mod transpile;
 pub use circuit::Circuit;
 pub use encoding::{EncodedCircuit, TensorEncoding};
 pub use error::IrError;
-pub use fusion::{FusedBlock, FusedProgram};
+pub use fusion::{FusedBlock, FusedProgram, FusionError};
 pub use gate::{Gate, GateKind};
 pub use parametric::{ParamCircuit, ParamValue};

@@ -107,7 +107,7 @@ pub fn apply_ccx(state: &mut [C64], c0: u32, c1: u32, t: u32) {
 pub fn apply_global_phase(state: &mut [C64], phase: f64) {
     let z = C64::cis(phase);
     for amp in state.iter_mut() {
-        *amp = *amp * z;
+        *amp *= z;
     }
 }
 

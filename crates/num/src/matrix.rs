@@ -120,9 +120,9 @@ impl<T: Scalar> Mat2<T> {
     /// Precision cast.
     pub fn cast<U: Scalar>(&self) -> Mat2<U> {
         let mut out = [[Complex::<U>::ZERO; 2]; 2];
-        for i in 0..2 {
-            for j in 0..2 {
-                out[i][j] = self.m[i][j].cast();
+        for (row_out, row) in out.iter_mut().zip(&self.m) {
+            for (o, v) in row_out.iter_mut().zip(row) {
+                *o = v.cast();
             }
         }
         Mat2 { m: out }
@@ -239,9 +239,9 @@ impl<T: Scalar> Mat4<T> {
     /// Precision cast.
     pub fn cast<U: Scalar>(&self) -> Mat4<U> {
         let mut out = [[Complex::<U>::ZERO; 4]; 4];
-        for i in 0..4 {
-            for j in 0..4 {
-                out[i][j] = self.m[i][j].cast();
+        for (row_out, row) in out.iter_mut().zip(&self.m) {
+            for (o, v) in row_out.iter_mut().zip(row) {
+                *o = v.cast();
             }
         }
         Mat4 { m: out }

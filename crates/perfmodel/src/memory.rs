@@ -15,6 +15,16 @@ pub const fn amp_bytes(precision: Precision) -> u64 {
     precision.bytes_per_amplitude() as u64
 }
 
+/// Bytes an `n`-qubit state vector occupies at the given precision.
+///
+/// This is the quantity the serving layer's admission control compares
+/// against device memory to reject infeasible jobs *before* they queue
+/// (the `RejectedInfeasible` arm of `qgear-serve`'s backpressure
+/// contract).
+pub const fn state_bytes(n: u32, precision: Precision) -> u128 {
+    (1u128 << n) * amp_bytes(precision) as u128
+}
+
 /// Aer needs scratch alongside the state (measurement buffers, OpenMP
 /// working sets); 2.2× is a conservative envelope that reproduces the
 /// observed 34-qubit ceiling on the 460 GB node.
@@ -100,5 +110,14 @@ mod tests {
     fn amp_bytes_by_precision() {
         assert_eq!(amp_bytes(Precision::Fp32), 8);
         assert_eq!(amp_bytes(Precision::Fp64), 16);
+    }
+
+    #[test]
+    fn state_bytes_matches_capacity_model() {
+        // 32 qubits fp32 = 34.4 GB: fits a 40 GB A100; 33 does not.
+        assert_eq!(state_bytes(32, Precision::Fp32), 8 << 32);
+        let gpu = GpuSpec::a100_40gb();
+        assert!(state_bytes(32, Precision::Fp32) <= gpu.memory_bytes);
+        assert!(state_bytes(33, Precision::Fp32) > gpu.memory_bytes);
     }
 }

@@ -1,0 +1,127 @@
+//! Bounded result cache keyed by [`CircuitKey`].
+//!
+//! Stores the full cold-run payload (counts + engine stats) so a hit
+//! replays the original result bit-for-bit. Eviction is FIFO on insert
+//! order — simple, deterministic, and adequate for the repeat-heavy
+//! workloads the paper's batch mode produces (the same parametrized
+//! QCrank template submitted across many input images).
+
+use crate::hashkey::CircuitKey;
+use qgear_statevec::{Counts, ExecStats};
+use qgear_telemetry::{counter_inc, names};
+use std::collections::{HashMap, VecDeque};
+
+/// The cached payload of one cold run.
+#[derive(Debug, Clone)]
+pub struct CachedResult {
+    /// Sampled counts from the cold run.
+    pub counts: Option<Counts>,
+    /// Engine counters from the cold run.
+    pub stats: ExecStats,
+}
+
+/// A FIFO-bounded map from canonical circuit key to cold-run result.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    capacity: usize,
+    entries: HashMap<u64, CachedResult>,
+    order: VecDeque<u64>,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` results (`0` disables caching).
+    pub fn new(capacity: usize) -> Self {
+        ResultCache {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a key. Counts `serve.cache_hits` / `serve.cache_misses`.
+    pub fn get(&self, key: CircuitKey) -> Option<CachedResult> {
+        let hit = self.entries.get(&key.0).cloned();
+        if hit.is_some() {
+            counter_inc(names::SERVE_CACHE_HITS);
+        } else {
+            counter_inc(names::SERVE_CACHE_MISSES);
+        }
+        hit
+    }
+
+    /// Insert a cold-run result, evicting the oldest entry when full.
+    pub fn insert(&mut self, key: CircuitKey, result: CachedResult) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key.0, result).is_none() {
+            self.order.push_back(key.0);
+            while self.entries.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.entries.remove(&oldest);
+                    counter_inc(names::SERVE_CACHE_EVICTIONS);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(total: u64) -> CachedResult {
+        let mut counts = Counts::default();
+        counts.map.insert(0, total);
+        CachedResult { counts: Some(counts), stats: ExecStats::default() }
+    }
+
+    #[test]
+    fn round_trips_a_result() {
+        let mut cache = ResultCache::new(4);
+        cache.insert(CircuitKey(7), payload(10));
+        let got = cache.get(CircuitKey(7)).unwrap();
+        assert_eq!(got.counts.unwrap().total(), 10);
+        assert!(cache.get(CircuitKey(8)).is_none());
+    }
+
+    #[test]
+    fn evicts_fifo_at_capacity() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(CircuitKey(1), payload(1));
+        cache.insert(CircuitKey(2), payload(2));
+        cache.insert(CircuitKey(3), payload(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(CircuitKey(1)).is_none(), "oldest evicted");
+        assert!(cache.get(CircuitKey(2)).is_some());
+        assert!(cache.get(CircuitKey(3)).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = ResultCache::new(0);
+        cache.insert(CircuitKey(1), payload(1));
+        assert!(cache.is_empty());
+        assert!(cache.get(CircuitKey(1)).is_none());
+    }
+
+    #[test]
+    fn reinsert_does_not_duplicate_order() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(CircuitKey(1), payload(1));
+        cache.insert(CircuitKey(1), payload(9));
+        cache.insert(CircuitKey(2), payload(2));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(CircuitKey(1)).unwrap().counts.unwrap().total(), 9);
+    }
+}

@@ -1,0 +1,105 @@
+//! Deterministic transient-fault injection.
+//!
+//! Real mQPU farms see transient device failures (ECC retirements, NVLink
+//! hiccups, preempted containers); the serving layer must retry through
+//! them. To keep the test suite and the saturation bench reproducible,
+//! faults here are a pure function of `(plan seed, job id, attempt)` —
+//! the same plan always strikes the same attempts, regardless of thread
+//! interleaving.
+
+/// A reproducible plan of injected transient device faults.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that any given attempt faults.
+    pub rate: f64,
+    /// Seed decorrelating this plan from others at the same rate.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// No faults ever — the default for production-like runs.
+    pub const fn none() -> Self {
+        FaultPlan { rate: 0.0, seed: 0 }
+    }
+
+    /// Fault each attempt independently with probability `rate`.
+    pub const fn with_rate(rate: f64, seed: u64) -> Self {
+        FaultPlan { rate, seed }
+    }
+
+    /// Does this plan strike `attempt` (0-based) of `job_id`?
+    pub fn strikes(&self, job_id: u64, attempt: u32) -> bool {
+        if self.rate <= 0.0 {
+            return false;
+        }
+        if self.rate >= 1.0 {
+            return true;
+        }
+        let mixed = splitmix64(
+            self.seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(job_id)
+                .wrapping_add((u64::from(attempt)) << 48),
+        );
+        // Top 53 bits → uniform f64 in [0, 1).
+        let unit = (mixed >> 11) as f64 / (1u64 << 53) as f64;
+        unit < self.rate
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// SplitMix64 finalizer — a full-avalanche 64-bit mix.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        let plan = FaultPlan::with_rate(0.3, 42);
+        for job in 0..50u64 {
+            for attempt in 0..4 {
+                assert_eq!(plan.strikes(job, attempt), plan.strikes(job, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn rate_extremes() {
+        let never = FaultPlan::none();
+        let always = FaultPlan::with_rate(1.0, 7);
+        for job in 0..20u64 {
+            assert!(!never.strikes(job, 0));
+            assert!(always.strikes(job, 0));
+        }
+    }
+
+    #[test]
+    fn empirical_rate_tracks_requested_rate() {
+        let plan = FaultPlan::with_rate(0.25, 1234);
+        let strikes = (0..4000u64).filter(|&j| plan.strikes(j, 0)).count();
+        let rate = strikes as f64 / 4000.0;
+        assert!((rate - 0.25).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn attempts_decorrelated() {
+        // A struck first attempt must not doom every retry.
+        let plan = FaultPlan::with_rate(0.5, 9);
+        let healed = (0..200u64)
+            .filter(|&j| plan.strikes(j, 0) && !plan.strikes(j, 1))
+            .count();
+        assert!(healed > 10, "retries should sometimes succeed ({healed})");
+    }
+}

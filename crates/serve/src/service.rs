@@ -1,0 +1,661 @@
+//! The service runtime: worker pool, dispatch loop, retries, telemetry.
+//!
+//! `Service::start` spawns `workers` OS threads, each owning its own
+//! engine handle (a cloned [`GpuDevice`] or the Aer CPU baseline) — the
+//! executable analogue of the paper's one-circuit-per-GPU mQPU farm.
+//! Workers block on a condvar until the admission queue offers work,
+//! then run jobs to a terminal [`JobOutcome`] published under the state
+//! lock. Shutdown is graceful: workers drain the queue before exiting,
+//! so every admitted job reaches an outcome.
+
+use crate::cache::{CachedResult, ResultCache};
+use crate::fault::FaultPlan;
+use crate::hashkey::CircuitKey;
+use crate::job::{Admission, JobId, JobOutcome, JobResult, JobSpec, ServeError};
+use crate::scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};
+use qgear_ir::fusion::DEFAULT_FUSION_WIDTH;
+use qgear_ir::transpile::decompose_to_native;
+use qgear_num::scalar::Precision;
+use qgear_perfmodel::memory::state_bytes;
+use qgear_statevec::{AerCpuBackend, Counts, ExecStats, GpuDevice, RunOptions, SimError, Simulator};
+use qgear_telemetry::names::{self, spans};
+use qgear_telemetry::{counter_add, counter_inc, histogram_record, span};
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Which engine the worker pool runs on.
+#[derive(Debug, Clone)]
+pub enum BackendKind {
+    /// The fused simulated-GPU engine; each worker clones the device.
+    Gpu(GpuDevice),
+    /// The sequential Aer-like CPU baseline with this much RAM.
+    Cpu {
+        /// Node memory available to each worker, bytes.
+        memory_bytes: u128,
+    },
+}
+
+impl BackendKind {
+    /// Device memory the admission feasibility check compares against.
+    pub fn memory_bytes(&self) -> u128 {
+        match self {
+            BackendKind::Gpu(dev) => dev.memory_bytes,
+            BackendKind::Cpu { memory_bytes } => *memory_bytes,
+        }
+    }
+}
+
+impl Default for BackendKind {
+    fn default() -> Self {
+        BackendKind::Gpu(GpuDevice::a100_40gb())
+    }
+}
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (simulated QPUs).
+    pub workers: usize,
+    /// Admission-queue bound; submissions beyond it get
+    /// [`Admission::QueueFull`].
+    pub queue_capacity: usize,
+    /// Engine every worker runs.
+    pub backend: BackendKind,
+    /// Fusion window passed to kernel-based engines (part of the cache
+    /// key: different windows launch different kernels).
+    pub fusion_width: usize,
+    /// Result-cache entries to retain (0 disables caching).
+    pub cache_capacity: usize,
+    /// Injected transient-fault plan (defaults to no faults).
+    pub fault: FaultPlan,
+    /// Default retry budget per job (overridable per [`JobSpec`]).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub retry_backoff: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            backend: BackendKind::default(),
+            fusion_width: DEFAULT_FUSION_WIDTH,
+            cache_capacity: 256,
+            fault: FaultPlan::none(),
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(1),
+        }
+    }
+}
+
+/// Mutable service state, guarded by one mutex.
+struct State {
+    queue: AdmissionQueue,
+    cache: ResultCache,
+    outcomes: HashMap<u64, JobOutcome>,
+    dispatch_log: Vec<DispatchRecord>,
+    next_id: u64,
+    in_flight: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    /// Signals workers that the queue gained work (or shutdown began).
+    jobs_cv: Condvar,
+    /// Signals waiters that some job reached a terminal outcome.
+    done_cv: Condvar,
+}
+
+/// A running multi-tenant simulation service.
+pub struct Service {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Service {
+    /// Start the worker pool and return the service handle.
+    pub fn start(cfg: ServeConfig) -> Self {
+        let worker_count = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: AdmissionQueue::new(cfg.queue_capacity),
+                cache: ResultCache::new(cfg.cache_capacity),
+                outcomes: HashMap::new(),
+                dispatch_log: Vec::new(),
+                next_id: 0,
+                in_flight: 0,
+                shutdown: false,
+            }),
+            cfg,
+            jobs_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let workers = (0..worker_count)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("qgear-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Service { shared, workers: Mutex::new(workers) }
+    }
+
+    /// Submit a job. Never blocks and never panics on overload: the
+    /// verdict is explicit in the returned [`Admission`].
+    pub fn submit(&self, spec: JobSpec) -> Admission {
+        // Canonicalize outside the lock: transpile non-native gates so
+        // the cache key is representation-independent and workers can
+        // hand the circuit straight to the engine.
+        let canonical = if spec.circuit.is_native() {
+            spec.circuit.clone()
+        } else {
+            decompose_to_native(&spec.circuit).0
+        };
+
+        // Feasibility gate: bounce state vectors the device cannot hold
+        // *before* they occupy queue space (Fig. 4a's memory wall turned
+        // into admission control).
+        let n = canonical.num_qubits();
+        let required_bytes = if n >= 100 {
+            u128::MAX
+        } else {
+            state_bytes(n, spec.precision)
+        };
+        let device_bytes = self.shared.cfg.backend.memory_bytes();
+        if required_bytes > device_bytes {
+            counter_inc(names::SERVE_REJECTED_INFEASIBLE);
+            return Admission::RejectedInfeasible { required_bytes, device_bytes };
+        }
+
+        let key = CircuitKey::for_spec(&canonical, &spec, self.shared.cfg.fusion_width);
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        if st.shutdown {
+            return Admission::ShuttingDown;
+        }
+        if st.queue.is_full() {
+            counter_inc(names::SERVE_REJECTED_QUEUE_FULL);
+            return Admission::QueueFull {
+                depth: st.queue.len(),
+                capacity: st.queue.capacity(),
+            };
+        }
+        let id = JobId(st.next_id);
+        st.next_id += 1;
+        let job = QueuedJob {
+            id,
+            spec,
+            canonical,
+            key,
+            submitted_at: Instant::now(),
+            seq: 0,
+        };
+        st.queue.push(job).expect("queue not full under lock");
+        counter_inc(names::SERVE_JOBS_SUBMITTED);
+        histogram_record(names::SERVE_QUEUE_DEPTH, st.queue.len() as f64);
+        drop(st);
+        self.shared.jobs_cv.notify_one();
+        Admission::Accepted(id)
+    }
+
+    /// Cancel a still-queued job. Returns `false` when the job already
+    /// dispatched (or never existed) — in-flight work is not interrupted.
+    pub fn cancel(&self, id: JobId) -> bool {
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        if st.queue.cancel(id).is_some() {
+            counter_inc(names::SERVE_JOBS_CANCELLED);
+            st.outcomes.insert(id.0, JobOutcome::Cancelled);
+            drop(st);
+            self.shared.done_cv.notify_all();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Block until `id` reaches a terminal outcome. `None` when the id
+    /// was never admitted by this service.
+    pub fn wait(&self, id: JobId) -> Option<JobOutcome> {
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        loop {
+            if let Some(outcome) = st.outcomes.get(&id.0) {
+                return Some(outcome.clone());
+            }
+            if id.0 >= st.next_id {
+                return None;
+            }
+            st = self.shared.done_cv.wait(st).expect("serve state poisoned");
+        }
+    }
+
+    /// The outcome if `id` already finished, without blocking.
+    pub fn try_outcome(&self, id: JobId) -> Option<JobOutcome> {
+        let st = self.shared.state.lock().expect("serve state poisoned");
+        st.outcomes.get(&id.0).cloned()
+    }
+
+    /// Block until the queue is empty and no job is in flight.
+    pub fn drain(&self) {
+        let mut st = self.shared.state.lock().expect("serve state poisoned");
+        while !st.queue.is_empty() || st.in_flight > 0 {
+            st = self.shared.done_cv.wait(st).expect("serve state poisoned");
+        }
+    }
+
+    /// Jobs currently waiting in the admission queue.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.state.lock().expect("serve state poisoned").queue.len()
+    }
+
+    /// The dispatch log so far — one record per job handed to a worker,
+    /// in dispatch order. Invariant checks (FIFO within tenant+class,
+    /// no duplicates) run over this.
+    pub fn dispatch_log(&self) -> Vec<DispatchRecord> {
+        self.shared
+            .state
+            .lock()
+            .expect("serve state poisoned")
+            .dispatch_log
+            .clone()
+    }
+
+    /// Stop admitting, drain the queue, and join the workers. Idempotent;
+    /// also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("serve state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.jobs_cv.notify_all();
+        let handles: Vec<JoinHandle<()>> =
+            self.workers.lock().expect("worker list poisoned").drain(..).collect();
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: pop → (deadline check, cache probe, execute with retries)
+/// → publish outcome. Exits when shutdown is flagged *and* the queue has
+/// drained, so accepted jobs are never abandoned.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("serve state poisoned");
+            loop {
+                if let Some(job) = st.queue.pop_next() {
+                    st.dispatch_log.push(DispatchRecord {
+                        id: job.id,
+                        tenant: job.spec.tenant.clone(),
+                        priority: job.spec.priority,
+                        seq: job.seq,
+                    });
+                    st.in_flight += 1;
+                    histogram_record(names::SERVE_QUEUE_DEPTH, st.queue.len() as f64);
+                    break job;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.jobs_cv.wait(st).expect("serve state poisoned");
+            }
+        };
+        let outcome = serve_one(shared, &job);
+        let mut st = shared.state.lock().expect("serve state poisoned");
+        st.outcomes.insert(job.id.0, outcome);
+        st.in_flight -= 1;
+        drop(st);
+        shared.done_cv.notify_all();
+    }
+}
+
+/// Run one dispatched job to a terminal outcome.
+fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
+    let _job_span = span!(spans::SERVE_JOB);
+    let queue_wait = job.submitted_at.elapsed();
+    histogram_record(names::SERVE_QUEUE_WAIT_MS, queue_wait.as_secs_f64() * 1e3);
+
+    // Deadline: jobs that waited too long are dropped, not run late.
+    if let Some(deadline) = job.spec.deadline {
+        if queue_wait > deadline {
+            counter_inc(names::SERVE_JOBS_EXPIRED);
+            return JobOutcome::Expired;
+        }
+    }
+
+    // Cache probe (hit/miss counters live in the cache).
+    let cached = {
+        let st = shared.state.lock().expect("serve state poisoned");
+        st.cache.get(job.key)
+    };
+    if let Some(hit) = cached {
+        let service_time = job.submitted_at.elapsed();
+        record_completion(&job.spec, service_time);
+        return JobOutcome::Completed(Box::new(JobResult {
+            counts: hit.counts,
+            stats: hit.stats,
+            from_cache: true,
+            attempts: 0,
+            queue_wait,
+            service_time,
+        }));
+    }
+
+    // Cold path: execute with retry-with-backoff against injected faults.
+    let max_attempts = job.spec.max_retries.unwrap_or(shared.cfg.max_retries) + 1;
+    let mut attempts = 0u32;
+    let executed: Result<(Option<Counts>, ExecStats), ServeError> = loop {
+        attempts += 1;
+        let _attempt_span = span!(spans::SERVE_ATTEMPT);
+        if shared.cfg.fault.strikes(job.id.0, attempts - 1) {
+            if attempts >= max_attempts {
+                break Err(ServeError::RetriesExhausted { attempts });
+            }
+            counter_inc(names::SERVE_RETRIES);
+            // Exponential backoff: 1×, 2×, 4×, … the configured base,
+            // capped at 1024× so long retry budgets stay bounded.
+            let backoff = shared.cfg.retry_backoff * (1u32 << (attempts - 1).min(10));
+            drop(_attempt_span);
+            thread::sleep(backoff);
+            continue;
+        }
+        break execute(&shared.cfg, job).map_err(ServeError::Sim);
+    };
+
+    match executed {
+        Ok((counts, stats)) => {
+            {
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.cache.insert(
+                    job.key,
+                    CachedResult { counts: counts.clone(), stats: stats.clone() },
+                );
+            }
+            let service_time = job.submitted_at.elapsed();
+            record_completion(&job.spec, service_time);
+            JobOutcome::Completed(Box::new(JobResult {
+                counts,
+                stats,
+                from_cache: false,
+                attempts,
+                queue_wait,
+                service_time,
+            }))
+        }
+        Err(err) => {
+            counter_inc(names::SERVE_JOBS_FAILED);
+            JobOutcome::Failed(err)
+        }
+    }
+}
+
+/// Run the canonical circuit on the configured backend at the requested
+/// precision. Deterministic: both engines plus seeded multinomial
+/// sampling make equal `(circuit, shots, seed, precision, fusion_width)`
+/// produce bit-identical `Counts` — the property the cache relies on.
+fn execute(cfg: &ServeConfig, job: &QueuedJob) -> Result<(Option<Counts>, ExecStats), SimError> {
+    let opts = RunOptions {
+        shots: job.spec.shots,
+        seed: job.spec.seed,
+        fusion_width: cfg.fusion_width,
+        keep_state: false,
+        memory_limit: Some(cfg.backend.memory_bytes()),
+    };
+    match &cfg.backend {
+        BackendKind::Gpu(device) => match job.spec.precision {
+            Precision::Fp32 => <GpuDevice as Simulator<f32>>::run(device, &job.canonical, &opts)
+                .map(|o| (o.counts, o.stats)),
+            Precision::Fp64 => <GpuDevice as Simulator<f64>>::run(device, &job.canonical, &opts)
+                .map(|o| (o.counts, o.stats)),
+        },
+        BackendKind::Cpu { .. } => match job.spec.precision {
+            Precision::Fp32 => {
+                <AerCpuBackend as Simulator<f32>>::run(&AerCpuBackend, &job.canonical, &opts)
+                    .map(|o| (o.counts, o.stats))
+            }
+            Precision::Fp64 => {
+                <AerCpuBackend as Simulator<f64>>::run(&AerCpuBackend, &job.canonical, &opts)
+                    .map(|o| (o.counts, o.stats))
+            }
+        },
+    }
+}
+
+/// Telemetry bookkeeping shared by the cache-hit and cold-run paths.
+fn record_completion(spec: &JobSpec, service_time: Duration) {
+    counter_inc(names::SERVE_JOBS_COMPLETED);
+    counter_inc(&names::serve_tenant_jobs(&spec.tenant));
+    counter_add(&names::serve_tenant_shots(&spec.tenant), u128::from(spec.shots));
+    histogram_record(names::SERVE_LATENCY_MS, service_time.as_secs_f64() * 1e3);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::Priority;
+    use qgear_ir::Circuit;
+
+    fn bell() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).measure_all();
+        c
+    }
+
+    fn small_service(workers: usize) -> Service {
+        Service::start(ServeConfig { workers, ..Default::default() })
+    }
+
+    #[test]
+    fn submits_and_completes_one_job() {
+        let service = small_service(1);
+        let id = service.submit(JobSpec::new(bell()).shots(500)).job_id().unwrap();
+        let outcome = service.wait(id).unwrap();
+        let result = outcome.result().expect("completed");
+        assert!(!result.from_cache);
+        assert_eq!(result.attempts, 1);
+        let counts = result.counts.as_ref().unwrap();
+        assert_eq!(counts.total(), 500);
+        // A Bell pair only ever measures 00 or 11.
+        assert_eq!(counts.get(0) + counts.get(3), 500);
+        service.shutdown();
+    }
+
+    #[test]
+    fn second_identical_submission_hits_the_cache_bit_identically() {
+        let service = small_service(1);
+        let spec = JobSpec::new(bell()).shots(400).seed(77);
+        let a = service.submit(spec.clone()).job_id().unwrap();
+        let cold = service.wait(a).unwrap();
+        let b = service.submit(spec).job_id().unwrap();
+        let warm = service.wait(b).unwrap();
+        let (cold, warm) = (cold.result().unwrap(), warm.result().unwrap());
+        assert!(!cold.from_cache);
+        assert!(warm.from_cache);
+        assert_eq!(warm.attempts, 0);
+        assert_eq!(cold.counts, warm.counts, "cache must replay bit-identically");
+        assert_eq!(cold.stats.kernels_launched, warm.stats.kernels_launched);
+        service.shutdown();
+    }
+
+    #[test]
+    fn infeasible_job_is_rejected_at_submit() {
+        let service = small_service(1);
+        // 33 qubits fp64 = 137 GB > 40 GB A100: bounced, never queued.
+        let admission = service.submit(JobSpec::new(Circuit::new(33)));
+        match admission {
+            Admission::RejectedInfeasible { required_bytes, device_bytes } => {
+                assert!(required_bytes > device_bytes);
+            }
+            other => panic!("expected RejectedInfeasible, got {other:?}"),
+        }
+        assert_eq!(service.queue_depth(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn full_queue_pushes_back() {
+        // One worker pinned in retry backoff (every attempt faults), so
+        // capacity 2 fills after the third accepted submit.
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            queue_capacity: 2,
+            fault: FaultPlan::with_rate(1.0, 1),
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(50),
+            ..Default::default()
+        });
+        // First job dispatches and spins in backoff; next two fill the queue.
+        let mut accepted = 0;
+        let mut full = 0;
+        for _ in 0..8 {
+            match service.submit(JobSpec::new(bell())) {
+                Admission::Accepted(_) => accepted += 1,
+                Admission::QueueFull { capacity, .. } => {
+                    assert_eq!(capacity, 2);
+                    full += 1;
+                }
+                other => panic!("unexpected admission {other:?}"),
+            }
+        }
+        // At minimum the queue's two slots accept (the worker may or may
+        // not have popped the first job yet); the rest must be reported
+        // as QueueFull, never silently dropped.
+        assert!(accepted >= 2, "queue holds at least its capacity, got {accepted}");
+        assert!(full >= 1, "overflow must be reported, not dropped");
+        assert_eq!(accepted + full, 8);
+        service.shutdown();
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        // rate 1.0 strikes every attempt; rate 0.5 heals eventually.
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            fault: FaultPlan::with_rate(0.5, 3),
+            max_retries: 20,
+            retry_backoff: Duration::from_micros(50),
+            ..Default::default()
+        });
+        for i in 0..6 {
+            let id = service
+                .submit(JobSpec::new(bell()).seed(i))
+                .job_id()
+                .unwrap();
+            let outcome = service.wait(id).unwrap();
+            let result = outcome.result().expect("healed by retries");
+            assert!(result.attempts >= 1);
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn exhausted_retries_fail_loudly() {
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            fault: FaultPlan::with_rate(1.0, 3),
+            max_retries: 2,
+            retry_backoff: Duration::from_micros(10),
+            ..Default::default()
+        });
+        let id = service.submit(JobSpec::new(bell())).job_id().unwrap();
+        match service.wait(id).unwrap() {
+            JobOutcome::Failed(ServeError::RetriesExhausted { attempts }) => {
+                assert_eq!(attempts, 3, "1 initial + 2 retries");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn cancelled_queued_job_never_runs() {
+        // Single worker pinned down by retry backoff; the second job is
+        // cancelled while still queued.
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            fault: FaultPlan::with_rate(1.0, 1),
+            max_retries: 3,
+            retry_backoff: Duration::from_millis(50),
+            ..Default::default()
+        });
+        let _busy = service.submit(JobSpec::new(bell())).job_id().unwrap();
+        let victim = service.submit(JobSpec::new(bell()).seed(9)).job_id().unwrap();
+        assert!(service.cancel(victim), "still queued, so cancellable");
+        assert!(matches!(service.wait(victim).unwrap(), JobOutcome::Cancelled));
+        assert!(!service.cancel(victim), "second cancel is a no-op");
+        let log = service.dispatch_log();
+        assert!(
+            log.iter().all(|r| r.id != victim),
+            "cancelled job must never dispatch"
+        );
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_deadline_expires_at_dispatch() {
+        let service = small_service(1);
+        let id = service
+            .submit(JobSpec::new(bell()).deadline(Duration::ZERO))
+            .job_id()
+            .unwrap();
+        assert!(matches!(service.wait(id).unwrap(), JobOutcome::Expired));
+        service.shutdown();
+    }
+
+    #[test]
+    fn wait_on_unknown_id_returns_none() {
+        let service = small_service(1);
+        assert!(service.wait(JobId(999)).is_none());
+        assert!(service.try_outcome(JobId(999)).is_none());
+        service.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let service = small_service(2);
+        let ids: Vec<JobId> = (0..10)
+            .map(|i| {
+                service
+                    .submit(JobSpec::new(bell()).seed(i).priority(Priority::Low))
+                    .job_id()
+                    .unwrap()
+            })
+            .collect();
+        service.shutdown();
+        for id in ids {
+            assert!(
+                service.try_outcome(id).expect("drained before exit").is_completed(),
+                "accepted jobs must finish across shutdown"
+            );
+        }
+        assert!(matches!(
+            service.submit(JobSpec::new(bell())),
+            Admission::ShuttingDown
+        ));
+    }
+
+    #[test]
+    fn cpu_backend_serves_jobs_too() {
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            backend: BackendKind::Cpu { memory_bytes: 1 << 30 },
+            ..Default::default()
+        });
+        let id = service.submit(JobSpec::new(bell()).shots(100)).job_id().unwrap();
+        let outcome = service.wait(id).unwrap();
+        assert_eq!(outcome.result().unwrap().counts.as_ref().unwrap().total(), 100);
+        service.shutdown();
+    }
+}

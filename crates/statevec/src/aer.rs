@@ -121,7 +121,7 @@ pub fn apply_rz<T: Scalar>(state: &mut [Complex<T>], q: u32, theta: T) {
     let pos = Complex::cis(theta * T::HALF);
     let mask = 1usize << q;
     for (i, amp) in state.iter_mut().enumerate() {
-        *amp = *amp * if i & mask == 0 { neg } else { pos };
+        *amp *= if i & mask == 0 { neg } else { pos };
     }
 }
 
@@ -131,7 +131,7 @@ pub fn apply_phase<T: Scalar>(state: &mut [Complex<T>], q: u32, lambda: T) {
     let mask = 1usize << q;
     for (i, amp) in state.iter_mut().enumerate() {
         if i & mask != 0 {
-            *amp = *amp * ph;
+            *amp *= ph;
         }
     }
 }

@@ -18,7 +18,7 @@
 use crate::backend::{check_capacity, sample_measured, ExecStats, RunOptions, RunOutput, SimError, Simulator};
 use crate::state::StateVector;
 use qgear_ir::fusion::{self, FusedBlock};
-use qgear_ir::{Circuit, GateKind};
+use qgear_ir::Circuit;
 use qgear_num::{Complex, Scalar};
 use rayon::prelude::*;
 use std::time::Instant;
@@ -106,7 +106,7 @@ impl GpuDevice {
                         local |= 1 << j;
                     }
                 }
-                *amp = *amp * d[local];
+                *amp *= d[local];
             });
             return;
         }
@@ -194,13 +194,6 @@ impl<T: Scalar> Simulator<T> for GpuDevice {
         };
         check_capacity::<T>(circuit.num_qubits(), &effective)?;
         let (unitary, measured) = circuit.split_measurements();
-        if let Some(g) = unitary.gates().iter().find(|g| g.kind == GateKind::Ccx) {
-            return Err(SimError::UnsupportedGate(format!(
-                "{} (transpile to the native set before kernel transformation)",
-                g.kind.name()
-            )));
-        }
-
         let mut state: StateVector<T> = StateVector::zero(circuit.num_qubits());
         let amp_bytes = (2 * T::BYTES) as u128;
         let n_amps = state.len() as u128;
@@ -208,7 +201,16 @@ impl<T: Scalar> Simulator<T> for GpuDevice {
         let mut stats = ExecStats::default();
         let start = Instant::now();
         let sim_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SIMULATE);
-        let program = fusion::fuse(&unitary, opts.fusion_width.clamp(1, fusion::MAX_FUSION_WIDTH));
+        // Fusion rejects arity-3 gates with a typed error; surface it as
+        // an unsupported-gate failure instead of aborting the caller's
+        // thread (the serving workers depend on this).
+        let program =
+            fusion::try_fuse(&unitary, opts.fusion_width.clamp(1, fusion::MAX_FUSION_WIDTH))
+                .map_err(|e| {
+                    SimError::UnsupportedGate(format!(
+                        "{e} (transpile to the native set before kernel transformation)"
+                    ))
+                })?;
         for block in &program.blocks {
             GpuDevice::apply_block(state.amplitudes_mut(), block);
             stats.kernels_launched += 1;

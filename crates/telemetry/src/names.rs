@@ -33,6 +33,62 @@ pub const SHOTS_SAMPLED: &str = "shots.sampled";
 /// Histogram of fused-block widths (qubits per block).
 pub const FUSION_BLOCK_WIDTH: &str = "fusion.block_width";
 
+// --- qgear-serve: the multi-tenant simulation service ---------------------
+
+/// Jobs accepted into the admission queue.
+pub const SERVE_JOBS_SUBMITTED: &str = "serve.jobs_submitted";
+
+/// Jobs that finished execution successfully (including cache hits).
+pub const SERVE_JOBS_COMPLETED: &str = "serve.jobs_completed";
+
+/// Jobs that failed with an engine or exhausted-retry error.
+pub const SERVE_JOBS_FAILED: &str = "serve.jobs_failed";
+
+/// Submissions bounced because the admission queue was full.
+pub const SERVE_REJECTED_QUEUE_FULL: &str = "serve.rejected_queue_full";
+
+/// Submissions bounced because the perf-model deemed them infeasible.
+pub const SERVE_REJECTED_INFEASIBLE: &str = "serve.rejected_infeasible";
+
+/// Jobs dropped at dispatch because their deadline had already passed.
+pub const SERVE_JOBS_EXPIRED: &str = "serve.jobs_expired";
+
+/// Queued jobs cancelled before dispatch.
+pub const SERVE_JOBS_CANCELLED: &str = "serve.jobs_cancelled";
+
+/// Execution attempts retried after an injected transient device fault.
+pub const SERVE_RETRIES: &str = "serve.retries";
+
+/// Result-cache hits (job answered without touching a device).
+pub const SERVE_CACHE_HITS: &str = "serve.cache_hits";
+
+/// Result-cache misses (job executed cold).
+pub const SERVE_CACHE_MISSES: &str = "serve.cache_misses";
+
+/// Cache entries evicted by the capacity bound.
+pub const SERVE_CACHE_EVICTIONS: &str = "serve.cache_evictions";
+
+/// Histogram of admission-queue depth, sampled at every submit and
+/// dispatch.
+pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+
+/// Histogram of end-to-end service latency (submit → outcome) in
+/// milliseconds.
+pub const SERVE_LATENCY_MS: &str = "serve.latency_ms";
+
+/// Histogram of time spent waiting in the admission queue, milliseconds.
+pub const SERVE_QUEUE_WAIT_MS: &str = "serve.queue_wait_ms";
+
+/// Per-tenant counter name for jobs completed, e.g. `serve.tenant.alice.jobs`.
+pub fn serve_tenant_jobs(tenant: &str) -> String {
+    format!("serve.tenant.{tenant}.jobs")
+}
+
+/// Per-tenant counter name for shots sampled, e.g. `serve.tenant.alice.shots`.
+pub fn serve_tenant_shots(tenant: &str) -> String {
+    format!("serve.tenant.{tenant}.shots")
+}
+
 /// Span names used by the pipeline, in nesting order: the `core`
 /// pipeline opens `run` ⊃ (`transpile`, `encode`, `fuse`), and each
 /// engine opens `simulate` and `sample` itself so direct
@@ -56,4 +112,10 @@ pub mod spans {
     pub const EXCHANGE: &str = "exchange";
     /// One mqpu batch of independent circuits across devices.
     pub const RUN_BATCH: &str = "run_batch";
+    /// One job's time on a serving worker, admission to outcome
+    /// (`qgear-serve`); per-job service latency is the duration
+    /// distribution of these spans.
+    pub const SERVE_JOB: &str = "serve_job";
+    /// One execution attempt inside a `serve_job` (retries open several).
+    pub const SERVE_ATTEMPT: &str = "serve_attempt";
 }

@@ -607,7 +607,7 @@ mod tests {
         // Contains only gates the transpiler lowers (h, sdg/s, cx, rz).
         let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
         assert!(native.is_native());
-        assert!(circ.len() > 0);
+        assert!(!circ.is_empty());
     }
 
     #[test]

@@ -104,7 +104,7 @@ pub fn ucry_angles_naive(theta: &[f64]) -> Vec<f64> {
             let sum: f64 = theta
                 .iter()
                 .enumerate()
-                .map(|(a, &t)| if (a & gj).count_ones() % 2 == 0 { t } else { -t })
+                .map(|(a, &t)| if (a & gj).count_ones().is_multiple_of(2) { t } else { -t })
                 .sum();
             sum / n as f64
         })
@@ -186,10 +186,10 @@ impl QcrankCodec {
         let addr: Vec<u32> = (0..cfg.addr_qubits).collect();
         for d in 0..cfg.data_qubits {
             let mut theta = vec![std::f64::consts::FRAC_PI_2; per];
-            for a in 0..per {
+            for (a, t) in theta.iter_mut().enumerate() {
                 let p = (d as usize) * per + a;
                 if p < values.len() {
-                    theta[a] = values[p].acos();
+                    *t = values[p].acos();
                 }
             }
             append_ucry(&mut circ, &addr, cfg.addr_qubits + d, &theta);
@@ -511,7 +511,7 @@ mod tests {
     #[should_panic(expected = "exceed capacity")]
     fn oversized_input_rejected() {
         let cfg = QcrankConfig { addr_qubits: 2, data_qubits: 1 };
-        QcrankCodec::new(cfg).encode(&vec![0.0; 5]);
+        QcrankCodec::new(cfg).encode(&[0.0; 5]);
     }
 
     #[test]

@@ -54,7 +54,8 @@ fn main() {
     let mut scheduler = Scheduler::new(Cluster::perlmutter_slice(256, 0));
     for _ in 0..1024 {
         scheduler
-            .submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 600).unwrap());
+            .submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 600).unwrap())
+            .unwrap();
     }
     scheduler.run_to_completion();
     println!(

@@ -1,0 +1,111 @@
+//! Quickstart for the `qgear-serve` multi-tenant simulation service.
+//!
+//! Starts a 4-worker service over the simulated A100, submits a small
+//! multi-tenant mix (a QFT, a Bell pair, a random CX-block unitary),
+//! demonstrates the result cache, deadline expiry, and explicit
+//! infeasibility rejection, and prints the telemetry counters the
+//! service recorded along the way.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use qgear_ir::Circuit;
+use qgear_serve::{Admission, JobSpec, Priority, ServeConfig, Service};
+use qgear_telemetry::names;
+use qgear_workloads::qft::{qft_circuit, QftOptions};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+use std::time::Duration;
+
+fn main() {
+    qgear_telemetry::enable();
+    let service = Service::start(ServeConfig { workers: 4, ..Default::default() });
+
+    // --- three tenants, three workloads, three priorities -----------------
+    let mut bell = Circuit::new(2);
+    bell.h(0).cx(0, 1).measure_all();
+    let qft = qft_circuit(12, &QftOptions { measure: true, ..Default::default() });
+    let random = generate_random_gate_list(&RandomCircuitSpec {
+        num_qubits: 10,
+        num_blocks: 80,
+        seed: 42,
+        measure: true,
+    });
+
+    let jobs = [
+        ("alice", Priority::High, bell.clone()),
+        ("bob", Priority::Normal, qft),
+        ("carol", Priority::Low, random),
+    ];
+    let mut ids = Vec::new();
+    for (tenant, priority, circuit) in jobs {
+        let spec = JobSpec::new(circuit).shots(1000).tenant(tenant).priority(priority);
+        match service.submit(spec) {
+            Admission::Accepted(id) => {
+                println!("accepted {id} for {tenant} ({priority} priority)");
+                ids.push((tenant, id));
+            }
+            other => println!("rejected for {tenant}: {other:?}"),
+        }
+    }
+    for (tenant, id) in &ids {
+        let outcome = service.wait(*id).expect("admitted job resolves");
+        let result = outcome.result().expect("completes");
+        println!(
+            "{tenant:<6} {id}: {} shots in {:.2} ms (queue wait {:.2} ms, {} kernels)",
+            result.counts.as_ref().map_or(0, |c| c.total()),
+            result.service_time.as_secs_f64() * 1e3,
+            result.queue_wait.as_secs_f64() * 1e3,
+            result.stats.kernels_launched,
+        );
+    }
+
+    // --- the result cache: resubmit alice's Bell pair ---------------------
+    let warm_id = service
+        .submit(JobSpec::new(bell.clone()).shots(1000).tenant("alice"))
+        .job_id()
+        .expect("accepted");
+    let warm = service.wait(warm_id).unwrap();
+    let warm = warm.result().unwrap();
+    println!(
+        "\nresubmitted bell pair: from_cache={} in {:.3} ms (bit-identical counts)",
+        warm.from_cache,
+        warm.service_time.as_secs_f64() * 1e3
+    );
+
+    // --- explicit backpressure and control-plane outcomes -----------------
+    match service.submit(JobSpec::new(Circuit::new(36))) {
+        Admission::RejectedInfeasible { required_bytes, device_bytes } => println!(
+            "36-qubit fp64 job rejected at submit: needs {:.0} GB, device holds {:.0} GB",
+            required_bytes as f64 / 1e9,
+            device_bytes as f64 / 1e9
+        ),
+        other => println!("unexpected verdict: {other:?}"),
+    }
+    let doomed = service
+        .submit(JobSpec::new(bell).deadline(Duration::ZERO))
+        .job_id()
+        .expect("accepted");
+    println!("zero-deadline job ended: {:?}", service.wait(doomed).unwrap());
+
+    service.shutdown();
+
+    // --- what telemetry saw ----------------------------------------------
+    let snapshot = qgear_telemetry::snapshot();
+    println!("\ntelemetry:");
+    for name in [
+        names::SERVE_JOBS_SUBMITTED,
+        names::SERVE_JOBS_COMPLETED,
+        names::SERVE_JOBS_EXPIRED,
+        names::SERVE_REJECTED_INFEASIBLE,
+        names::SERVE_CACHE_HITS,
+        names::SERVE_CACHE_MISSES,
+    ] {
+        println!("  {name:<28} {}", snapshot.counter(name));
+    }
+    for tenant in ["alice", "bob", "carol"] {
+        println!(
+            "  {:<28} {}",
+            names::serve_tenant_jobs(tenant),
+            snapshot.counter(&names::serve_tenant_jobs(tenant))
+        );
+    }
+}

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Full local gate: build, tests, docs (warnings fatal), and lint on the
-# telemetry crate. CI and pre-merge both run exactly this.
+# Full local gate: build, tests, docs (warnings fatal), and lint across
+# the whole workspace. CI and pre-merge both run exactly this.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,8 +16,8 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 # clippy is optional in minimal toolchains; the gate still fails if it
 # is installed and finds anything.
 if cargo clippy --version >/dev/null 2>&1; then
-    echo "==> cargo clippy -p qgear-telemetry (-D warnings)"
-    cargo clippy -p qgear-telemetry --release -- -D warnings
+    echo "==> cargo clippy --workspace --all-targets (-D warnings)"
+    cargo clippy --workspace --all-targets --release -- -D warnings
 else
     echo "==> cargo clippy not installed; skipping lint"
 fi

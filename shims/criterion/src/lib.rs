@@ -9,14 +9,9 @@
 use std::time::{Duration, Instant};
 
 /// Top-level benchmark driver.
+#[derive(Default)]
 pub struct Criterion {
     _private: (),
-}
-
-impl Default for Criterion {
-    fn default() -> Self {
-        Criterion { _private: () }
-    }
 }
 
 impl Criterion {

@@ -378,10 +378,9 @@ impl Default for ProptestConfig {
 #[macro_export]
 macro_rules! prop_oneof {
     ($($strategy:expr),+ $(,)?) => {{
-        let mut boxed: ::std::vec::Vec<
+        let boxed: ::std::vec::Vec<
             ::std::boxed::Box<dyn $crate::Strategy<Value = _>>,
-        > = ::std::vec::Vec::new();
-        $(boxed.push(::std::boxed::Box::new($strategy));)+
+        > = ::std::vec![$(::std::boxed::Box::new($strategy)),+];
         $crate::OneOf(boxed)
     }};
 }

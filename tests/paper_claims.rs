@@ -156,7 +156,8 @@ fn slurm_utilization_claim() {
     use qgear_container::slurm::{Cluster, JobRequest, Scheduler};
     let mut s = Scheduler::new(Cluster::perlmutter_slice(256, 0));
     for _ in 0..1024 {
-        s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 120).unwrap());
+        s.submit(JobRequest::parse_sbatch("-N 1 -n 4 -C gpu --gpus-per-task 1", 120).unwrap())
+            .unwrap();
     }
     s.run_to_completion();
     assert!(s.gpu_utilization() > 0.99, "got {}", s.gpu_utilization());

@@ -196,15 +196,14 @@ proptest! {
         use qgear_workloads::qcrank::ucry_angles;
         let phi = ucry_angles(&theta);
         // θ_a = Σ_j (−1)^{⟨a, g(j)⟩} φ_j — invert manually.
-        let n = theta.len();
-        for a in 0..n {
+        for (a, &t) in theta.iter().enumerate() {
             let mut acc = 0.0;
             for (j, &p) in phi.iter().enumerate() {
                 let g = qgear_workloads::qcrank::gray(j);
-                let sign = if (a & g).count_ones() % 2 == 0 { 1.0 } else { -1.0 };
+                let sign = if (a & g).count_ones().is_multiple_of(2) { 1.0 } else { -1.0 };
                 acc += sign * p;
             }
-            prop_assert!((acc - theta[a]).abs() < 1e-9);
+            prop_assert!((acc - t).abs() < 1e-9);
         }
     }
 }

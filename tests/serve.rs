@@ -1,0 +1,281 @@
+//! Integration and property tests for the `qgear-serve` runtime.
+//!
+//! The property tests pin the scheduler's contract under arbitrary
+//! push/pop interleavings and arbitrary circuits:
+//! * no admitted job is ever lost or dispatched twice;
+//! * dispatch order is FIFO within one tenant's priority class;
+//! * a cache hit replays the cold run's counts bit-for-bit.
+//!
+//! The telemetry test drives a real multi-worker service and checks the
+//! exported schema-v1 snapshot carries the serving counters, the
+//! queue-depth histogram, and one `serve_job` span per dispatched job.
+
+use proptest::prelude::*;
+use qgear_ir::Circuit;
+use qgear_serve::{
+    Admission, AdmissionQueue, CircuitKey, JobId, JobOutcome, JobSpec, Priority, QueuedJob,
+    ServeConfig, Service,
+};
+use qgear_telemetry::names;
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+fn tenant_name(t: u8) -> &'static str {
+    ["alice", "bob", "carol"][t as usize % 3]
+}
+
+fn priority_of(p: u8) -> Priority {
+    Priority::ALL[p as usize % 3]
+}
+
+fn queued(id: u64, tenant: u8, priority: u8) -> QueuedJob {
+    let circuit = Circuit::new(1);
+    QueuedJob {
+        id: JobId(id),
+        spec: JobSpec::new(circuit.clone())
+            .tenant(tenant_name(tenant))
+            .priority(priority_of(priority)),
+        canonical: circuit,
+        key: CircuitKey(id),
+        submitted_at: Instant::now(),
+        seq: 0,
+    }
+}
+
+proptest! {
+    /// Under any interleaving of pushes and pops, the queue conserves
+    /// jobs: every accepted push is dispatched exactly once, and within
+    /// one (tenant, priority) bucket dispatch order equals admission
+    /// order.
+    #[test]
+    fn queue_conserves_jobs_and_keeps_bucket_fifo(
+        events in proptest::collection::vec((any::<bool>(), 0u8..3, 0u8..3), 1..150)
+    ) {
+        let mut queue = AdmissionQueue::new(64);
+        let mut next_id = 0u64;
+        let mut accepted = HashSet::new();
+        let mut dispatched: Vec<QueuedJob> = Vec::new();
+        for (is_push, tenant, priority) in events {
+            if is_push {
+                let job = queued(next_id, tenant, priority);
+                if queue.push(job).is_ok() {
+                    accepted.insert(next_id);
+                }
+                next_id += 1;
+            } else if let Some(job) = queue.pop_next() {
+                dispatched.push(job);
+            }
+        }
+        while let Some(job) = queue.pop_next() {
+            dispatched.push(job);
+        }
+        prop_assert!(queue.is_empty());
+
+        // Conservation: dispatched ids == accepted ids, no duplicates.
+        let mut seen = HashSet::new();
+        for job in &dispatched {
+            prop_assert!(seen.insert(job.id.0), "job {} dispatched twice", job.id.0);
+        }
+        prop_assert_eq!(&seen, &accepted);
+
+        // FIFO within each (tenant, priority) bucket, by admission seq.
+        let mut last_seq: HashMap<(String, usize), u64> = HashMap::new();
+        for job in &dispatched {
+            let bucket = (job.spec.tenant.clone(), job.spec.priority.index());
+            if let Some(&prev) = last_seq.get(&bucket) {
+                prop_assert!(
+                    job.seq > prev,
+                    "bucket {:?} reordered: seq {} after {}",
+                    bucket, job.seq, prev
+                );
+            }
+            last_seq.insert(bucket, job.seq);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Resubmitting an identical spec (same circuit, shots, seed,
+    /// precision) after the cold run completes hits the cache and
+    /// replays the exact same counts.
+    #[test]
+    fn cache_hit_is_bitwise_identical_to_cold_run(
+        n in 2u32..5,
+        gates in proptest::collection::vec((0u8..4, 0u32..4, 1u32..4, -3.1..3.1f64), 1..16),
+        shots in 64u64..512,
+        seed in any::<u64>(),
+    ) {
+        let mut circuit = Circuit::new(n);
+        for (kind, a, boff, theta) in gates {
+            let a = a % n;
+            let b = (a + 1 + boff % (n - 1)) % n;
+            match kind {
+                0 => { circuit.h(a); }
+                1 => { circuit.ry(theta, a); }
+                2 => { circuit.cx(a, b); }
+                _ => { circuit.rz(theta, a); }
+            }
+        }
+        circuit.measure_all();
+
+        let service = Service::start(ServeConfig { workers: 1, ..Default::default() });
+        let spec = JobSpec::new(circuit).shots(shots).seed(seed);
+        let cold_id = service.submit(spec.clone()).job_id().expect("cold accepted");
+        let cold = service.wait(cold_id).unwrap();
+        let warm_id = service.submit(spec).job_id().expect("warm accepted");
+        let warm = service.wait(warm_id).unwrap();
+        service.shutdown();
+
+        let cold = cold.result().expect("cold completes");
+        let warm = warm.result().expect("warm completes");
+        prop_assert!(!cold.from_cache);
+        prop_assert!(warm.from_cache, "second identical spec must hit the cache");
+        prop_assert_eq!(&cold.counts, &warm.counts);
+        prop_assert_eq!(cold.counts.as_ref().unwrap().total(), shots);
+    }
+}
+
+/// A concurrent multi-tenant burst across 4 workers: every accepted job
+/// reaches exactly one terminal outcome and the dispatch log shows no
+/// duplicates — the service-level statement of the queue property.
+#[test]
+fn concurrent_burst_loses_and_duplicates_nothing() {
+    let service = Service::start(ServeConfig { workers: 4, queue_capacity: 128, ..Default::default() });
+    let mut ids = Vec::new();
+    for i in 0..60u64 {
+        let mut c = Circuit::new(3 + (i % 3) as u32);
+        c.h(0).cx(0, 1).ry(0.1 * i as f64, 2).measure_all();
+        let spec = JobSpec::new(c)
+            .shots(200)
+            .seed(i)
+            .tenant(tenant_name((i % 3) as u8))
+            .priority(priority_of((i % 3) as u8));
+        match service.submit(spec) {
+            Admission::Accepted(id) => ids.push(id),
+            other => panic!("burst of 60 under capacity 128 rejected: {other:?}"),
+        }
+    }
+    for &id in &ids {
+        let outcome = service.wait(id).expect("every accepted id resolves");
+        assert!(
+            outcome.is_completed(),
+            "job {id:?} ended {outcome:?} with no faults injected"
+        );
+    }
+    let log = service.dispatch_log();
+    let unique: HashSet<u64> = log.iter().map(|r| r.id.0).collect();
+    assert_eq!(unique.len(), log.len(), "duplicate dispatch");
+    assert_eq!(unique.len(), ids.len(), "dispatch log must cover every job");
+    service.shutdown();
+}
+
+/// End-to-end telemetry: counters, queue-depth histogram, per-tenant
+/// counters, and `serve_job` spans all land in the schema-v1 snapshot.
+#[test]
+fn telemetry_snapshot_carries_the_serving_signals() {
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+
+    let service = Service::start(ServeConfig { workers: 4, ..Default::default() });
+    let mut bell = Circuit::new(2);
+    bell.h(0).cx(0, 1).measure_all();
+    let ids: Vec<JobId> = (0..12u64)
+        .map(|i| {
+            service
+                .submit(
+                    JobSpec::new(bell.clone())
+                        .shots(100)
+                        // Two distinct seeds → 2 cold runs, 10 cache hits
+                        // once the cold results land (workers may race the
+                        // first submissions, so hits are a lower bound).
+                        .seed(i % 2)
+                        .tenant("telemetry-tenant"),
+                )
+                .job_id()
+                .expect("accepted")
+        })
+        .collect();
+    for id in &ids {
+        assert!(matches!(service.wait(*id), Some(JobOutcome::Completed(_))));
+    }
+    service.shutdown();
+
+    let snapshot = qgear_telemetry::snapshot();
+    qgear_telemetry::disable();
+
+    // Counters (>= because other tests may run concurrently with
+    // telemetry enabled; the tenant-scoped counters are exact).
+    assert!(snapshot.counter(names::SERVE_JOBS_SUBMITTED) >= 12);
+    assert!(snapshot.counter(names::SERVE_JOBS_COMPLETED) >= 12);
+    assert_eq!(snapshot.counter(&names::serve_tenant_jobs("telemetry-tenant")), 12);
+    assert_eq!(snapshot.counter(&names::serve_tenant_shots("telemetry-tenant")), 1200);
+    assert!(snapshot.counter(names::SERVE_CACHE_MISSES) >= 2);
+    assert!(
+        snapshot.counter(names::SERVE_CACHE_HITS) >= 6,
+        "repeat submissions should mostly hit the cache"
+    );
+
+    // Histograms.
+    let depth = snapshot
+        .histograms
+        .get(names::SERVE_QUEUE_DEPTH)
+        .expect("queue-depth histogram recorded");
+    assert!(depth.count >= 24, "sampled at every submit and dispatch");
+    let latency = snapshot
+        .histograms
+        .get(names::SERVE_LATENCY_MS)
+        .expect("latency histogram recorded");
+    assert!(latency.count >= 12);
+
+    // One serve_job span per dispatched job, usable for percentiles.
+    let serve_spans = snapshot
+        .spans
+        .iter()
+        .filter(|s| s.name == names::spans::SERVE_JOB)
+        .count();
+    assert!(serve_spans >= 12, "got {serve_spans} serve_job spans");
+
+    // The snapshot round-trips through the schema-v1 JSON document.
+    let value = snapshot.to_value("serve-integration");
+    let (label, decoded) =
+        qgear_telemetry::TelemetrySnapshot::from_value(&value).expect("schema v1 roundtrip");
+    assert_eq!(label, "serve-integration");
+    assert_eq!(
+        decoded.counter(&names::serve_tenant_jobs("telemetry-tenant")),
+        12
+    );
+}
+
+/// Deadlines, cancellation, and infeasibility all surface as explicit
+/// outcomes through the public API.
+#[test]
+fn control_plane_outcomes_are_explicit() {
+    let service = Service::start(ServeConfig { workers: 1, ..Default::default() });
+
+    // Infeasible: a 40-qubit fp64 state needs 17.6 TB, not 40 GB.
+    match service.submit(JobSpec::new(Circuit::new(40))) {
+        Admission::RejectedInfeasible { required_bytes, device_bytes } => {
+            assert!(required_bytes > device_bytes);
+        }
+        other => panic!("expected RejectedInfeasible, got {other:?}"),
+    }
+
+    // Expired: a zero deadline can never be met.
+    let mut c = Circuit::new(2);
+    c.h(0).measure_all();
+    let id = service
+        .submit(JobSpec::new(c.clone()).deadline(std::time::Duration::ZERO))
+        .job_id()
+        .unwrap();
+    assert!(matches!(service.wait(id), Some(JobOutcome::Expired)));
+
+    service.shutdown();
+
+    // Shutting down: no new admissions.
+    assert!(matches!(
+        service.submit(JobSpec::new(c)),
+        Admission::ShuttingDown
+    ));
+}
