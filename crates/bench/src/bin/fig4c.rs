@@ -30,9 +30,10 @@ fn main() {
         // Both run the transpiled (native-set) circuit, like the pipeline.
         let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
         let qgear_t =
-            project_circuit(&model, &native, ModelTarget::QGearGpu { devices: 4 }, &opts).total();
+            project_circuit(&model, &native, ModelTarget::QGearGpu { devices: 4 }, &opts).expect("native circuit projects").total();
         let penny_t =
             project_circuit(&model, &native, ModelTarget::PennylaneGpu { devices: 4 }, &opts)
+                .expect("native circuit projects")
                 .total();
         report.modeled("qgear-4gpu", n as f64, qgear_t);
         report.modeled("pennylane-4gpu", n as f64, penny_t);

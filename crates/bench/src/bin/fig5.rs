@@ -30,9 +30,9 @@ fn main() {
             shots: row.shots(),
             fusion_width: 5,
         };
-        let cpu = project_circuit(&model, &circ, ModelTarget::QiskitCpu, &opts).total();
+        let cpu = project_circuit(&model, &circ, ModelTarget::QiskitCpu, &opts).expect("native circuit projects").total();
         let gpu =
-            project_circuit(&model, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
+            project_circuit(&model, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).expect("native circuit projects").total();
         let label = format!("{}-{}a{}d", row.image, row.config.addr_qubits, row.config.data_qubits);
         let pixels = row.pixels() as f64;
         report.modeled(&format!("qiskit-cpu/{label}"), pixels, cpu);

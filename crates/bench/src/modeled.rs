@@ -58,7 +58,10 @@ pub fn random_blocks_point(
     };
     let circ = generate_random_gate_list(&spec);
     let opts = ProjectOptions { precision, shots, fusion_width: 5 };
-    ModelPoint::Time(project_circuit(model, &circ, target, &opts))
+    match project_circuit(model, &circ, target, &opts) {
+        Ok(t) => ModelPoint::Time(t),
+        Err(_) => ModelPoint::Infeasible("circuit not fusable on this target"),
+    }
 }
 
 #[cfg(test)]

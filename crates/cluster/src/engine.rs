@@ -2,13 +2,12 @@
 
 use crate::comm::ClusterTopology;
 use crate::distributed::DistributedState;
-use qgear_ir::fusion;
+use qgear_ir::{fusion, schedule};
 use qgear_ir::Circuit;
 use qgear_num::Scalar;
-use qgear_statevec::backend::{ExecStats, RunOptions, RunOutput, SimError, Simulator};
-use qgear_statevec::sampling;
-use qgear_statevec::{Counts, GpuDevice};
-use std::collections::HashMap;
+use qgear_statevec::backend::{sample_from_probs, ExecStats, RunOptions, RunOutput, SimError, Simulator};
+use qgear_statevec::sampling::SamplingConfig;
+use qgear_statevec::GpuDevice;
 use std::time::Instant;
 
 /// A cluster of simulated GPUs.
@@ -107,6 +106,20 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
         let sim_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SIMULATE);
         let program = fusion::try_fuse(&unitary, width as usize)
             .map_err(|e| SimError::UnsupportedGate(e.to_string()))?;
+        // The distributed engine executes kernel-at-a-time (each kernel
+        // may force a layout exchange), so instead of cache blocking it
+        // takes the *ordering* half of the sweep schedule: kernels with
+        // shared support land adjacently, which keeps hot qubits local
+        // between exchanges.
+        let program = if opts.sweep_width > 0 {
+            let plan = schedule::sweeps(
+                &program,
+                &schedule::SweepOptions { max_width: opts.sweep_width, reorder: opts.sweep_reorder },
+            );
+            plan.reorder_program(&program)
+        } else {
+            program
+        };
         let mut dist: DistributedState<T> = DistributedState::zero(n, self.num_devices, self.topology);
         dist.set_restore_layout(self.restore_layout);
         dist.run_program(&program);
@@ -131,22 +144,16 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
         // multinomial draw.
         let sample_start = Instant::now();
         let sample_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SAMPLE);
+        // Same helper as the single-device engines, so cluster sampling
+        // is bit-identical given the same marginal, seed and shot split.
         let counts = if opts.shots > 0 && !measured.is_empty() {
             let probs: Vec<f64> = dist.marginal(&measured).iter().map(|p| p.to_f64()).collect();
-            let draws = sampling::multinomial(&probs, opts.shots, opts.seed);
-            let mut map = HashMap::new();
-            for (key, count) in draws.into_iter().enumerate() {
-                if count > 0 {
-                    map.insert(key as u64, count);
-                }
-            }
-            Some(Counts { qubits: measured.clone(), map })
+            let cfg =
+                SamplingConfig { shots: opts.shots, seed: opts.seed, batch_shots: opts.shot_batch };
+            sample_from_probs(&probs, &measured, &cfg)
         } else {
             None
         };
-        if opts.shots > 0 && !measured.is_empty() {
-            qgear_telemetry::counter_add(qgear_telemetry::names::SHOTS_SAMPLED, opts.shots as u128);
-        }
         drop(sample_span);
         stats.sampling_elapsed = sample_start.elapsed();
 

@@ -210,7 +210,7 @@ fn cmd_project(args: &Args) -> Result<(), String> {
     });
     // Projection needs the native circuit but never allocates the state.
     let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
-    let t = qgear.project(&native);
+    let t = qgear.project(&native).map_err(|e| e.to_string())?;
     println!(
         "{} on {} at {}: {}",
         circ.name, args.target, args.precision, t

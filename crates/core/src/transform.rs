@@ -177,6 +177,9 @@ impl QGear {
             fusion_width: self.config.fusion_width,
             keep_state: self.config.keep_state,
             memory_limit: self.config.memory_limit,
+            // Sweep scheduling and shot batching ride on the engine
+            // defaults (sweeps on, batching off).
+            ..RunOptions::default()
         }
     }
 
@@ -194,8 +197,13 @@ impl QGear {
     }
 
     /// Project the testbed wall-clock for a circuit on this configuration.
-    pub fn project(&self, native: &Circuit) -> qgear_perfmodel::TimeBreakdown {
-        project_circuit(
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PipelineError::Fusion`] when the circuit cannot be
+    /// fused (e.g. arity-3 gates that were never lowered).
+    pub fn project(&self, native: &Circuit) -> Result<qgear_perfmodel::TimeBreakdown, PipelineError> {
+        Ok(project_circuit(
             &self.config.model,
             native,
             self.config.target.model_target(),
@@ -204,7 +212,7 @@ impl QGear {
                 shots: self.config.shots,
                 fusion_width: self.config.fusion_width,
             },
-        )
+        )?)
     }
 
     /// End-to-end: transform (unless the target is the plain-Qiskit
@@ -219,7 +227,7 @@ impl QGear {
             let artifacts = self.transform(circuit)?;
             (artifacts.native, artifacts.global_phase)
         };
-        let modeled = self.project(&exec_circuit);
+        let modeled = self.project(&exec_circuit)?;
         let result = match self.config.precision {
             Precision::Fp32 => {
                 let out: RunOutput<f32> = self.execute(&exec_circuit)?;
@@ -269,32 +277,30 @@ impl QGear {
         let opts = self.run_options();
         let mut natives = Vec::with_capacity(circuits.len());
         let mut phases = Vec::with_capacity(circuits.len());
+        let mut modeled = Vec::with_capacity(circuits.len());
         for c in circuits {
             let artifacts = self.transform(c)?;
             phases.push(artifacts.global_phase);
+            modeled.push(self.project(&artifacts.native)?);
             natives.push(artifacts.native);
         }
         let results: Vec<RunResult> = match self.config.precision {
             Precision::Fp32 => engine
                 .run_batch::<f32>(&natives, &opts)
                 .into_iter()
-                .zip(&natives)
+                .zip(&modeled)
                 .zip(&phases)
-                .map(|((out, native), &phase)| {
-                    out.map(|o| {
-                        RunResult::from_output(o, self.project(native), Precision::Fp32, phase)
-                    })
+                .map(|((out, t), &phase)| {
+                    out.map(|o| RunResult::from_output(o, *t, Precision::Fp32, phase))
                 })
                 .collect::<Result<_, _>>()?,
             Precision::Fp64 => engine
                 .run_batch::<f64>(&natives, &opts)
                 .into_iter()
-                .zip(&natives)
+                .zip(&modeled)
                 .zip(&phases)
-                .map(|((out, native), &phase)| {
-                    out.map(|o| {
-                        RunResult::from_output(o, self.project(native), Precision::Fp64, phase)
-                    })
+                .map(|((out, t), &phase)| {
+                    out.map(|o| RunResult::from_output(o, *t, Precision::Fp64, phase))
                 })
                 .collect::<Result<_, _>>()?,
         };
@@ -489,8 +495,8 @@ mod tests {
         let circ = qgear_workloads::random::generate_random_gate_list(&spec);
         let cpu = QGear::new(QGearConfig { target: Target::QiskitAerCpu, ..Default::default() });
         let gpu = QGear::new(QGearConfig { target: Target::Nvidia, ..Default::default() });
-        let t_cpu = cpu.project(&circ).total();
-        let t_gpu = gpu.project(&circ).total();
+        let t_cpu = cpu.project(&circ).unwrap().total();
+        let t_gpu = gpu.project(&circ).unwrap().total();
         assert!(t_cpu / t_gpu > 100.0, "speedup {:.0}", t_cpu / t_gpu);
     }
 }

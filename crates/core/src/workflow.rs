@@ -88,7 +88,7 @@ impl Workflow {
         let mut scheduler = Scheduler::new(self.cluster.clone());
         let mut modeled_durations = Vec::with_capacity(circuits.len());
         for circ in circuits {
-            let modeled = qgear.project(circ).total();
+            let modeled = qgear.project(circ)?.total();
             modeled_durations.push(modeled);
             let per_node = devices.clamp(1, 4);
             let nodes = devices.div_ceil(4).max(1);

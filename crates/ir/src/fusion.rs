@@ -357,6 +357,35 @@ impl FusedBlock {
             .map(|j| self.unitary.mixes_bit(j, 1e-12))
             .collect()
     }
+
+    /// Global-qubit bitmask of this kernel's support (`bit q` set iff the
+    /// kernel acts on qubit `q`). The sweep scheduler's disjointness and
+    /// commutation checks run on these masks instead of walking qubit
+    /// lists.
+    pub fn support_mask(&self) -> u128 {
+        self.qubits.iter().map(|&q| 1u128 << q).sum()
+    }
+
+    /// Global-qubit bitmask of the qubits this kernel *mixes* (couples the
+    /// 0- and 1-subspaces of). Unmixed support qubits are controls/phases;
+    /// two kernels commute whenever neither mixes a shared qubit (both are
+    /// block-diagonal over the shared bits, and their private supports are
+    /// disjoint).
+    pub fn mixed_support_mask(&self) -> u128 {
+        self.qubits
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| self.unitary.mixes_bit(j, 1e-12))
+            .map(|(_, &q)| 1u128 << q)
+            .sum()
+    }
+
+    /// True if the kernel is diagonal (a pure phase pattern): applies
+    /// element-wise with no gather/scatter, so it can join a sweep of any
+    /// width.
+    pub fn is_diagonal(&self) -> bool {
+        self.unitary.diagonal(1e-15).is_some()
+    }
 }
 
 /// The kernel list produced by [`fuse`]: what §2.2 calls the "kernel

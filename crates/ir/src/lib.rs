@@ -37,6 +37,7 @@ pub mod gate;
 pub mod parametric;
 pub mod qpy;
 pub mod reference;
+pub mod schedule;
 pub mod transpile;
 
 pub use circuit::Circuit;
@@ -45,3 +46,4 @@ pub use error::IrError;
 pub use fusion::{FusedBlock, FusedProgram, FusionError};
 pub use gate::{Gate, GateKind};
 pub use parametric::{ParamCircuit, ParamValue};
+pub use schedule::{Sweep, SweepOptions, SweepSchedule};

@@ -209,17 +209,25 @@ impl ParamCircuit {
     /// qubit set and absorbed gate count. Any two bindings of this
     /// template produce byte-identical structures — §2.2's
     /// structure-preservation property, verified in tests.
-    pub fn fusion_structure(&self, width: usize) -> Vec<(Vec<u32>, usize)> {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::fusion::FusionError`] when the template cannot
+    /// be fused at `width` (invalid window, arity-3 gates).
+    pub fn fusion_structure(
+        &self,
+        width: usize,
+    ) -> Result<Vec<(Vec<u32>, usize)>, crate::fusion::FusionError> {
         // Bind with zeros: angles don't influence grouping.
         let bound = self
             .bind(&vec![0.0; self.num_params as usize])
             .expect("zero binding always valid");
         let (unitary, _) = bound.split_measurements();
-        crate::fusion::fuse(&unitary, width)
+        Ok(crate::fusion::try_fuse(&unitary, width)?
             .blocks
             .iter()
             .map(|b| (b.qubits.clone(), b.source_gates))
-            .collect()
+            .collect())
     }
 }
 
@@ -288,7 +296,7 @@ mod tests {
     #[test]
     fn fusion_structure_is_binding_independent() {
         let t = ansatz_template(4);
-        let s = t.fusion_structure(3);
+        let s = t.fusion_structure(3).unwrap();
         // Compare structures of two very different bindings.
         for values in [vec![0.0; 8], (0..8).map(|i| i as f64 * 0.7 - 2.0).collect()] {
             let bound = t.bind(&values).unwrap();

@@ -9,7 +9,7 @@
 use crate::cost::{CostModel, TimeBreakdown};
 use crate::memory::amp_bytes;
 use qgear_cluster::TrafficPlanner;
-use qgear_ir::fusion::{self, FusedProgram};
+use qgear_ir::fusion::{self, FusedProgram, FusionError};
 use qgear_ir::Circuit;
 use qgear_num::scalar::Precision;
 
@@ -52,18 +52,24 @@ impl Default for ProjectOptions {
 /// to a time breakdown. The circuit must already be on the native set
 /// (transpile first); measurements are split off and drive the sampling
 /// term.
+///
+/// # Errors
+///
+/// Returns [`FusionError`] when the circuit cannot be fused (e.g. it
+/// still contains arity-3 gates) — a cost model must reject such input,
+/// not abort the process.
 pub fn project_circuit(
     model: &CostModel,
     circ: &Circuit,
     target: ModelTarget,
     opts: &ProjectOptions,
-) -> TimeBreakdown {
+) -> Result<TimeBreakdown, FusionError> {
     let (unitary, measured) = circ.split_measurements();
     let gates = unitary.unitary_count() as u64;
     let n = circ.num_qubits();
     let shots = if measured.is_empty() { 0 } else { opts.shots };
 
-    match target {
+    Ok(match target {
         ModelTarget::QiskitCpu => {
             // Aer simulates in fp64 regardless of the GPU run's precision.
             let mut t = model.cpu_unitary(n, 16, gates);
@@ -78,7 +84,7 @@ pub fn project_circuit(
             // hold at least a 2-qubit-local slice for CX kernels).
             let devices = effective_devices(devices, n);
             let width = effective_width(opts.fusion_width, n, devices);
-            let program = fusion::fuse(&unitary, width);
+            let program = fusion::try_fuse(&unitary, width)?;
             let traffic = plan_traffic(&program, n, devices, opts.precision, model);
             let mut t = model.gpu_unitary(
                 n,
@@ -95,7 +101,7 @@ pub fn project_circuit(
             // No fusion: every gate is its own kernel; same distribution
             // scheme for global qubits.
             let devices = effective_devices(devices, n);
-            let program = fusion::fuse(&unitary, 1);
+            let program = fusion::try_fuse(&unitary, 1)?;
             let traffic = plan_traffic(&program, n, devices, opts.precision, model);
             let mut t = model.pennylane_unitary(
                 n,
@@ -107,7 +113,7 @@ pub fn project_circuit(
             t.sampling = model.gpu_sampling(shots);
             t
         }
-    }
+    })
 }
 
 /// Clamp a requested device count to what an `n`-qubit register can be
@@ -174,8 +180,8 @@ mod tests {
         let m = CostModel::paper_testbed();
         let c = cx_blocks(30, 100, 1);
         let opts = ProjectOptions { shots: 3000, ..Default::default() };
-        let cpu = project_circuit(&m, &c, ModelTarget::QiskitCpu, &opts).total();
-        let gpu = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
+        let cpu = project_circuit(&m, &c, ModelTarget::QiskitCpu, &opts).unwrap().total();
+        let gpu = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 1 }, &opts).unwrap().total();
         let speedup = cpu / gpu;
         assert!(
             (100.0..2000.0).contains(&speedup),
@@ -190,7 +196,7 @@ mod tests {
         let t: Vec<f64> = (28..=32)
             .map(|n| {
                 let c = cx_blocks(n, 100, 7);
-                project_circuit(&m, &c, ModelTarget::QiskitCpu, &opts).total()
+                project_circuit(&m, &c, ModelTarget::QiskitCpu, &opts).unwrap().total()
             })
             .collect();
         for w in t.windows(2) {
@@ -205,8 +211,8 @@ mod tests {
         // blocks vs 100 blocks.
         let m = CostModel::paper_testbed();
         let opts = ProjectOptions::default();
-        let short = project_circuit(&m, &cx_blocks(30, 100, 3), ModelTarget::QiskitCpu, &opts);
-        let long = project_circuit(&m, &cx_blocks(30, 10_000, 3), ModelTarget::QiskitCpu, &opts);
+        let short = project_circuit(&m, &cx_blocks(30, 100, 3), ModelTarget::QiskitCpu, &opts).unwrap();
+        let long = project_circuit(&m, &cx_blocks(30, 10_000, 3), ModelTarget::QiskitCpu, &opts).unwrap();
         let ratio = long.total() / short.total();
         assert!((80.0..120.0).contains(&ratio), "ratio {ratio}");
     }
@@ -216,8 +222,8 @@ mod tests {
         let m = CostModel::paper_testbed();
         let c = cx_blocks(32, 1000, 5);
         let opts = ProjectOptions::default();
-        let one = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
-        let four = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 4 }, &opts).total();
+        let one = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 1 }, &opts).unwrap().total();
+        let four = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 4 }, &opts).unwrap().total();
         // Communication eats some of the 4x, but it must still win.
         assert!(four < one, "4 GPUs {four:.1}s vs 1 GPU {one:.1}s");
     }
@@ -227,8 +233,8 @@ mod tests {
         let m = CostModel::paper_testbed();
         let c = cx_blocks(28, 200, 11);
         let opts = ProjectOptions { shots: 100, ..Default::default() };
-        let qgear = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 4 }, &opts).total();
-        let penny = project_circuit(&m, &c, ModelTarget::PennylaneGpu { devices: 4 }, &opts).total();
+        let qgear = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 4 }, &opts).unwrap().total();
+        let penny = project_circuit(&m, &c, ModelTarget::PennylaneGpu { devices: 4 }, &opts).unwrap().total();
         assert!(penny > 1.5 * qgear, "pennylane {penny:.2}s vs qgear {qgear:.2}s");
     }
 
@@ -239,8 +245,8 @@ mod tests {
         let m = CostModel::paper_testbed();
         let c = cx_blocks(40, 3000, 13);
         let opts = ProjectOptions::default();
-        let t256 = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 256 }, &opts).total();
-        let t1024 = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 1024 }, &opts).total();
+        let t256 = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 256 }, &opts).unwrap().total();
+        let t1024 = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 1024 }, &opts).unwrap().total();
         assert!(
             t1024 > t256,
             "expected reversal: 1024 GPUs {t1024:.1}s vs 256 GPUs {t256:.1}s"
@@ -254,7 +260,7 @@ mod tests {
         let m = CostModel::paper_testbed();
         let c = cx_blocks(42, 3000, 17);
         let opts = ProjectOptions { shots: 10_000, ..Default::default() };
-        let t = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 1024 }, &opts).total();
+        let t = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: 1024 }, &opts).unwrap().total();
         // The paper reports ~10 min; our comm model is deliberately
         // pessimistic (no compute/comm overlap, per-bit pairwise
         // exchanges), so accept up to ~2 h — still "feasible given
@@ -282,7 +288,7 @@ mod diag {
                 if n < p.trailing_zeros() + 2 { continue; }
                 let local = (1u128 << n) * 8 / p as u128;
                 if local > m.gpu.memory_bytes { print!("n={n} P={p}: OOM; "); continue; }
-                let t = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: p }, &opts);
+                let t = project_circuit(&m, &c, ModelTarget::QGearGpu { devices: p }, &opts).unwrap();
                 println!("n={n} P={p}: {t}");
             }
         }

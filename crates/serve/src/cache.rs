@@ -10,6 +10,7 @@ use crate::hashkey::CircuitKey;
 use qgear_statevec::{Counts, ExecStats};
 use qgear_telemetry::{counter_inc, names};
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// The cached payload of one cold run.
 #[derive(Debug, Clone)]
@@ -76,6 +77,74 @@ impl ResultCache {
     }
 }
 
+/// A cached measurement marginal: the exact `f64` outcome probabilities
+/// and measured qubits of one evolved state, reusable across *any*
+/// `(shots, seed, batch)` sampling request. Every sampler shares one
+/// probability-conversion point (`qgear_statevec::marginal_probs`), so
+/// replaying from here is bit-identical to re-simulating.
+#[derive(Debug, Clone)]
+pub struct CachedMarginal {
+    /// Outcome probabilities over the measured qubits, in `f64`.
+    pub probs: Arc<Vec<f64>>,
+    /// The measured qubits, in key-bit order.
+    pub measured: Arc<Vec<u32>>,
+    /// Engine counters of the evolution that produced the marginal.
+    pub stats: ExecStats,
+}
+
+/// A FIFO-bounded map from sampling-independent state key to cached
+/// marginal — the "evolve once, sample many" half of the serving cache.
+#[derive(Debug, Default)]
+pub struct MarginalCache {
+    capacity: usize,
+    entries: HashMap<u64, CachedMarginal>,
+    order: VecDeque<u64>,
+}
+
+impl MarginalCache {
+    /// A cache holding at most `capacity` marginals (`0` disables it).
+    pub fn new(capacity: usize) -> Self {
+        MarginalCache { capacity, entries: HashMap::new(), order: VecDeque::new() }
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Look up a state key. Counts `serve.state_cache_hits` / `_misses`.
+    pub fn get(&self, key: CircuitKey) -> Option<CachedMarginal> {
+        let hit = self.entries.get(&key.0).cloned();
+        if hit.is_some() {
+            counter_inc(names::SERVE_STATE_CACHE_HITS);
+        } else {
+            counter_inc(names::SERVE_STATE_CACHE_MISSES);
+        }
+        hit
+    }
+
+    /// Insert a marginal, evicting the oldest entry when full.
+    pub fn insert(&mut self, key: CircuitKey, marginal: CachedMarginal) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.entries.insert(key.0, marginal).is_none() {
+            self.order.push_back(key.0);
+            while self.entries.len() > self.capacity {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.entries.remove(&oldest);
+                    counter_inc(names::SERVE_CACHE_EVICTIONS);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,6 +182,27 @@ mod tests {
         cache.insert(CircuitKey(1), payload(1));
         assert!(cache.is_empty());
         assert!(cache.get(CircuitKey(1)).is_none());
+    }
+
+    #[test]
+    fn marginal_cache_round_trips_and_evicts() {
+        let mut cache = MarginalCache::new(2);
+        assert!(cache.is_empty());
+        let entry = CachedMarginal {
+            probs: Arc::new(vec![0.5, 0.5]),
+            measured: Arc::new(vec![0]),
+            stats: ExecStats::default(),
+        };
+        cache.insert(CircuitKey(1), entry.clone());
+        cache.insert(CircuitKey(2), entry.clone());
+        cache.insert(CircuitKey(3), entry);
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(CircuitKey(1)).is_none(), "oldest evicted");
+        let hit = cache.get(CircuitKey(3)).unwrap();
+        assert_eq!(*hit.probs, vec![0.5, 0.5]);
+        let mut off = MarginalCache::new(0);
+        off.insert(CircuitKey(9), cache.get(CircuitKey(2)).unwrap());
+        assert!(off.is_empty(), "zero capacity disables the cache");
     }
 
     #[test]

@@ -45,6 +45,34 @@ impl CircuitKey {
         h.u64(fusion_width as u64);
         CircuitKey(h.finish())
     }
+
+    /// Digest of everything that determines the evolved state's
+    /// measurement *marginal* — circuit, precision, fusion width — but
+    /// **not** the sampling knobs (shots, seed, batching). Jobs that
+    /// differ only in how they sample share this key, which is what lets
+    /// the serving layer evolve a circuit once and serve every
+    /// shots/seed combination from the cached marginal.
+    pub fn state_key(circuit: &Circuit, spec: &JobSpec, fusion_width: usize) -> Self {
+        let mut h = Fnv::new();
+        // Domain tag: state keys must never be confused with result keys.
+        h.u64(0x5747_4154_454b_4559); // "WGATEKEY"
+        h.u64(u64::from(circuit.num_qubits()));
+        for gate in circuit.gates() {
+            h.u64(u64::from(gate.kind.tag()));
+            for &q in gate.operands() {
+                h.u64(u64::from(q));
+            }
+            for &p in gate.parameters() {
+                h.u64(p.to_bits());
+            }
+        }
+        h.u64(match spec.precision {
+            Precision::Fp32 => 1,
+            Precision::Fp64 => 2,
+        });
+        h.u64(fusion_width as u64);
+        CircuitKey(h.finish())
+    }
 }
 
 /// Minimal FNV-1a accumulator (no external hashing crates offline).

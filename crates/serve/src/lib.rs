@@ -56,7 +56,7 @@ pub mod job;
 pub mod scheduler;
 pub mod service;
 
-pub use cache::ResultCache;
+pub use cache::{MarginalCache, ResultCache};
 pub use fault::FaultPlan;
 pub use hashkey::CircuitKey;
 pub use job::{Admission, JobId, JobOutcome, JobResult, JobSpec, Priority, ServeError};

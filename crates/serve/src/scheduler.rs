@@ -31,6 +31,9 @@ pub struct QueuedJob {
     pub canonical: Circuit,
     /// Cache key over the canonical circuit + sampling knobs.
     pub key: CircuitKey,
+    /// Sampling-independent key over the canonical circuit + precision +
+    /// kernel config, for the state-marginal cache.
+    pub state_key: CircuitKey,
     /// Wall-clock admission time (deadlines count from here).
     pub submitted_at: Instant,
     /// Global admission sequence number (FIFO evidence).
@@ -177,6 +180,7 @@ mod tests {
             id: JobId(id),
             canonical: circuit,
             key: CircuitKey(id),
+            state_key: CircuitKey(id ^ u64::MAX),
             spec,
             submitted_at: Instant::now(),
             seq: 0,

@@ -8,7 +8,7 @@
 //! lock. Shutdown is graceful: workers drain the queue before exiting,
 //! so every admitted job reaches an outcome.
 
-use crate::cache::{CachedResult, ResultCache};
+use crate::cache::{CachedMarginal, CachedResult, MarginalCache, ResultCache};
 use crate::fault::FaultPlan;
 use crate::hashkey::CircuitKey;
 use crate::job::{Admission, JobId, JobOutcome, JobResult, JobSpec, ServeError};
@@ -16,7 +16,10 @@ use crate::scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};
 use qgear_ir::fusion::DEFAULT_FUSION_WIDTH;
 use qgear_ir::transpile::decompose_to_native;
 use qgear_num::scalar::Precision;
+use qgear_num::Scalar;
 use qgear_perfmodel::memory::state_bytes;
+use qgear_statevec::backend::{marginal_probs, sample_from_probs};
+use qgear_statevec::sampling::SamplingConfig;
 use qgear_statevec::{AerCpuBackend, Counts, ExecStats, GpuDevice, RunOptions, SimError, Simulator};
 use qgear_telemetry::names::{self, spans};
 use qgear_telemetry::{counter_add, counter_inc, histogram_record, span};
@@ -68,6 +71,11 @@ pub struct ServeConfig {
     pub fusion_width: usize,
     /// Result-cache entries to retain (0 disables caching).
     pub cache_capacity: usize,
+    /// State-marginal-cache entries to retain (0 disables it). A hit
+    /// lets a job that differs from an earlier one only in sampling
+    /// knobs (shots/seed/batch) skip simulation entirely and re-sample
+    /// the cached exact marginal — bit-identical to a cold run.
+    pub state_cache_capacity: usize,
     /// Injected transient-fault plan (defaults to no faults).
     pub fault: FaultPlan,
     /// Default retry budget per job (overridable per [`JobSpec`]).
@@ -84,6 +92,7 @@ impl Default for ServeConfig {
             backend: BackendKind::default(),
             fusion_width: DEFAULT_FUSION_WIDTH,
             cache_capacity: 256,
+            state_cache_capacity: 64,
             fault: FaultPlan::none(),
             max_retries: 3,
             retry_backoff: Duration::from_millis(1),
@@ -95,6 +104,7 @@ impl Default for ServeConfig {
 struct State {
     queue: AdmissionQueue,
     cache: ResultCache,
+    marginals: MarginalCache,
     outcomes: HashMap<u64, JobOutcome>,
     dispatch_log: Vec<DispatchRecord>,
     next_id: u64,
@@ -125,6 +135,7 @@ impl Service {
             state: Mutex::new(State {
                 queue: AdmissionQueue::new(cfg.queue_capacity),
                 cache: ResultCache::new(cfg.cache_capacity),
+                marginals: MarginalCache::new(cfg.state_cache_capacity),
                 outcomes: HashMap::new(),
                 dispatch_log: Vec::new(),
                 next_id: 0,
@@ -175,6 +186,7 @@ impl Service {
         }
 
         let key = CircuitKey::for_spec(&canonical, &spec, self.shared.cfg.fusion_width);
+        let state_key = CircuitKey::state_key(&canonical, &spec, self.shared.cfg.fusion_width);
         let mut st = self.shared.state.lock().expect("serve state poisoned");
         if st.shutdown {
             return Admission::ShuttingDown;
@@ -193,6 +205,7 @@ impl Service {
             spec,
             canonical,
             key,
+            state_key,
             submitted_at: Instant::now(),
             seq: 0,
         };
@@ -347,6 +360,43 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
             counts: hit.counts,
             stats: hit.stats,
             from_cache: true,
+            from_state_cache: false,
+            attempts: 0,
+            queue_wait,
+            service_time,
+        }));
+    }
+
+    // State-marginal probe: the same circuit evolved before under
+    // different sampling knobs. Re-sample the cached exact marginal —
+    // no device time, and bit-identical to what a cold run would draw
+    // (both paths share `marginal_probs`/`sample_from_probs`).
+    let marginal = {
+        let st = shared.state.lock().expect("serve state poisoned");
+        st.marginals.get(job.state_key)
+    };
+    if let Some(hit) = marginal {
+        let sample_span = span!(spans::SAMPLE);
+        let cfg = SamplingConfig {
+            shots: job.spec.shots,
+            seed: job.spec.seed,
+            batch_shots: job.spec.shot_batch,
+        };
+        let counts = sample_from_probs(&hit.probs, &hit.measured, &cfg);
+        drop(sample_span);
+        let mut stats = hit.stats.clone();
+        stats.elapsed = Duration::ZERO; // no simulation happened for *this* job
+        {
+            let mut st = shared.state.lock().expect("serve state poisoned");
+            st.cache.insert(job.key, CachedResult { counts: counts.clone(), stats: stats.clone() });
+        }
+        let service_time = job.submitted_at.elapsed();
+        record_completion(&job.spec, service_time);
+        return JobOutcome::Completed(Box::new(JobResult {
+            counts,
+            stats,
+            from_cache: false,
+            from_state_cache: true,
             attempts: 0,
             queue_wait,
             service_time,
@@ -356,7 +406,7 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
     // Cold path: execute with retry-with-backoff against injected faults.
     let max_attempts = job.spec.max_retries.unwrap_or(shared.cfg.max_retries) + 1;
     let mut attempts = 0u32;
-    let executed: Result<(Option<Counts>, ExecStats), ServeError> = loop {
+    let executed: Result<(Option<Counts>, ExecStats, Option<CachedMarginal>), ServeError> = loop {
         attempts += 1;
         let _attempt_span = span!(spans::SERVE_ATTEMPT);
         if shared.cfg.fault.strikes(job.id.0, attempts - 1) {
@@ -375,13 +425,16 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
     };
 
     match executed {
-        Ok((counts, stats)) => {
+        Ok((counts, stats, fresh_marginal)) => {
             {
                 let mut st = shared.state.lock().expect("serve state poisoned");
                 st.cache.insert(
                     job.key,
                     CachedResult { counts: counts.clone(), stats: stats.clone() },
                 );
+                if let Some(m) = fresh_marginal {
+                    st.marginals.insert(job.state_key, m);
+                }
             }
             let service_time = job.submitted_at.elapsed();
             record_completion(&job.spec, service_time);
@@ -389,6 +442,7 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
                 counts,
                 stats,
                 from_cache: false,
+                from_state_cache: false,
                 attempts,
                 queue_wait,
                 service_time,
@@ -405,32 +459,66 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
 /// precision. Deterministic: both engines plus seeded multinomial
 /// sampling make equal `(circuit, shots, seed, precision, fusion_width)`
 /// produce bit-identical `Counts` — the property the cache relies on.
-fn execute(cfg: &ServeConfig, job: &QueuedJob) -> Result<(Option<Counts>, ExecStats), SimError> {
+///
+/// Executes in two phases (evolve, then sample from the exact marginal)
+/// so the marginal can be handed back for the state cache; the phases
+/// use the engines' own helpers, so the combined result is bit-identical
+/// to a one-shot `Simulator::run` with the same options.
+fn execute(
+    cfg: &ServeConfig,
+    job: &QueuedJob,
+) -> Result<(Option<Counts>, ExecStats, Option<CachedMarginal>), SimError> {
     let opts = RunOptions {
         shots: job.spec.shots,
         seed: job.spec.seed,
+        shot_batch: job.spec.shot_batch,
         fusion_width: cfg.fusion_width,
         keep_state: false,
         memory_limit: Some(cfg.backend.memory_bytes()),
+        ..RunOptions::default()
     };
     match &cfg.backend {
         BackendKind::Gpu(device) => match job.spec.precision {
-            Precision::Fp32 => <GpuDevice as Simulator<f32>>::run(device, &job.canonical, &opts)
-                .map(|o| (o.counts, o.stats)),
-            Precision::Fp64 => <GpuDevice as Simulator<f64>>::run(device, &job.canonical, &opts)
-                .map(|o| (o.counts, o.stats)),
+            Precision::Fp32 => evolve_and_sample::<f32, _>(device, job, &opts),
+            Precision::Fp64 => evolve_and_sample::<f64, _>(device, job, &opts),
         },
         BackendKind::Cpu { .. } => match job.spec.precision {
-            Precision::Fp32 => {
-                <AerCpuBackend as Simulator<f32>>::run(&AerCpuBackend, &job.canonical, &opts)
-                    .map(|o| (o.counts, o.stats))
-            }
-            Precision::Fp64 => {
-                <AerCpuBackend as Simulator<f64>>::run(&AerCpuBackend, &job.canonical, &opts)
-                    .map(|o| (o.counts, o.stats))
-            }
+            Precision::Fp32 => evolve_and_sample::<f32, _>(&AerCpuBackend, job, &opts),
+            Precision::Fp64 => evolve_and_sample::<f64, _>(&AerCpuBackend, job, &opts),
         },
     }
+}
+
+/// Evolve once with sampling deferred, then draw the requested counts
+/// from the marginal and return the marginal for caching.
+fn evolve_and_sample<T: Scalar, S: Simulator<T>>(
+    sim: &S,
+    job: &QueuedJob,
+    opts: &RunOptions,
+) -> Result<(Option<Counts>, ExecStats, Option<CachedMarginal>), SimError> {
+    let evolve_opts = RunOptions { shots: 0, keep_state: true, ..opts.clone() };
+    let out = sim.run(&job.canonical, &evolve_opts)?;
+    let state = out.state.expect("keep_state run returns the state");
+    let mut stats = out.stats;
+    let (_, measured) = job.canonical.split_measurements();
+    if measured.is_empty() {
+        return Ok((None, stats, None));
+    }
+    let sample_start = Instant::now();
+    let sample_span = span!(spans::SAMPLE);
+    let probs = Arc::new(marginal_probs(&state, &measured));
+    drop(state); // free the full state before sampling bookkeeping
+    let cfg = SamplingConfig {
+        shots: job.spec.shots,
+        seed: job.spec.seed,
+        batch_shots: job.spec.shot_batch,
+    };
+    let counts = sample_from_probs(&probs, &measured, &cfg);
+    drop(sample_span);
+    stats.sampling_elapsed += sample_start.elapsed();
+    let marginal =
+        CachedMarginal { probs, measured: Arc::new(measured), stats: stats.clone() };
+    Ok((counts, stats, Some(marginal)))
 }
 
 /// Telemetry bookkeeping shared by the cache-hit and cold-run paths.
@@ -486,6 +574,61 @@ mod tests {
         assert_eq!(warm.attempts, 0);
         assert_eq!(cold.counts, warm.counts, "cache must replay bit-identically");
         assert_eq!(cold.stats.kernels_launched, warm.stats.kernels_launched);
+        service.shutdown();
+    }
+
+    #[test]
+    fn same_circuit_different_seed_hits_the_state_cache() {
+        // Job B shares A's circuit but not its seed: a full-result miss,
+        // a state-marginal hit — and its counts must be bit-identical to
+        // what a cold service would produce for the same spec.
+        let service = small_service(1);
+        let a = service.submit(JobSpec::new(bell()).shots(300).seed(1)).job_id().unwrap();
+        assert!(!service.wait(a).unwrap().result().unwrap().from_state_cache);
+        let b = service.submit(JobSpec::new(bell()).shots(900).seed(2)).job_id().unwrap();
+        let warm = service.wait(b).unwrap();
+        let warm = warm.result().unwrap();
+        assert!(warm.from_state_cache, "same circuit, new sampling knobs");
+        assert!(!warm.from_cache);
+        assert_eq!(warm.attempts, 0);
+        service.shutdown();
+
+        let cold_service = Service::start(ServeConfig {
+            workers: 1,
+            state_cache_capacity: 0, // force a genuine cold run
+            ..Default::default()
+        });
+        let c = cold_service
+            .submit(JobSpec::new(bell()).shots(900).seed(2))
+            .job_id()
+            .unwrap();
+        let cold = cold_service.wait(c).unwrap();
+        let cold = cold.result().unwrap();
+        assert!(!cold.from_state_cache);
+        assert_eq!(cold.counts, warm.counts, "marginal replay must be bit-identical");
+        cold_service.shutdown();
+    }
+
+    #[test]
+    fn shot_batching_never_changes_served_counts() {
+        let service = small_service(1);
+        let unbatched = service
+            .submit(JobSpec::new(bell()).shots(1000).seed(5))
+            .job_id()
+            .unwrap();
+        let unbatched = service.wait(unbatched).unwrap();
+        // Different tenant + batching: full-result key matches anyway
+        // (shot_batch is histogram-invariant and not part of the key).
+        let batched = service
+            .submit(JobSpec::new(bell()).shots(1000).seed(5).shot_batch(64).tenant("b"))
+            .job_id()
+            .unwrap();
+        let batched = service.wait(batched).unwrap();
+        assert_eq!(
+            unbatched.result().unwrap().counts,
+            batched.result().unwrap().counts,
+            "batched and unbatched sampling must agree bit-for-bit"
+        );
         service.shutdown();
     }
 
@@ -546,6 +689,9 @@ mod tests {
             fault: FaultPlan::with_rate(0.5, 3),
             max_retries: 20,
             retry_backoff: Duration::from_micros(50),
+            // The jobs differ only in seed; disable the state cache so
+            // every one actually touches the faulty device.
+            state_cache_capacity: 0,
             ..Default::default()
         });
         for i in 0..6 {

@@ -47,9 +47,25 @@ pub struct RunOptions {
     pub shots: u64,
     /// RNG seed for sampling.
     pub seed: u64,
+    /// Shots per sampling batch (0 = one batch). Batching never changes
+    /// the histogram — see [`sampling::SamplingConfig`] — it only bounds
+    /// how many shots are materialized per pass in streaming consumers.
+    pub shot_batch: u64,
     /// Gate-fusion window for kernel-based engines (the paper's
     /// `gate fusion = 5`); ignored by the unfused baseline.
     pub fusion_width: usize,
+    /// Union-support cap (qubits) for the commutation-aware sweep
+    /// scheduler: fused kernels are grouped into cache-blocked sweeps
+    /// whose tiles hold `2^sweep_width` amplitudes. `0` disables
+    /// sweeping (one full-state pass per fused kernel, the pre-sweep
+    /// behaviour); ignored by the unfused baseline.
+    pub sweep_width: usize,
+    /// Allow the sweep scheduler to move kernels past *commuting*
+    /// neighbours into earlier sweeps. `false` restricts it to grouping
+    /// adjacent kernels, which keeps execution bit-identical to the
+    /// plain fused path (reordered execution is equal only up to fp
+    /// round-off).
+    pub sweep_reorder: bool,
     /// Keep the final state in the output (costs memory).
     pub keep_state: bool,
     /// Simulated device memory in bytes; `None` disables the check.
@@ -63,7 +79,10 @@ impl Default for RunOptions {
         RunOptions {
             shots: 0,
             seed: 0x5EED_0001,
+            shot_batch: 0,
             fusion_width: qgear_ir::fusion::DEFAULT_FUSION_WIDTH,
+            sweep_width: qgear_ir::schedule::DEFAULT_SWEEP_WIDTH,
+            sweep_reorder: true,
             keep_state: true,
             memory_limit: None,
         }
@@ -79,6 +98,9 @@ pub struct ExecStats {
     pub gates_applied: u64,
     /// Kernels launched (fused blocks, or gates for the unfused baseline).
     pub kernels_launched: u64,
+    /// Cache-blocked sweeps executed (full-state passes). Zero when the
+    /// engine ran kernel-at-a-time (`sweep_width == 0` or unfused).
+    pub sweeps_executed: u64,
     /// State-vector bytes read + written across all sweeps.
     pub bytes_touched: u128,
     /// Complex multiply-adds performed by kernels.
@@ -99,6 +121,7 @@ impl ExecStats {
     pub fn merge(&mut self, other: &ExecStats) {
         self.gates_applied += other.gates_applied;
         self.kernels_launched += other.kernels_launched;
+        self.sweeps_executed += other.sweeps_executed;
         self.bytes_touched += other.bytes_touched;
         self.flops += other.flops;
         self.elapsed += other.elapsed;
@@ -160,6 +183,19 @@ pub struct RunOutput<T: Scalar> {
     pub stats: ExecStats,
 }
 
+/// Output of [`Simulator::run_shot_batch`]: one evolved state (when
+/// requested), one `Counts` per sampling request, and the merged stats.
+#[derive(Debug, Clone)]
+pub struct ShotBatchOutput<T: Scalar> {
+    /// Final state (if `keep_state` was set in the options).
+    pub state: Option<StateVector<T>>,
+    /// One histogram per request, `None` where the request drew zero
+    /// shots or the circuit measures nothing.
+    pub counts: Vec<Option<Counts>>,
+    /// Counters for the single evolution plus all sampling passes.
+    pub stats: ExecStats,
+}
+
 /// A state-vector engine: evolves `|0…0⟩` through a circuit and samples.
 pub trait Simulator<T: Scalar> {
     /// Engine name, matching the paper's backend labels where applicable.
@@ -167,6 +203,38 @@ pub trait Simulator<T: Scalar> {
 
     /// Execute the circuit.
     fn run(&self, circuit: &Circuit, opts: &RunOptions) -> Result<RunOutput<T>, SimError>;
+
+    /// Evolve the state **once** and serve several sampling requests from
+    /// it — the batched shot pipeline. For `r` requests this costs one
+    /// simulation plus `r` multinomial draws instead of `r` simulations,
+    /// which is what makes 98 M-shot QCrank workloads (Table 2) and
+    /// multi-tenant serving affordable.
+    ///
+    /// Each request samples from the same exact marginal with its own
+    /// `(shots, seed, batch_shots)`, so any single request is
+    /// bit-identical to what a standalone [`Simulator::run`] with those
+    /// options would have produced.
+    fn run_shot_batch(
+        &self,
+        circuit: &Circuit,
+        opts: &RunOptions,
+        requests: &[sampling::SamplingConfig],
+    ) -> Result<ShotBatchOutput<T>, SimError> {
+        let evolve_opts = RunOptions { shots: 0, keep_state: true, ..opts.clone() };
+        let out = self.run(circuit, &evolve_opts)?;
+        let state = out.state.expect("keep_state run returns the state");
+        let mut stats = out.stats;
+        let (_, measured) = circuit.split_measurements();
+        let sample_start = std::time::Instant::now();
+        let counts = if measured.is_empty() {
+            requests.iter().map(|_| None).collect()
+        } else {
+            let probs = marginal_probs(&state, &measured);
+            requests.iter().map(|cfg| sample_from_probs(&probs, &measured, cfg)).collect()
+        };
+        stats.sampling_elapsed += sample_start.elapsed();
+        Ok(ShotBatchOutput { state: opts.keep_state.then_some(state), counts, stats })
+    }
 }
 
 /// Shared pre-flight checks: width vs address space and memory limit.
@@ -186,6 +254,36 @@ pub(crate) fn check_capacity<T: Scalar>(
     Ok(())
 }
 
+/// The exact measurement marginal as `f64` probabilities — the **single**
+/// conversion point between execution precision and sampling. Every
+/// sampling path (direct runs, batched runs, the serving layer's marginal
+/// cache) goes through here, so replaying a cached marginal is
+/// bit-identical to re-simulating.
+pub fn marginal_probs<T: Scalar>(state: &StateVector<T>, measured: &[u32]) -> Vec<f64> {
+    state.marginal(measured).iter().map(|p| p.to_f64()).collect()
+}
+
+/// Draw one request's histogram from a prepared marginal. Returns `None`
+/// for zero-shot requests or an empty measured set.
+pub fn sample_from_probs(
+    probs: &[f64],
+    measured: &[u32],
+    cfg: &sampling::SamplingConfig,
+) -> Option<Counts> {
+    if cfg.shots == 0 || measured.is_empty() {
+        return None;
+    }
+    let draws = cfg.histogram(probs);
+    qgear_telemetry::counter_add(qgear_telemetry::names::SHOTS_SAMPLED, cfg.shots as u128);
+    let mut map = HashMap::new();
+    for (key, count) in draws.into_iter().enumerate() {
+        if count > 0 {
+            map.insert(key as u64, count);
+        }
+    }
+    Some(Counts { qubits: measured.to_vec(), map })
+}
+
 /// Shared post-run sampling: if the circuit measured qubits and shots were
 /// requested, draw a multinomial sample from the exact marginal.
 pub(crate) fn sample_measured<T: Scalar>(
@@ -196,16 +294,13 @@ pub(crate) fn sample_measured<T: Scalar>(
     if opts.shots == 0 || measured.is_empty() {
         return None;
     }
-    let probs: Vec<f64> = state.marginal(measured).iter().map(|p| p.to_f64()).collect();
-    let draws = sampling::multinomial(&probs, opts.shots, opts.seed);
-    qgear_telemetry::counter_add(qgear_telemetry::names::SHOTS_SAMPLED, opts.shots as u128);
-    let mut map = HashMap::new();
-    for (key, count) in draws.into_iter().enumerate() {
-        if count > 0 {
-            map.insert(key as u64, count);
-        }
-    }
-    Some(Counts { qubits: measured.to_vec(), map })
+    let probs = marginal_probs(state, measured);
+    let cfg = sampling::SamplingConfig {
+        shots: opts.shots,
+        seed: opts.seed,
+        batch_shots: opts.shot_batch,
+    };
+    sample_from_probs(&probs, measured, &cfg)
 }
 
 #[cfg(test)]

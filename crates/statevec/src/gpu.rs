@@ -18,6 +18,7 @@
 use crate::backend::{check_capacity, sample_measured, ExecStats, RunOptions, RunOutput, SimError, Simulator};
 use crate::state::StateVector;
 use qgear_ir::fusion::{self, FusedBlock};
+use qgear_ir::schedule::{self, Sweep};
 use qgear_ir::Circuit;
 use qgear_num::{Complex, Scalar};
 use rayon::prelude::*;
@@ -155,6 +156,337 @@ impl GpuDevice {
             }
         });
     }
+
+    /// Execute one scheduled sweep — several mutually-reorderable fused
+    /// kernels — in a single cache-blocked pass over the state.
+    ///
+    /// This is the sweep-fusion analogue of CUDA shared-memory tiling:
+    /// each rayon task gathers one `2^u`-amplitude tile (`u` = the
+    /// sweep's union support) into a scratch buffer sized to stay
+    /// cache-resident, applies *every* kernel of the sweep to the tile
+    /// while it is hot, then scatters once. DRAM-level traffic is one
+    /// read + one write of the state per *sweep* instead of per kernel.
+    ///
+    /// `exact` selects the tile arithmetic. When `true` (order-preserving
+    /// schedules), each kernel runs the same `mul_add` accumulation as
+    /// [`GpuDevice::apply_block`], so sweep execution is **bit-identical**
+    /// to applying the sweep's kernels sequentially over the full state in
+    /// the same order. When `false` (the default reordering schedules,
+    /// which already only agree up to round-off), each kernel is instead
+    /// applied through its block-diagonal factorization: a kernel of width
+    /// `k` that mixes only `μ` of its qubits ([`FusedBlock::mixing_mask`])
+    /// splits into `2^(k-μ)` independent `2^μ × 2^μ` sub-unitaries indexed
+    /// by the unmixed (control/phase) bits, cutting the per-amplitude cost
+    /// from `2^k` to `2^μ` mul-adds — 16× for QFT kernels, which mix only
+    /// the single `h` qubit of each block.
+    pub fn apply_sweep<T: Scalar>(
+        state: &mut [Complex<T>],
+        blocks: &[FusedBlock],
+        sweep: &Sweep,
+        exact: bool,
+    ) {
+        if let [only] = sweep.kernels.as_slice() {
+            GpuDevice::apply_block(state, &blocks[*only]);
+            return;
+        }
+        let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::APPLY_SWEEP);
+        // One pass: the whole state is read and written once.
+        qgear_telemetry::counter_add(
+            qgear_telemetry::names::AMPLITUDES_TOUCHED,
+            2 * state.len() as u128,
+        );
+        // All-diagonal sweeps need no gather/scatter at any width: one
+        // element-wise pass applies every phase pattern in order.
+        if sweep.diagonal {
+            let plans: Vec<(Vec<Complex<T>>, Vec<usize>)> = sweep
+                .kernels
+                .iter()
+                .map(|&ki| {
+                    let b = &blocks[ki];
+                    let diag = b.unitary.diagonal(1e-15).expect("diagonal sweep member");
+                    (
+                        diag.iter().map(|c| c.cast()).collect(),
+                        b.qubits.iter().map(|&q| 1usize << q).collect(),
+                    )
+                })
+                .collect();
+            state.par_iter_mut().enumerate().for_each(|(i, amp)| {
+                for (d, masks) in &plans {
+                    let mut local = 0usize;
+                    for (j, &mask) in masks.iter().enumerate() {
+                        if i & mask != 0 {
+                            local |= 1 << j;
+                        }
+                    }
+                    *amp *= d[local];
+                }
+            });
+            return;
+        }
+
+        let u = sweep.qubits.len();
+        let tile = 1usize << u;
+        debug_assert!(tile <= state.len());
+        // Scratch-slot position of a sweep qubit (sweep.qubits is sorted).
+        let pos = |q: u32| sweep.qubits.iter().position(|&x| x == q).expect("kernel qubit in sweep");
+        let plans: Vec<KernelPlan<T>> = sweep
+            .kernels
+            .iter()
+            .map(|&ki| {
+                let b = &blocks[ki];
+                let masks: Vec<usize> = b.qubits.iter().map(|&q| 1usize << pos(q)).collect();
+                if let Some(diag) = b.unitary.diagonal(1e-15) {
+                    return KernelPlan::Diag { d: diag.iter().map(|c| c.cast()).collect(), masks };
+                }
+                let k = b.qubits.len();
+                let mixing = b.mixing_mask();
+                let mu = mixing.iter().filter(|&&m| m).count();
+                if !exact && mu < k {
+                    return KernelPlan::factored(b, &mixing, &masks);
+                }
+                let mut sorted_local: Vec<usize> = b.qubits.iter().map(|&q| pos(q)).collect();
+                sorted_local.sort_unstable();
+                KernelPlan::Dense {
+                    m: b.unitary.elements().iter().map(|c| c.cast()).collect(),
+                    masks,
+                    sorted_local,
+                    dim: 1usize << k,
+                }
+            })
+            .collect();
+        // Tile-slot → global-offset table: slot bit `j` lives at global
+        // bit `sweep.qubits[j]`. Built once per sweep, shared read-only.
+        let mut offs = vec![0usize; tile];
+        for (j, &q) in sweep.qubits.iter().enumerate() {
+            let bit = 1usize << q;
+            for i in 0..(1usize << j) {
+                offs[(1usize << j) | i] = offs[i] | bit;
+            }
+        }
+
+        let groups = state.len() >> u;
+        let shared = SharedState(state.as_mut_ptr());
+        let shared = &shared;
+        let plans = &plans;
+        let offs = &offs;
+        let union_qubits = &sweep.qubits;
+        (0..groups).into_par_iter().for_each_init(
+            || vec![Complex::<T>::ZERO; tile],
+            move |scratch, g| {
+                // Expand the tile index around the union's qubit bits.
+                let mut base = g;
+                for &q in union_qubits {
+                    let low = base & ((1usize << q) - 1);
+                    base = ((base >> q) << (q + 1)) | low;
+                }
+                // Gather the tile. SAFETY: distinct `g` values produce
+                // disjoint index sets (zero bits are reinserted at every
+                // union qubit position), so tasks never alias.
+                for (slot, &off) in offs.iter().enumerate() {
+                    scratch[slot] = unsafe { shared.read(base | off) };
+                }
+                // Apply every kernel while the tile is hot.
+                for plan in plans {
+                    plan.apply(scratch, tile);
+                }
+                // Scatter once. SAFETY: same disjointness argument.
+                for (slot, &off) in offs.iter().enumerate() {
+                    unsafe { shared.write(base | off, scratch[slot]) };
+                }
+            },
+        );
+    }
+}
+
+/// One kernel's precomputed application plan inside a sweep tile: the
+/// matrix (or diagonal) in execution precision plus its qubit positions
+/// remapped into tile-slot space.
+enum KernelPlan<T: Scalar> {
+    /// Pure phase pattern: element-wise multiply, no data movement.
+    Diag {
+        /// Diagonal entries in execution precision.
+        d: Vec<Complex<T>>,
+        /// Tile-slot masks, one per kernel-local bit.
+        masks: Vec<usize>,
+    },
+    /// Dense kernel: gather/apply/scatter over tile sub-groups.
+    Dense {
+        /// Row-major kernel matrix in execution precision.
+        m: Vec<Complex<T>>,
+        /// Tile-slot masks in kernel-local bit order.
+        masks: Vec<usize>,
+        /// Tile-slot positions of the kernel's qubits, ascending (for
+        /// sub-group index expansion).
+        sorted_local: Vec<usize>,
+        /// Kernel dimension `2^k`.
+        dim: usize,
+    },
+    /// Block-diagonal kernel factored over its unmixed (control/phase)
+    /// bits: one `2^μ × 2^μ` sub-unitary per assignment of the unmixed
+    /// bits, applied to the `μ` mixed bits only. Per-amplitude cost is
+    /// `2^μ` mul-adds instead of the dense `2^k`.
+    Factored {
+        /// Sub-unitaries, row-major `2^μ × 2^μ`, indexed by the unmixed
+        /// bits packed in kernel-local order.
+        subs: Vec<Vec<Complex<T>>>,
+        /// Tile-slot masks of the mixed bits, kernel-local order.
+        mixed_masks: Vec<usize>,
+        /// Tile-slot positions of the mixed bits, ascending (sub-group
+        /// index expansion).
+        sorted_mixed: Vec<usize>,
+        /// `(tile-slot mask, packed weight)` pairs extracting the
+        /// sub-unitary index from a sub-group base slot.
+        diag_extract: Vec<(usize, usize)>,
+        /// Sub-unitary dimension `2^μ`.
+        mdim: usize,
+    },
+}
+
+impl<T: Scalar> KernelPlan<T> {
+    /// Build the block-diagonal factorization of a kernel that mixes only
+    /// some of its qubits. `mixing` is the kernel-local mixing mask and
+    /// `masks[j]` the tile-slot mask of kernel-local bit `j`. The dropped
+    /// cross-block matrix entries are below the `mixing_mask` tolerance
+    /// (1e-12), so the factored product matches the dense one to well
+    /// under the engines' agreement tolerance.
+    fn factored(b: &FusedBlock, mixing: &[bool], masks: &[usize]) -> Self {
+        let k = b.qubits.len();
+        let dim = 1usize << k;
+        let mixed_bits: Vec<usize> = (0..k).filter(|&j| mixing[j]).collect();
+        let diag_bits: Vec<usize> = (0..k).filter(|&j| !mixing[j]).collect();
+        let mdim = 1usize << mixed_bits.len();
+        // Kernel-local index with assignment `d` on the unmixed bits and
+        // `a` on the mixed bits.
+        let expand = |d: usize, a: usize| -> usize {
+            let mut i = 0usize;
+            for (t, &j) in diag_bits.iter().enumerate() {
+                if d & (1 << t) != 0 {
+                    i |= 1 << j;
+                }
+            }
+            for (t, &j) in mixed_bits.iter().enumerate() {
+                if a & (1 << t) != 0 {
+                    i |= 1 << j;
+                }
+            }
+            i
+        };
+        let u = b.unitary.elements();
+        let subs: Vec<Vec<Complex<T>>> = (0..dim >> mixed_bits.len())
+            .map(|d| {
+                let mut sub = Vec::with_capacity(mdim * mdim);
+                for r in 0..mdim {
+                    let row = expand(d, r) * dim;
+                    for c in 0..mdim {
+                        sub.push(u[row + expand(d, c)].cast());
+                    }
+                }
+                sub
+            })
+            .collect();
+        let mut sorted_mixed: Vec<usize> =
+            mixed_bits.iter().map(|&j| masks[j].trailing_zeros() as usize).collect();
+        sorted_mixed.sort_unstable();
+        KernelPlan::Factored {
+            subs,
+            mixed_masks: mixed_bits.iter().map(|&j| masks[j]).collect(),
+            sorted_mixed,
+            diag_extract: diag_bits
+                .iter()
+                .enumerate()
+                .map(|(t, &j)| (masks[j], 1usize << t))
+                .collect(),
+            mdim,
+        }
+    }
+
+    /// Apply this kernel to a gathered tile, in place. `Diag` and `Dense`
+    /// arithmetic is bit-identical to the full-state paths in
+    /// `apply_block`; `Factored` agrees to the factorization tolerance.
+    fn apply(&self, scratch: &mut [Complex<T>], tile: usize) {
+        match self {
+            KernelPlan::Diag { d, masks } => {
+                for (i, amp) in scratch.iter_mut().enumerate() {
+                    let mut local = 0usize;
+                    for (j, &mask) in masks.iter().enumerate() {
+                        if i & mask != 0 {
+                            local |= 1 << j;
+                        }
+                    }
+                    *amp *= d[local];
+                }
+            }
+            KernelPlan::Dense { m, masks, sorted_local, dim } => {
+                let dim = *dim;
+                for sg in 0..tile >> sorted_local.len() {
+                    let mut sbase = sg;
+                    for &p in sorted_local {
+                        let low = sbase & ((1usize << p) - 1);
+                        sbase = ((sbase >> p) << (p + 1)) | low;
+                    }
+                    let mut tmp = [Complex::<T>::ZERO; 64];
+                    let mut idx = [0usize; 64];
+                    for local in 0..dim {
+                        let mut i = sbase;
+                        for (j, &mask) in masks.iter().enumerate() {
+                            if local & (1 << j) != 0 {
+                                i |= mask;
+                            }
+                        }
+                        idx[local] = i;
+                        tmp[local] = scratch[i];
+                    }
+                    for (local, row) in m.chunks_exact(dim).enumerate() {
+                        let mut acc = Complex::<T>::ZERO;
+                        for c in 0..dim {
+                            acc = row[c].mul_add(tmp[c], acc);
+                        }
+                        scratch[idx[local]] = acc;
+                    }
+                }
+            }
+            KernelPlan::Factored { subs, mixed_masks, sorted_mixed, diag_extract, mdim } => {
+                let mdim = *mdim;
+                for sg in 0..tile >> sorted_mixed.len() {
+                    // Expand the sub-group index around the mixed slots;
+                    // the base ranges over every assignment of the other
+                    // tile slots, including this kernel's unmixed bits.
+                    let mut base = sg;
+                    for &p in sorted_mixed {
+                        let low = base & ((1usize << p) - 1);
+                        base = ((base >> p) << (p + 1)) | low;
+                    }
+                    // The unmixed-bit assignment picks the sub-unitary.
+                    let mut d = 0usize;
+                    for &(mask, weight) in diag_extract {
+                        if base & mask != 0 {
+                            d |= weight;
+                        }
+                    }
+                    let sub = &subs[d];
+                    let mut tmp = [Complex::<T>::ZERO; 64];
+                    let mut idx = [0usize; 64];
+                    for a in 0..mdim {
+                        let mut i = base;
+                        for (j, &mask) in mixed_masks.iter().enumerate() {
+                            if a & (1 << j) != 0 {
+                                i |= mask;
+                            }
+                        }
+                        idx[a] = i;
+                        tmp[a] = scratch[i];
+                    }
+                    for (r, row) in sub.chunks_exact(mdim).enumerate() {
+                        let mut acc = Complex::<T>::ZERO;
+                        for c in 0..mdim {
+                            acc = row[c].mul_add(tmp[c], acc);
+                        }
+                        scratch[idx[r]] = acc;
+                    }
+                }
+            }
+        }
+    }
 }
 
 /// Raw shared pointer wrapper used to hand disjoint slices of the state to
@@ -211,11 +543,40 @@ impl<T: Scalar> Simulator<T> for GpuDevice {
                         "{e} (transpile to the native set before kernel transformation)"
                     ))
                 })?;
-        for block in &program.blocks {
-            GpuDevice::apply_block(state.amplitudes_mut(), block);
-            stats.kernels_launched += 1;
-            stats.bytes_touched += 2 * n_amps * amp_bytes;
-            stats.flops += n_amps * (1u128 << block.qubits.len());
+        if effective.sweep_width > 0 && program.blocks.len() > 1 {
+            // Sweep-fused path: group commuting/disjoint kernels into
+            // cache-blocked passes. DRAM traffic is charged per sweep;
+            // arithmetic is still charged per kernel.
+            let sched_opts = schedule::SweepOptions {
+                max_width: effective.sweep_width,
+                reorder: effective.sweep_reorder,
+            };
+            let plan = schedule::sweeps(&program, &sched_opts);
+            for sweep in &plan.sweeps {
+                GpuDevice::apply_sweep(
+                    state.amplitudes_mut(),
+                    &program.blocks,
+                    sweep,
+                    !effective.sweep_reorder,
+                );
+                stats.sweeps_executed += 1;
+                stats.kernels_launched += sweep.kernels.len() as u64;
+                stats.bytes_touched += 2 * n_amps * amp_bytes;
+                for &ki in &sweep.kernels {
+                    stats.flops += n_amps * (1u128 << program.blocks[ki].qubits.len());
+                }
+            }
+            qgear_telemetry::counter_add(
+                qgear_telemetry::names::SWEEPS_EXECUTED,
+                stats.sweeps_executed as u128,
+            );
+        } else {
+            for block in &program.blocks {
+                GpuDevice::apply_block(state.amplitudes_mut(), block);
+                stats.kernels_launched += 1;
+                stats.bytes_touched += 2 * n_amps * amp_bytes;
+                stats.flops += n_amps * (1u128 << block.qubits.len());
+            }
         }
         stats.gates_applied = program.source_gate_count() as u64;
         qgear_telemetry::counter_add(qgear_telemetry::names::GATES_APPLIED, stats.gates_applied as u128);
@@ -273,13 +634,17 @@ mod tests {
         let c = rich_circuit(7, 3);
         let expect = reference::run(&c);
         for width in 1..=5usize {
-            let opts = RunOptions { fusion_width: width, ..Default::default() };
-            let out: RunOutput<f64> = GpuDevice::a100_40gb().run(&c, &opts).unwrap();
-            let got = out.state.unwrap();
-            assert!(
-                max_deviation(got.amplitudes(), &expect) < 1e-11,
-                "width {width}"
-            );
+            // Exercise all three execution modes: plain fused
+            // (sweep_width 0), order-preserving sweeps, reordering sweeps.
+            for (sweep_width, sweep_reorder) in [(0, false), (6, false), (6, true)] {
+                let opts = RunOptions { fusion_width: width, sweep_width, sweep_reorder, ..Default::default() };
+                let out: RunOutput<f64> = GpuDevice::a100_40gb().run(&c, &opts).unwrap();
+                let got = out.state.unwrap();
+                assert!(
+                    max_deviation(got.amplitudes(), &expect) < 1e-11,
+                    "width {width} sweep {sweep_width}/{sweep_reorder}"
+                );
+            }
         }
     }
 
@@ -297,16 +662,73 @@ mod tests {
 
     #[test]
     fn fusion_reduces_kernel_launches() {
+        // Plain fused path (sweep_width 0): fusion alone must cut both
+        // launches and DRAM traffic — the §2.2 claim.
         let c = rich_circuit(6, 21);
         let narrow: RunOutput<f64> = GpuDevice::default()
-            .run(&c, &RunOptions { fusion_width: 1, ..Default::default() })
+            .run(&c, &RunOptions { fusion_width: 1, sweep_width: 0, ..Default::default() })
             .unwrap();
         let wide: RunOutput<f64> = GpuDevice::default()
-            .run(&c, &RunOptions { fusion_width: 5, ..Default::default() })
+            .run(&c, &RunOptions { fusion_width: 5, sweep_width: 0, ..Default::default() })
             .unwrap();
         assert!(wide.stats.kernels_launched < narrow.stats.kernels_launched);
         assert_eq!(wide.stats.gates_applied, narrow.stats.gates_applied);
         assert!(wide.stats.bytes_touched < narrow.stats.bytes_touched);
+        assert_eq!(wide.stats.sweeps_executed, 0, "sweep_width 0 disables sweeping");
+    }
+
+    #[test]
+    fn sweeps_reduce_state_passes_below_kernel_count() {
+        // A QFT-shaped ladder: diagonal cr1 chains commute past the h
+        // kernels, so the scheduler packs many kernels per pass.
+        let n = 10u32;
+        let mut c = Circuit::new(n);
+        for i in (0..n).rev() {
+            c.h(i);
+            for j in (0..i).rev() {
+                c.cr1(std::f64::consts::TAU / f64::powi(2.0, (i - j + 1) as i32), j, i);
+            }
+        }
+        let fused: RunOutput<f64> = GpuDevice::default()
+            .run(&c, &RunOptions { sweep_width: 0, ..Default::default() })
+            .unwrap();
+        let swept: RunOutput<f64> = GpuDevice::default()
+            .run(&c, &RunOptions::default())
+            .unwrap();
+        assert!(swept.stats.sweeps_executed > 0);
+        assert!(
+            swept.stats.sweeps_executed < swept.stats.kernels_launched,
+            "sweeps {} must undercut kernels {}",
+            swept.stats.sweeps_executed,
+            swept.stats.kernels_launched
+        );
+        assert_eq!(swept.stats.kernels_launched, fused.stats.kernels_launched);
+        assert!(swept.stats.bytes_touched < fused.stats.bytes_touched);
+        assert_eq!(swept.stats.flops, fused.stats.flops, "sweeping reorders, never re-does, arithmetic");
+        let a = fused.state.unwrap();
+        let b = swept.state.unwrap();
+        assert!(a.fidelity(&b) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn order_preserving_sweeps_are_bit_identical_to_plain_fused() {
+        // With reorder off, sweeps only group adjacent kernels and the
+        // tile arithmetic replays the full-state op sequence exactly —
+        // results must match the plain fused path bit for bit.
+        for seed in [2u64, 9, 40] {
+            let c = rich_circuit(8, seed);
+            let plain: RunOutput<f64> = GpuDevice::default()
+                .run(&c, &RunOptions { sweep_width: 0, ..Default::default() })
+                .unwrap();
+            let swept: RunOutput<f64> = GpuDevice::default()
+                .run(&c, &RunOptions { sweep_width: 6, sweep_reorder: false, ..Default::default() })
+                .unwrap();
+            let a = plain.state.unwrap();
+            let b = swept.state.unwrap();
+            for (x, y) in a.amplitudes().iter().zip(b.amplitudes()) {
+                assert!(x.re == y.re && x.im == y.im, "seed {seed}: sweep drift");
+            }
+        }
     }
 
     #[test]

@@ -43,6 +43,10 @@ pub mod sampling;
 pub mod state;
 
 pub use aer::AerCpuBackend;
-pub use backend::{Counts, ExecStats, RunOptions, RunOutput, SimError, Simulator};
+pub use backend::{
+    marginal_probs, sample_from_probs, Counts, ExecStats, RunOptions, RunOutput, ShotBatchOutput,
+    SimError, Simulator,
+};
 pub use gpu::GpuDevice;
+pub use sampling::SamplingConfig;
 pub use state::StateVector;

@@ -79,6 +79,29 @@ pub const SERVE_LATENCY_MS: &str = "serve.latency_ms";
 /// Histogram of time spent waiting in the admission queue, milliseconds.
 pub const SERVE_QUEUE_WAIT_MS: &str = "serve.queue_wait_ms";
 
+/// Sweeps produced by the commutation-aware scheduler (`qgear-ir`).
+pub const SWEEPS_SCHEDULED: &str = "sweeps.scheduled";
+
+/// Kernels the scheduler moved into an earlier sweep past commuting
+/// neighbours; `0` means the schedule was a pure adjacent grouping.
+pub const SWEEP_MOVED_KERNELS: &str = "sweeps.moved_kernels";
+
+/// Sweeps actually executed by an engine's cache-blocked path.
+pub const SWEEPS_EXECUTED: &str = "sweeps.executed";
+
+/// Histogram of kernels per scheduled sweep (pass-compression shape).
+pub const SWEEP_KERNELS: &str = "sweeps.kernels_per_sweep";
+
+/// Histogram of each sweep's union support width in qubits.
+pub const SWEEP_WIDTH: &str = "sweeps.width";
+
+/// Full-state marginal probability vectors served from the state cache
+/// instead of re-simulating (`qgear-serve`).
+pub const SERVE_STATE_CACHE_HITS: &str = "serve.state_cache_hits";
+
+/// State-cache misses that fell through to a full simulation.
+pub const SERVE_STATE_CACHE_MISSES: &str = "serve.state_cache_misses";
+
 /// Per-tenant counter name for jobs completed, e.g. `serve.tenant.alice.jobs`.
 pub fn serve_tenant_jobs(tenant: &str) -> String {
     format!("serve.tenant.{tenant}.jobs")
@@ -108,6 +131,8 @@ pub mod spans {
     pub const SAMPLE: &str = "sample";
     /// One dense fused kernel application.
     pub const APPLY_BLOCK: &str = "apply_block";
+    /// One cache-blocked sweep (several kernels, one state pass).
+    pub const APPLY_SWEEP: &str = "apply_sweep";
     /// One inter-device exchange in the cluster engine.
     pub const EXCHANGE: &str = "exchange";
     /// One mqpu batch of independent circuits across devices.

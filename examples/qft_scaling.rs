@@ -51,8 +51,8 @@ fn main() {
             })
         };
         let (native, _) = qgear_ir::transpile::decompose_to_native(&circ);
-        let tq = mk(Target::NvidiaMgpu { devices: 4 }).project(&native).total();
-        let tp = mk(Target::PennylaneLightningGpu).project(&native).total();
+        let tq = mk(Target::NvidiaMgpu { devices: 4 }).project(&native).expect("native circuit projects").total();
+        let tp = mk(Target::PennylaneLightningGpu).project(&native).expect("native circuit projects").total();
         println!("{n:>7} {tq:>13.2}s {tp:>13.2}s {:>6.1}x", tp / tq);
     }
 

@@ -10,6 +10,15 @@ cargo build --release --workspace
 echo "==> cargo test -q --workspace"
 cargo test -q --workspace
 
+# The cross-backend differential suite is part of the workspace test run
+# above, but it is the correctness gate for the sweep-scheduled hot path
+# — run it by name so a filtered/partial test environment can't skip it.
+echo "==> cargo test -q --test differential"
+cargo test -q --test differential
+
+echo "==> hotpath bench smoke (sweep executor end to end)"
+cargo run --release -p qgear-bench --bin hotpath -- --smoke
+
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

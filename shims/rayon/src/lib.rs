@@ -132,6 +132,48 @@ impl ParRange {
     {
         par_range(self.range, f);
     }
+
+    /// Visit every index with per-worker scratch created by `init`
+    /// (rayon's `for_each_init`, with rayon's per-worker reuse
+    /// semantics: `init` runs once per worker, not once per index).
+    ///
+    /// Unlike [`ParRange::for_each`] this parallelizes even at small
+    /// lengths: callers reach for it when each index performs a large
+    /// amount of work (e.g. one cache-blocked state tile per index), so
+    /// thread-spawn overhead is negligible next to per-index cost.
+    pub fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        S: Send,
+        I: Fn() -> S + Sync + Send,
+        F: Fn(&mut S, usize) + Sync + Send,
+    {
+        let range = self.range;
+        let len = range.end.saturating_sub(range.start);
+        let workers = worker_count(len);
+        if len <= 1 || workers <= 1 {
+            let mut state = init();
+            for i in range {
+                f(&mut state, i);
+            }
+            return;
+        }
+        let chunk = len.div_ceil(workers);
+        std::thread::scope(|s| {
+            let f = &f;
+            let init = &init;
+            let mut lo = range.start;
+            while lo < range.end {
+                let hi = (lo + chunk).min(range.end);
+                s.spawn(move || {
+                    let mut state = init();
+                    for i in lo..hi {
+                        f(&mut state, i);
+                    }
+                });
+                lo = hi;
+            }
+        });
+    }
 }
 
 /// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
@@ -192,6 +234,30 @@ mod tests {
         v.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
         for (i, &x) in v.iter().enumerate() {
             assert_eq!(i, x);
+        }
+    }
+
+    #[test]
+    fn for_each_init_covers_range_and_reuses_state() {
+        // Small lengths still fan out (coarse-grained work), every index
+        // is visited exactly once, and scratch is per-worker.
+        for len in [0usize, 1, 5, 64, 300] {
+            let hits = AtomicUsize::new(0);
+            let inits = AtomicUsize::new(0);
+            (0..len).into_par_iter().for_each_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    vec![0u8; 16]
+                },
+                |scratch, _i| {
+                    scratch[0] = scratch[0].wrapping_add(1);
+                    hits.fetch_add(1, Ordering::Relaxed);
+                },
+            );
+            assert_eq!(hits.load(Ordering::Relaxed), len, "len {len}");
+            if len > 0 {
+                assert!(inits.load(Ordering::Relaxed) <= len.min(16));
+            }
         }
     }
 

@@ -1,0 +1,261 @@
+//! Cross-backend differential suite for the sweep-scheduled hot path.
+//!
+//! Four ways to produce the same physics, compared pairwise on arbitrary
+//! circuits:
+//!
+//! 1. the sequential reference simulator (`qgear_ir::reference`),
+//! 2. the unfused Aer-like CPU baseline (`AerCpuBackend`),
+//! 3. the fused GPU engine with sweep scheduling off (`sweep_width: 0`),
+//! 4. the fused GPU engine with sweep scheduling on (the default).
+//!
+//! Beyond tolerance agreement, order-preserving sweep schedules
+//! (`sweep_reorder: false`) must be **bit-identical** to plain fused
+//! execution: sweeps then only group adjacent kernels into one state
+//! pass without changing the arithmetic or its order. The suite also
+//! pins seed determinism of batched sampling and keeps the cluster and
+//! serving layers in the comparison so sweep scheduling stays honest
+//! everywhere it is enabled.
+
+use proptest::prelude::*;
+use qgear_cluster::ClusterEngine;
+use qgear_ir::schedule::{self, SweepOptions};
+use qgear_ir::{fusion, reference, transpile, Circuit};
+use qgear_num::approx::{approx_eq_up_to_phase, max_deviation};
+use qgear_num::complex::Complex;
+use qgear_serve::{JobSpec, ServeConfig, Service};
+use qgear_statevec::backend::{marginal_probs, sample_from_probs};
+use qgear_statevec::{
+    AerCpuBackend, GpuDevice, RunOptions, RunOutput, SamplingConfig, Simulator,
+};
+use qgear_workloads::qft::{qft_circuit, QftOptions};
+use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+
+/// Strategy: an arbitrary circuit over 2..=`max_qubits` qubits drawn
+/// from the full user-facing gate set (transpiled to native before use).
+fn arb_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (2..=max_qubits, 0..=max_gates)
+        .prop_flat_map(|(n, len)| {
+            let gate = (0u8..12, 0..n, 1..n, -6.3..6.3f64);
+            (Just(n), proptest::collection::vec(gate, len))
+        })
+        .prop_map(|(n, gates)| {
+            let mut c = Circuit::new(n);
+            for (kind, a, boff, theta) in gates {
+                let b = (a + boff) % n;
+                match kind {
+                    0 => {
+                        c.h(a);
+                    }
+                    1 => {
+                        c.x(a);
+                    }
+                    2 => {
+                        c.rx(theta, a);
+                    }
+                    3 => {
+                        c.ry(theta, a);
+                    }
+                    4 => {
+                        c.rz(theta, a);
+                    }
+                    5 => {
+                        c.p(theta, a);
+                    }
+                    6 => {
+                        c.t(a);
+                    }
+                    7 => {
+                        c.u(theta, theta * 0.5, -theta, a);
+                    }
+                    8 => {
+                        c.cx(a, b);
+                    }
+                    9 => {
+                        c.cz(a, b);
+                    }
+                    10 => {
+                        c.cr1(theta, a, b);
+                    }
+                    _ => {
+                        c.swap(a, b);
+                    }
+                }
+            }
+            c
+        })
+}
+
+/// Run a circuit on the GPU engine at f64 with explicit sweep knobs.
+fn gpu_state(circ: &Circuit, sweep_width: usize, sweep_reorder: bool) -> Vec<Complex<f64>> {
+    let opts = RunOptions { keep_state: true, sweep_width, sweep_reorder, ..Default::default() };
+    let out: RunOutput<f64> = GpuDevice::a100_40gb().run(circ, &opts).expect("gpu run");
+    out.state.expect("state kept").amplitudes().to_vec()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Reference, Aer, plain-fused GPU, and sweep-fused GPU agree on any
+    /// circuit; the order-preserving sweep mode is bit-identical to
+    /// plain fused execution.
+    #[test]
+    fn four_paths_agree_on_any_circuit(circ in arb_circuit(5, 30)) {
+        let (native, _) = transpile::decompose_to_native(&circ);
+        let expect = reference::run(&native);
+
+        let aer: RunOutput<f64> = AerCpuBackend
+            .run(&native, &RunOptions { keep_state: true, ..Default::default() })
+            .expect("aer run");
+        let aer = aer.state.expect("state kept");
+        prop_assert!(approx_eq_up_to_phase(aer.amplitudes(), &expect, 1e-9));
+
+        let fused = gpu_state(&native, 0, false);
+        prop_assert!(approx_eq_up_to_phase(&fused, &expect, 1e-9));
+
+        let swept = gpu_state(&native, schedule::DEFAULT_SWEEP_WIDTH, true);
+        prop_assert!(approx_eq_up_to_phase(&swept, &expect, 1e-9));
+
+        // Order-preserving sweeps replay the exact same arithmetic in
+        // the exact same order: equality is bitwise, not approximate.
+        let grouped = gpu_state(&native, schedule::DEFAULT_SWEEP_WIDTH, false);
+        for (a, b) in fused.iter().zip(grouped.iter()) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    /// `schedule::sweeps` is a legal reorder on arbitrary 8-qubit
+    /// circuits: the plan validates (partition, width caps, pairwise
+    /// commutation across sweep boundaries) and executing the reordered
+    /// program reproduces the original state.
+    #[test]
+    fn sweep_schedule_is_a_legal_reorder(circ in arb_circuit(8, 60)) {
+        let (native, _) = transpile::decompose_to_native(&circ);
+        let (unitary, _) = native.split_measurements();
+        let program = fusion::try_fuse(&unitary, 5).expect("fusable");
+        let opts = SweepOptions::default();
+        let plan = schedule::sweeps(&program, &opts);
+        prop_assert!(plan.validate(&program, &opts).is_ok(), "illegal schedule");
+        prop_assert_eq!(plan.num_kernels(), program.blocks.len());
+
+        let reordered = plan.reorder_program(&program);
+        let mut original = reference::zero_state(native.num_qubits());
+        program.apply_to_state(&mut original);
+        let mut permuted = reference::zero_state(native.num_qubits());
+        reordered.apply_to_state(&mut permuted);
+        prop_assert!(
+            max_deviation(&original, &permuted) < 1e-9,
+            "reorder changed the unitary by {}",
+            max_deviation(&original, &permuted)
+        );
+    }
+
+    /// Batching a run's shots never changes its histogram: the batched
+    /// draws are a deterministic partition of the single seeded master
+    /// draw, on both backends.
+    #[test]
+    fn seed_determinism_batched_vs_unbatched(
+        circ in arb_circuit(5, 20),
+        seed in 0u64..1_000,
+        batch_idx in 0usize..4,
+    ) {
+        let batch = [1u64, 7, 100, 1_000_000][batch_idx];
+        let mut circ = circ;
+        circ.measure_all();
+        let (native, _) = transpile::decompose_to_native(&circ);
+        let base = RunOptions { shots: 600, seed, ..Default::default() };
+        let batched = RunOptions { shot_batch: batch, ..base.clone() };
+
+        let plain: RunOutput<f64> = AerCpuBackend.run(&native, &base).expect("aer");
+        let split: RunOutput<f64> = AerCpuBackend.run(&native, &batched).expect("aer");
+        prop_assert_eq!(plain.counts.unwrap().map, split.counts.unwrap().map);
+
+        let plain: RunOutput<f64> = GpuDevice::a100_40gb().run(&native, &base).expect("gpu");
+        let split: RunOutput<f64> = GpuDevice::a100_40gb().run(&native, &batched).expect("gpu");
+        prop_assert_eq!(plain.counts.unwrap().map, split.counts.unwrap().map);
+    }
+}
+
+/// fp32 execution of the sweep-fused hot path tracks fp64 within single
+/// precision accumulation error; fp64 tracks the reference far tighter.
+/// The gap between the two tolerances is what makes the precision knob a
+/// real trade-off rather than a no-op.
+#[test]
+fn fp32_tracks_fp64_within_single_precision_tolerance() {
+    let circ = qft_circuit(10, &QftOptions::default());
+    let opts = RunOptions { keep_state: true, ..Default::default() };
+
+    let f64_out: RunOutput<f64> = GpuDevice::a100_40gb().run(&circ, &opts).expect("fp64");
+    let f64_amps = f64_out.state.expect("state").amplitudes().to_vec();
+    let expect = reference::run(&circ);
+    assert!(approx_eq_up_to_phase(&f64_amps, &expect, 1e-12), "fp64 off the reference");
+
+    let f32_out: RunOutput<f32> = GpuDevice::a100_40gb().run(&circ, &opts).expect("fp32");
+    let widened: Vec<Complex<f64>> = f32_out
+        .state
+        .expect("state")
+        .amplitudes()
+        .iter()
+        .map(|c| Complex::new(f64::from(c.re), f64::from(c.im)))
+        .collect();
+    assert!(
+        approx_eq_up_to_phase(&widened, &expect, 1e-4),
+        "fp32 deviation {} exceeds single-precision tolerance",
+        max_deviation(&widened, &expect)
+    );
+    assert!(
+        !approx_eq_up_to_phase(&widened, &expect, 1e-13),
+        "fp32 matching at 1e-13 means the precision knob is a no-op"
+    );
+}
+
+/// The multi-GPU cluster engine runs the same sweep-scheduled defaults
+/// and must land on the single-device state.
+#[test]
+fn cluster_matches_single_device_with_sweeps_enabled() {
+    let circ = generate_random_gate_list(&RandomCircuitSpec {
+        num_qubits: 9,
+        num_blocks: 80,
+        seed: 11,
+        measure: false,
+    });
+    let opts = RunOptions { keep_state: true, ..Default::default() };
+    let single: RunOutput<f64> = GpuDevice::a100_40gb().run(&circ, &opts).expect("gpu");
+    let multi: RunOutput<f64> =
+        ClusterEngine::a100_cluster(4).run(&circ, &opts).expect("cluster");
+    let single = single.state.expect("state");
+    let multi = multi.state.expect("state");
+    assert!(
+        approx_eq_up_to_phase(multi.amplitudes(), single.amplitudes(), 1e-10),
+        "cluster diverged from single device"
+    );
+}
+
+/// A served job's counts are bit-identical to evolving and sampling the
+/// canonical circuit directly with the same knobs — the service's
+/// evolve-once/sample-many split shares the one probability-conversion
+/// point with the engines.
+#[test]
+fn serve_counts_match_direct_evolve_and_sample() {
+    let mut circ = qft_circuit(6, &QftOptions::default());
+    circ.measure_all();
+
+    let service = Service::start(ServeConfig { workers: 1, ..Default::default() });
+    let spec = JobSpec::new(circ.clone()).shots(2048).seed(77).shot_batch(64);
+    let id = service.submit(spec).job_id().expect("accepted");
+    let served = service.wait(id).expect("completes");
+    let served = served.result().expect("success").counts.clone().expect("counts");
+    service.shutdown();
+
+    // Mirror the worker: canonicalize, evolve once, sample the marginal.
+    let canonical =
+        if circ.is_native() { circ.clone() } else { transpile::decompose_to_native(&circ).0 };
+    let out: RunOutput<f64> = GpuDevice::a100_40gb()
+        .run(&canonical, &RunOptions { shots: 0, keep_state: true, ..Default::default() })
+        .expect("gpu run");
+    let (_, measured) = canonical.split_measurements();
+    let probs = marginal_probs(&out.state.expect("state"), &measured);
+    let cfg = SamplingConfig { shots: 2048, seed: 77, batch_shots: 64 };
+    let direct = sample_from_probs(&probs, &measured, &cfg).expect("counts");
+    assert_eq!(served.map, direct.map, "served counts must replay bit-identically");
+}

@@ -25,8 +25,8 @@ fn abstract_claim_two_orders_cpu_speedup() {
         measure: true,
     });
     let opts = ProjectOptions { precision: Precision::Fp32, shots: 3000, fusion_width: 5 };
-    let cpu = project_circuit(&m, &circ, ModelTarget::QiskitCpu, &opts).total();
-    let gpu = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
+    let cpu = project_circuit(&m, &circ, ModelTarget::QiskitCpu, &opts).expect("native circuit projects").total();
+    let gpu = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).expect("native circuit projects").total();
     let speedup = cpu / gpu;
     assert!(
         (100.0..1000.0).contains(&speedup),
@@ -46,8 +46,8 @@ fn abstract_claim_ten_times_gpu_speedup() {
         measure: true,
     });
     let opts = ProjectOptions { precision: Precision::Fp32, shots: 3000, fusion_width: 5 };
-    let penny = project_circuit(&m, &circ, ModelTarget::PennylaneGpu { devices: 1 }, &opts).total();
-    let qgear = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
+    let penny = project_circuit(&m, &circ, ModelTarget::PennylaneGpu { devices: 1 }, &opts).expect("native circuit projects").total();
+    let qgear = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).expect("native circuit projects").total();
     let gain = penny / qgear;
     assert!((3.0..100.0).contains(&gain), "expected ~10x, got {gain:.1}x");
 }
@@ -81,8 +81,8 @@ fn fig4b_reversal_and_feasibility() {
         measure: false,
     });
     let opts = ProjectOptions { precision: Precision::Fp32, shots: 0, fusion_width: 5 };
-    let t256 = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 256 }, &opts).total();
-    let t1024 = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1024 }, &opts).total();
+    let t256 = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 256 }, &opts).expect("native circuit projects").total();
+    let t1024 = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1024 }, &opts).expect("native circuit projects").total();
     assert!(
         t1024 > t256,
         "paper: 1024 GPUs lower throughput than 256 at 40 qubits ({t1024:.0}s vs {t256:.0}s)"
@@ -143,8 +143,8 @@ fn fig5_speedup_decreases_with_image_size() {
             shots: row.shots(),
             fusion_width: 5,
         };
-        let cpu = project_circuit(&m, &circ, ModelTarget::QiskitCpu, &opts).total();
-        let gpu = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).total();
+        let cpu = project_circuit(&m, &circ, ModelTarget::QiskitCpu, &opts).expect("native circuit projects").total();
+        let gpu = project_circuit(&m, &circ, ModelTarget::QGearGpu { devices: 1 }, &opts).expect("native circuit projects").total();
         speedups.push(cpu / gpu);
     }
     assert!(speedups[0] > 50.0, "small-image speedup ~two orders: {speedups:?}");

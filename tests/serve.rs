@@ -37,6 +37,7 @@ fn queued(id: u64, tenant: u8, priority: u8) -> QueuedJob {
             .priority(priority_of(priority)),
         canonical: circuit,
         key: CircuitKey(id),
+        state_key: CircuitKey(id ^ u64::MAX),
         submitted_at: Instant::now(),
         seq: 0,
     }

@@ -48,22 +48,30 @@ fn gpu_qft_spans_nest_and_counters_match_exec_stats() {
     // Fusion consumed every applied gate and produced one block per kernel.
     assert_eq!(snap.counter(names::FUSION_SOURCE_GATES), u128::from(out.stats.gates_applied));
     assert_eq!(snap.counter(names::FUSED_BLOCKS), u128::from(out.stats.kernels_launched));
-    // Every kernel reads and writes all 2^10 amplitudes.
+    // Sweep scheduling groups kernels into full-state passes: the state
+    // is read and written once per *sweep*, not once per kernel — that
+    // is the whole point of the cache-blocked executor.
+    assert!(out.stats.sweeps_executed >= 1);
+    assert!(out.stats.sweeps_executed < out.stats.kernels_launched);
     assert_eq!(
         snap.counter(names::AMPLITUDES_TOUCHED),
-        2 * 1024 * u128::from(out.stats.kernels_launched)
+        2 * 1024 * u128::from(out.stats.sweeps_executed)
     );
 
-    // Span nesting: fuse and apply_block sit inside simulate; sample is a
-    // sibling top-level phase; one apply_block span per kernel launch.
+    // Span nesting: fuse and the sweep/block applications sit inside
+    // simulate; sample is a sibling top-level phase; one application
+    // span per executed sweep (singleton sweeps fall back to
+    // apply_block, multi-kernel sweeps record apply_sweep).
     let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
     assert!(paths.contains(&spans::SIMULATE));
     assert!(paths.contains(&"simulate/fuse"));
-    assert!(paths.contains(&"simulate/apply_block"));
     assert!(paths.contains(&spans::SAMPLE));
     assert_eq!(
-        snap.spans.iter().filter(|s| s.path == "simulate/apply_block").count() as u64,
-        out.stats.kernels_launched
+        snap.spans
+            .iter()
+            .filter(|s| s.path == "simulate/apply_sweep" || s.path == "simulate/apply_block")
+            .count() as u64,
+        out.stats.sweeps_executed
     );
     // Children start and end within their parent.
     let sim = snap.spans.iter().find(|s| s.path == "simulate").unwrap();
@@ -131,7 +139,7 @@ fn full_pipeline_records_run_transpile_encode_fuse_chain() {
         "run/fuse",
         "run/simulate",
         "run/simulate/fuse",
-        "run/simulate/apply_block",
+        "run/simulate/apply_sweep",
         "run/sample",
     ] {
         assert!(paths.contains(&expected), "missing span path {expected}; got {paths:?}");
