@@ -8,7 +8,7 @@ use qgear_num::Scalar;
 use qgear_statevec::backend::{sample_from_probs, ExecStats, RunOptions, RunOutput, SimError, Simulator};
 use qgear_statevec::sampling::SamplingConfig;
 use qgear_statevec::GpuDevice;
-use std::time::Instant;
+use qgear_telemetry::clock::{SharedClock, WallClock};
 
 /// A cluster of simulated GPUs.
 ///
@@ -27,6 +27,11 @@ pub struct ClusterEngine {
     pub topology: ClusterTopology,
     /// Ablation: restore the identity qubit layout after every kernel.
     pub restore_layout: bool,
+    /// Clock that times the simulate/sample phases ([`ExecStats::elapsed`]
+    /// and `sampling_elapsed` are read from it). Production keeps the
+    /// default wall clock; the simulation harness substitutes a virtual
+    /// one and asserts the recorded spans exactly.
+    pub clock: SharedClock,
 }
 
 impl ClusterEngine {
@@ -38,6 +43,7 @@ impl ClusterEngine {
             num_devices,
             topology: ClusterTopology::default(),
             restore_layout: false,
+            clock: WallClock::shared(),
         }
     }
 
@@ -102,7 +108,7 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
         }
         let (unitary, measured) = circuit.split_measurements();
         let mut stats = ExecStats::default();
-        let start = Instant::now();
+        let start = self.clock.now();
         let sim_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SIMULATE);
         let program = fusion::try_fuse(&unitary, width as usize)
             .map_err(|e| SimError::UnsupportedGate(e.to_string()))?;
@@ -124,7 +130,7 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
         dist.set_restore_layout(self.restore_layout);
         dist.run_program(&program);
         drop(sim_span);
-        stats.elapsed = start.elapsed();
+        stats.elapsed = self.clock.now().saturating_sub(start);
         stats.gates_applied = program.source_gate_count() as u64;
         stats.kernels_launched = program.blocks.len() as u64;
         qgear_telemetry::counter_add(qgear_telemetry::names::GATES_APPLIED, stats.gates_applied as u128);
@@ -142,7 +148,7 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
 
         // Sampling: exact marginal reduced across devices, then one
         // multinomial draw.
-        let sample_start = Instant::now();
+        let sample_start = self.clock.now();
         let sample_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SAMPLE);
         // Same helper as the single-device engines, so cluster sampling
         // is bit-identical given the same marginal, seed and shot split.
@@ -155,7 +161,7 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
             None
         };
         drop(sample_span);
-        stats.sampling_elapsed = sample_start.elapsed();
+        stats.sampling_elapsed = self.clock.now().saturating_sub(sample_start);
 
         let state = opts.keep_state.then(|| dist.gather());
         Ok(RunOutput { state, counts, stats })

@@ -75,6 +75,17 @@ impl ResultCache {
             }
         }
     }
+
+    /// Invalidate one entry (e.g. detected corruption). Returns whether
+    /// an entry was present.
+    pub fn invalidate(&mut self, key: CircuitKey) -> bool {
+        if self.entries.remove(&key.0).is_some() {
+            self.order.retain(|&k| k != key.0);
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// A cached measurement marginal: the exact `f64` outcome probabilities
@@ -174,6 +185,21 @@ mod tests {
         assert!(cache.get(CircuitKey(1)).is_none(), "oldest evicted");
         assert!(cache.get(CircuitKey(2)).is_some());
         assert!(cache.get(CircuitKey(3)).is_some());
+    }
+
+    #[test]
+    fn invalidate_removes_entry_and_frees_a_slot() {
+        let mut cache = ResultCache::new(2);
+        cache.insert(CircuitKey(1), payload(1));
+        cache.insert(CircuitKey(2), payload(2));
+        assert!(cache.invalidate(CircuitKey(1)));
+        assert!(!cache.invalidate(CircuitKey(1)), "already gone");
+        assert!(cache.get(CircuitKey(1)).is_none());
+        // The freed slot is genuinely free: two more inserts keep key 2
+        // only until capacity forces FIFO eviction of it.
+        cache.insert(CircuitKey(3), payload(3));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.get(CircuitKey(2)).is_some());
     }
 
     #[test]

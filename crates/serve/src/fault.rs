@@ -1,4 +1,5 @@
-//! Deterministic transient-fault injection.
+//! Deterministic fault injection: rate-based transient strikes plus a
+//! declarative schedule of targeted failures.
 //!
 //! Real mQPU farms see transient device failures (ECC retirements, NVLink
 //! hiccups, preempted containers); the serving layer must retry through
@@ -6,6 +7,17 @@
 //! faults here are a pure function of `(plan seed, job id, attempt)` —
 //! the same plan always strikes the same attempts, regardless of thread
 //! interleaving.
+//!
+//! Two layers:
+//!
+//! * [`FaultPlan`] — per-attempt independent transient strikes at a
+//!   configured rate, for statistical stress (the saturation bench).
+//! * [`FaultSchedule`] — an explicit list of [`FaultEvent`]s pinning a
+//!   specific [`FaultKind`] to a specific `(job, attempt)` pair, for the
+//!   deterministic simulation harness: worker death mid-job, a corrupted
+//!   cache entry, or a targeted transient strike (e.g. one injected
+//!   *during* another job's backoff window). Scheduled events take
+//!   precedence over the rate plan at the same coordinates.
 
 /// A reproducible plan of injected transient device faults.
 #[derive(Debug, Clone, Copy)]
@@ -53,6 +65,90 @@ impl Default for FaultPlan {
     }
 }
 
+/// What an injected fault does to the attempt it strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The attempt fails transiently; the worker backs off and retries
+    /// (counts against the retry budget).
+    Transient,
+    /// The worker dies mid-job: the job is requeued at the front of its
+    /// tenant queue with its attempt ledger intact, and a (logically
+    /// fresh) worker picks it up. Does not consume a retry.
+    WorkerDeath,
+    /// The job's full-result cache entry is corrupted: the probe detects
+    /// it, invalidates the entry, and falls through to a cold run.
+    CorruptCache,
+}
+
+/// One scheduled fault: `kind` strikes `attempt` (0-based, cumulative
+/// across worker deaths) of `job`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Target job id (admission order, starting at 0).
+    pub job: u64,
+    /// Target attempt index. For [`FaultKind::CorruptCache`] this is the
+    /// cache-probe index and should be 0.
+    pub attempt: u32,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A declarative fault script layered over a rate-based [`FaultPlan`].
+///
+/// `event_for` answers the explicit script; the service consults it
+/// before the plan, so a schedule can both add faults a rate plan never
+/// produces (worker death, cache corruption) and pin down exactly which
+/// attempts strike — the property the simulation harness's replay and
+/// shrinking machinery relies on.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (only the rate plan applies).
+    pub fn none() -> Self {
+        FaultSchedule::default()
+    }
+
+    /// A schedule from an explicit event list.
+    pub fn from_events(events: Vec<FaultEvent>) -> Self {
+        FaultSchedule { events }
+    }
+
+    /// Builder: add one scheduled fault.
+    pub fn with_event(mut self, job: u64, attempt: u32, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { job, attempt, kind });
+        self
+    }
+
+    /// True when no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// The scheduled fault for `(job, attempt)`, if any. The first
+    /// matching event wins.
+    pub fn event_for(&self, job: u64, attempt: u32) -> Option<FaultKind> {
+        self.events
+            .iter()
+            .find(|e| e.job == job && e.attempt == attempt)
+            .map(|e| e.kind)
+    }
+
+    /// True when `job`'s cache probe is scheduled to find corruption.
+    pub fn corrupts_cache(&self, job: u64) -> bool {
+        self.events
+            .iter()
+            .any(|e| e.job == job && e.kind == FaultKind::CorruptCache)
+    }
+}
+
 /// SplitMix64 finalizer — a full-avalanche 64-bit mix.
 fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -91,6 +187,22 @@ mod tests {
         let strikes = (0..4000u64).filter(|&j| plan.strikes(j, 0)).count();
         let rate = strikes as f64 / 4000.0;
         assert!((rate - 0.25).abs() < 0.05, "empirical rate {rate}");
+    }
+
+    #[test]
+    fn schedule_events_hit_only_their_coordinates() {
+        let schedule = FaultSchedule::none()
+            .with_event(3, 0, FaultKind::WorkerDeath)
+            .with_event(3, 2, FaultKind::Transient)
+            .with_event(5, 0, FaultKind::CorruptCache);
+        assert_eq!(schedule.event_for(3, 0), Some(FaultKind::WorkerDeath));
+        assert_eq!(schedule.event_for(3, 1), None);
+        assert_eq!(schedule.event_for(3, 2), Some(FaultKind::Transient));
+        assert_eq!(schedule.event_for(4, 0), None);
+        assert!(schedule.corrupts_cache(5));
+        assert!(!schedule.corrupts_cache(3), "non-corrupt kinds don't corrupt");
+        assert!(FaultSchedule::none().is_empty());
+        assert_eq!(schedule.events().len(), 3);
     }
 
     #[test]

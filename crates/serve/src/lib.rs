@@ -57,7 +57,7 @@ pub mod scheduler;
 pub mod service;
 
 pub use cache::{MarginalCache, ResultCache};
-pub use fault::FaultPlan;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 pub use hashkey::CircuitKey;
 pub use job::{Admission, JobId, JobOutcome, JobResult, JobSpec, Priority, ServeError};
 pub use scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};

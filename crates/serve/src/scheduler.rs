@@ -18,7 +18,7 @@ use crate::hashkey::CircuitKey;
 use crate::job::{JobId, JobSpec, Priority};
 use qgear_ir::Circuit;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::time::Instant;
+use std::time::Duration;
 
 /// An admitted job waiting for a worker.
 #[derive(Debug, Clone)]
@@ -34,10 +34,15 @@ pub struct QueuedJob {
     /// Sampling-independent key over the canonical circuit + precision +
     /// kernel config, for the state-marginal cache.
     pub state_key: CircuitKey,
-    /// Wall-clock admission time (deadlines count from here).
-    pub submitted_at: Instant,
+    /// Admission time as read from the service clock (deadlines count
+    /// from here; virtual under simulation, wall time in production).
+    pub submitted_at: Duration,
     /// Global admission sequence number (FIFO evidence).
     pub seq: u64,
+    /// Execution attempts consumed by earlier dispatches of this job
+    /// (nonzero only after a worker died mid-job and the job was
+    /// requeued). The retry budget spans dispatches.
+    pub attempts_made: u32,
 }
 
 /// One dispatch event, recorded in admission order for invariant checks
@@ -149,6 +154,20 @@ impl AdmissionQueue {
         None
     }
 
+    /// Put a previously dispatched job back at the *front* of its
+    /// tenant's class queue, keeping its original `seq` — the recovery
+    /// path after a worker death. Bypasses the capacity bound (the job
+    /// was already admitted; requeue must never be lossy) and refunds
+    /// the tenant's dispatch credit so fair-share stays unbiased.
+    pub fn requeue_front(&mut self, job: QueuedJob) {
+        if let Some(credit) = self.credits.get_mut(&job.spec.tenant) {
+            *credit = credit.saturating_sub(1);
+        }
+        let class = &mut self.classes[job.spec.priority.index()];
+        class.entry(job.spec.tenant.clone()).or_default().push_front(job);
+        self.len += 1;
+    }
+
     /// Remove a still-queued job by id. Returns it when found.
     pub fn cancel(&mut self, id: JobId) -> Option<QueuedJob> {
         for class in &mut self.classes {
@@ -182,8 +201,9 @@ mod tests {
             key: CircuitKey(id),
             state_key: CircuitKey(id ^ u64::MAX),
             spec,
-            submitted_at: Instant::now(),
+            submitted_at: Duration::ZERO,
             seq: 0,
+            attempts_made: 0,
         }
     }
 
@@ -259,6 +279,26 @@ mod tests {
         assert!(q.cancel(JobId(1)).is_none(), "already gone");
         assert_eq!(q.len(), 2);
         assert_eq!(drain(&mut q), vec![2, 0]);
+    }
+
+    #[test]
+    fn requeue_front_restores_dispatch_position_and_credit() {
+        let mut q = AdmissionQueue::new(2);
+        q.push(job(0, "a", Priority::Normal)).unwrap();
+        q.push(job(1, "a", Priority::Normal)).unwrap();
+        let dispatched = q.pop_next().unwrap();
+        assert_eq!(dispatched.id.0, 0);
+        let seq = dispatched.seq;
+        // Queue is at capacity again after requeue — allowed by design.
+        q.requeue_front(dispatched);
+        assert_eq!(q.len(), 2);
+        assert!(q.is_full());
+        let again = q.pop_next().unwrap();
+        assert_eq!(again.id.0, 0, "requeued job dispatches before its successors");
+        assert_eq!(again.seq, seq, "original admission seq is preserved");
+        // The refunded credit means tenant `a` is charged once net for
+        // the duplicated dispatch of job 0.
+        assert_eq!(q.pop_next().unwrap().id.0, 1);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! so every admitted job reaches an outcome.
 
 use crate::cache::{CachedMarginal, CachedResult, MarginalCache, ResultCache};
-use crate::fault::FaultPlan;
+use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
 use crate::hashkey::CircuitKey;
 use crate::job::{Admission, JobId, JobOutcome, JobResult, JobSpec, ServeError};
 use crate::scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};
@@ -21,12 +21,13 @@ use qgear_perfmodel::memory::state_bytes;
 use qgear_statevec::backend::{marginal_probs, sample_from_probs};
 use qgear_statevec::sampling::SamplingConfig;
 use qgear_statevec::{AerCpuBackend, Counts, ExecStats, GpuDevice, RunOptions, SimError, Simulator};
+use qgear_telemetry::clock::{Clock, SharedClock, WallClock};
 use qgear_telemetry::names::{self, spans};
 use qgear_telemetry::{counter_add, counter_inc, histogram_record, span};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Which engine the worker pool runs on.
 #[derive(Debug, Clone)]
@@ -78,10 +79,22 @@ pub struct ServeConfig {
     pub state_cache_capacity: usize,
     /// Injected transient-fault plan (defaults to no faults).
     pub fault: FaultPlan,
+    /// Declarative fault script (worker death, cache corruption,
+    /// targeted transient strikes) consulted before `fault`. Defaults
+    /// to empty; the deterministic simulation harness is its main user.
+    pub schedule: FaultSchedule,
     /// Default retry budget per job (overridable per [`JobSpec`]).
     pub max_retries: u32,
     /// Backoff before the first retry; doubles per subsequent retry.
     pub retry_backoff: Duration,
+    /// Longest uninterruptible wait while backing off: the worker sleeps
+    /// in slices of at most this, checking for a cancel request between
+    /// slices, so a cancel issued mid-backoff is observed within one
+    /// slice instead of after the whole backoff.
+    pub backoff_slice: Duration,
+    /// The clock every temporal decision reads. Production keeps the
+    /// default [`WallClock`]; simulation substitutes a virtual clock.
+    pub clock: SharedClock,
 }
 
 impl Default for ServeConfig {
@@ -94,8 +107,11 @@ impl Default for ServeConfig {
             cache_capacity: 256,
             state_cache_capacity: 64,
             fault: FaultPlan::none(),
+            schedule: FaultSchedule::none(),
             max_retries: 3,
             retry_backoff: Duration::from_millis(1),
+            backoff_slice: Duration::from_millis(1),
+            clock: WallClock::shared(),
         }
     }
 }
@@ -106,6 +122,11 @@ struct State {
     cache: ResultCache,
     marginals: MarginalCache,
     outcomes: HashMap<u64, JobOutcome>,
+    /// Clock reading at the instant each terminal outcome was published.
+    outcome_at: HashMap<u64, Duration>,
+    /// In-flight jobs whose cancellation has been requested; workers
+    /// observe these between backoff slices and attempts.
+    cancel_requests: HashSet<u64>,
     dispatch_log: Vec<DispatchRecord>,
     next_id: u64,
     in_flight: usize,
@@ -137,6 +158,8 @@ impl Service {
                 cache: ResultCache::new(cfg.cache_capacity),
                 marginals: MarginalCache::new(cfg.state_cache_capacity),
                 outcomes: HashMap::new(),
+                outcome_at: HashMap::new(),
+                cancel_requests: HashSet::new(),
                 dispatch_log: Vec::new(),
                 next_id: 0,
                 in_flight: 0,
@@ -187,6 +210,7 @@ impl Service {
 
         let key = CircuitKey::for_spec(&canonical, &spec, self.shared.cfg.fusion_width);
         let state_key = CircuitKey::state_key(&canonical, &spec, self.shared.cfg.fusion_width);
+        let submitted_at = self.shared.cfg.clock.now();
         let mut st = self.shared.state.lock().expect("serve state poisoned");
         if st.shutdown {
             return Admission::ShuttingDown;
@@ -206,8 +230,9 @@ impl Service {
             canonical,
             key,
             state_key,
-            submitted_at: Instant::now(),
+            submitted_at,
             seq: 0,
+            attempts_made: 0,
         };
         st.queue.push(job).expect("queue not full under lock");
         counter_inc(names::SERVE_JOBS_SUBMITTED);
@@ -217,17 +242,27 @@ impl Service {
         Admission::Accepted(id)
     }
 
-    /// Cancel a still-queued job. Returns `false` when the job already
-    /// dispatched (or never existed) — in-flight work is not interrupted.
+    /// Cancel a job. Returns `true` only when the job was still queued
+    /// and was removed before dispatch. For a job already in a worker's
+    /// hands the request is *recorded* (and `false` returned): the
+    /// worker observes it at the next backoff slice or attempt boundary
+    /// and finishes the job as [`JobOutcome::Cancelled`]; an attempt
+    /// already executing on the device is never interrupted.
     pub fn cancel(&self, id: JobId) -> bool {
+        let now = self.shared.cfg.clock.now();
         let mut st = self.shared.state.lock().expect("serve state poisoned");
         if st.queue.cancel(id).is_some() {
             counter_inc(names::SERVE_JOBS_CANCELLED);
             st.outcomes.insert(id.0, JobOutcome::Cancelled);
+            st.outcome_at.insert(id.0, now);
             drop(st);
             self.shared.done_cv.notify_all();
             true
         } else {
+            if id.0 < st.next_id && !st.outcomes.contains_key(&id.0) {
+                // Admitted, not queued, not terminal: in flight.
+                st.cancel_requests.insert(id.0);
+            }
             false
         }
     }
@@ -251,6 +286,22 @@ impl Service {
     pub fn try_outcome(&self, id: JobId) -> Option<JobOutcome> {
         let st = self.shared.state.lock().expect("serve state poisoned");
         st.outcomes.get(&id.0).cloned()
+    }
+
+    /// The service-clock reading at which `id`'s terminal outcome was
+    /// published. Under a virtual clock this is exact and reproducible —
+    /// the simulation oracles assert latency bounds against it.
+    pub fn outcome_time(&self, id: JobId) -> Option<Duration> {
+        let st = self.shared.state.lock().expect("serve state poisoned");
+        st.outcome_at.get(&id.0).copied()
+    }
+
+    /// True when the queue is empty and no job is in a worker's hands.
+    /// Non-blocking counterpart of [`Service::drain`], for executors
+    /// that must keep advancing a virtual clock while waiting.
+    pub fn is_idle(&self) -> bool {
+        let st = self.shared.state.lock().expect("serve state poisoned");
+        st.queue.is_empty() && st.in_flight == 0
     }
 
     /// Block until the queue is empty and no job is in flight.
@@ -300,12 +351,25 @@ impl Drop for Service {
     }
 }
 
+/// How one dispatch of a job ended: with a terminal outcome, or with the
+/// worker "dying" mid-job (injected fault) and the job owed a requeue.
+enum ServeStep {
+    Outcome(JobOutcome),
+    WorkerDied {
+        /// Attempts consumed up to and including the dying one; carried
+        /// into the requeued job so the retry budget spans dispatches.
+        attempts_consumed: u32,
+    },
+}
+
 /// One worker: pop → (deadline check, cache probe, execute with retries)
 /// → publish outcome. Exits when shutdown is flagged *and* the queue has
-/// drained, so accepted jobs are never abandoned.
+/// drained, so accepted jobs are never abandoned. An injected worker
+/// death requeues the job at the front of its tenant queue and the
+/// thread continues as its own (logically fresh) replacement.
 fn worker_loop(shared: &Shared) {
     loop {
-        let job = {
+        let mut job = {
             let mut st = shared.state.lock().expect("serve state poisoned");
             loop {
                 if let Some(job) = st.queue.pop_next() {
@@ -325,38 +389,101 @@ fn worker_loop(shared: &Shared) {
                 st = shared.jobs_cv.wait(st).expect("serve state poisoned");
             }
         };
-        let outcome = serve_one(shared, &job);
-        let mut st = shared.state.lock().expect("serve state poisoned");
-        st.outcomes.insert(job.id.0, outcome);
-        st.in_flight -= 1;
-        drop(st);
-        shared.done_cv.notify_all();
+        match serve_one(shared, &job) {
+            ServeStep::Outcome(outcome) => {
+                let now = shared.cfg.clock.now();
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.outcomes.insert(job.id.0, outcome);
+                st.outcome_at.insert(job.id.0, now);
+                st.cancel_requests.remove(&job.id.0);
+                st.in_flight -= 1;
+                drop(st);
+                shared.done_cv.notify_all();
+            }
+            ServeStep::WorkerDied { attempts_consumed } => {
+                counter_inc(names::SERVE_WORKER_DEATHS);
+                counter_inc(names::SERVE_REQUEUES);
+                job.attempts_made = attempts_consumed;
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.queue.requeue_front(job);
+                st.in_flight -= 1;
+                drop(st);
+                shared.jobs_cv.notify_one();
+            }
+        }
     }
 }
 
-/// Run one dispatched job to a terminal outcome.
-fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
+/// True when a cancel request for `id` has been recorded.
+fn cancel_requested(shared: &Shared, id: JobId) -> bool {
+    shared
+        .state
+        .lock()
+        .expect("serve state poisoned")
+        .cancel_requests
+        .contains(&id.0)
+}
+
+/// Wait out `backoff` on the service clock in slices of at most
+/// `backoff_slice`, checking for a cancel request between slices.
+/// Returns `false` when the wait was abandoned because of a cancel.
+fn backoff_with_cancel(shared: &Shared, id: JobId, backoff: Duration) -> bool {
+    let clock = shared.cfg.clock.as_ref();
+    let slice = shared.cfg.backoff_slice.max(Duration::from_nanos(1));
+    let deadline = clock.now().saturating_add(backoff);
+    loop {
+        if cancel_requested(shared, id) {
+            return false;
+        }
+        let now = clock.now();
+        if now >= deadline {
+            return true;
+        }
+        clock.sleep_until(now.saturating_add(slice).min(deadline));
+    }
+}
+
+/// Run one dispatched job to a terminal outcome (or a worker death).
+fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
+    let clock = shared.cfg.clock.as_ref();
     let _job_span = span!(spans::SERVE_JOB);
-    let queue_wait = job.submitted_at.elapsed();
+    let queue_wait = clock.now().saturating_sub(job.submitted_at);
     histogram_record(names::SERVE_QUEUE_WAIT_MS, queue_wait.as_secs_f64() * 1e3);
 
-    // Deadline: jobs that waited too long are dropped, not run late.
+    // A cancel that raced the dispatch: honour it before doing work.
+    if cancel_requested(shared, job.id) {
+        counter_inc(names::SERVE_JOBS_CANCELLED);
+        return ServeStep::Outcome(JobOutcome::Cancelled);
+    }
+
+    // Deadline: jobs that waited too long are dropped, not run late. A
+    // wait of *exactly* the deadline still runs — the boundary belongs
+    // to the job (pinned by the simtest deadline-at-boundary scenario).
     if let Some(deadline) = job.spec.deadline {
         if queue_wait > deadline {
             counter_inc(names::SERVE_JOBS_EXPIRED);
-            return JobOutcome::Expired;
+            return ServeStep::Outcome(JobOutcome::Expired);
         }
     }
 
-    // Cache probe (hit/miss counters live in the cache).
+    // Cache probe (hit/miss counters live in the cache). A scheduled
+    // corruption fault is detected here: the poisoned entry is
+    // invalidated and the job falls through to a cold re-execution,
+    // which — execution being deterministic — reproduces the original
+    // bytes and repopulates the cache.
     let cached = {
-        let st = shared.state.lock().expect("serve state poisoned");
-        st.cache.get(job.key)
+        let mut st = shared.state.lock().expect("serve state poisoned");
+        if shared.cfg.schedule.corrupts_cache(job.id.0) && st.cache.invalidate(job.key) {
+            counter_inc(names::SERVE_CACHE_CORRUPTIONS);
+            None
+        } else {
+            st.cache.get(job.key)
+        }
     };
     if let Some(hit) = cached {
-        let service_time = job.submitted_at.elapsed();
+        let service_time = clock.now().saturating_sub(job.submitted_at);
         record_completion(&job.spec, service_time);
-        return JobOutcome::Completed(Box::new(JobResult {
+        return ServeStep::Outcome(JobOutcome::Completed(Box::new(JobResult {
             counts: hit.counts,
             stats: hit.stats,
             from_cache: true,
@@ -364,7 +491,7 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
             attempts: 0,
             queue_wait,
             service_time,
-        }));
+        })));
     }
 
     // State-marginal probe: the same circuit evolved before under
@@ -390,9 +517,9 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
             let mut st = shared.state.lock().expect("serve state poisoned");
             st.cache.insert(job.key, CachedResult { counts: counts.clone(), stats: stats.clone() });
         }
-        let service_time = job.submitted_at.elapsed();
+        let service_time = clock.now().saturating_sub(job.submitted_at);
         record_completion(&job.spec, service_time);
-        return JobOutcome::Completed(Box::new(JobResult {
+        return ServeStep::Outcome(JobOutcome::Completed(Box::new(JobResult {
             counts,
             stats,
             from_cache: false,
@@ -400,28 +527,60 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
             attempts: 0,
             queue_wait,
             service_time,
-        }));
+        })));
     }
 
     // Cold path: execute with retry-with-backoff against injected faults.
+    // `attempt` is the 0-based *global* attempt index, seeded from the
+    // ledger of attempts consumed before a worker death requeued the job,
+    // so the retry budget and the fault coordinates span dispatches.
     let max_attempts = job.spec.max_retries.unwrap_or(shared.cfg.max_retries) + 1;
-    let mut attempts = 0u32;
+    let mut attempt = job.attempts_made;
     let executed: Result<(Option<Counts>, ExecStats, Option<CachedMarginal>), ServeError> = loop {
-        attempts += 1;
-        let _attempt_span = span!(spans::SERVE_ATTEMPT);
-        if shared.cfg.fault.strikes(job.id.0, attempts - 1) {
-            if attempts >= max_attempts {
-                break Err(ServeError::RetriesExhausted { attempts });
-            }
-            counter_inc(names::SERVE_RETRIES);
-            // Exponential backoff: 1×, 2×, 4×, … the configured base,
-            // capped at 1024× so long retry budgets stay bounded.
-            let backoff = shared.cfg.retry_backoff * (1u32 << (attempts - 1).min(10));
-            drop(_attempt_span);
-            thread::sleep(backoff);
-            continue;
+        // Attempt boundary: a cancel recorded while a previous attempt
+        // was running (or racing the dispatch) takes effect here.
+        if cancel_requested(shared, job.id) {
+            counter_inc(names::SERVE_JOBS_CANCELLED);
+            return ServeStep::Outcome(JobOutcome::Cancelled);
         }
-        break execute(&shared.cfg, job).map_err(ServeError::Sim);
+        let _attempt_span = span!(spans::SERVE_ATTEMPT);
+        // Scheduled events out-rank the rate plan at the same coordinates;
+        // CorruptCache only matters at the probe, so it is inert here.
+        let fault = shared
+            .cfg
+            .schedule
+            .event_for(job.id.0, attempt)
+            .filter(|kind| *kind != FaultKind::CorruptCache)
+            .or_else(|| {
+                shared.cfg.fault.strikes(job.id.0, attempt).then_some(FaultKind::Transient)
+            });
+        match fault {
+            Some(FaultKind::WorkerDeath) => {
+                // The dying attempt is consumed: the replacement worker
+                // resumes at the next global attempt index.
+                return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
+            }
+            Some(FaultKind::Transient) => {
+                attempt += 1;
+                if attempt >= max_attempts {
+                    break Err(ServeError::RetriesExhausted { attempts: attempt });
+                }
+                counter_inc(names::SERVE_RETRIES);
+                // Exponential backoff: 1×, 2×, 4×, … the configured base,
+                // capped at 1024× so long retry budgets stay bounded.
+                let backoff = shared.cfg.retry_backoff * (1u32 << (attempt - 1).min(10));
+                drop(_attempt_span);
+                if !backoff_with_cancel(shared, job.id, backoff) {
+                    counter_inc(names::SERVE_JOBS_CANCELLED);
+                    counter_inc(names::SERVE_CANCELLED_IN_BACKOFF);
+                    return ServeStep::Outcome(JobOutcome::Cancelled);
+                }
+                continue;
+            }
+            Some(FaultKind::CorruptCache) | None => {
+                break execute(&shared.cfg, job).map_err(ServeError::Sim);
+            }
+        }
     };
 
     match executed {
@@ -436,21 +595,21 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> JobOutcome {
                     st.marginals.insert(job.state_key, m);
                 }
             }
-            let service_time = job.submitted_at.elapsed();
+            let service_time = clock.now().saturating_sub(job.submitted_at);
             record_completion(&job.spec, service_time);
-            JobOutcome::Completed(Box::new(JobResult {
+            ServeStep::Outcome(JobOutcome::Completed(Box::new(JobResult {
                 counts,
                 stats,
                 from_cache: false,
                 from_state_cache: false,
-                attempts,
+                attempts: attempt + 1,
                 queue_wait,
                 service_time,
-            }))
+            })))
         }
         Err(err) => {
             counter_inc(names::SERVE_JOBS_FAILED);
-            JobOutcome::Failed(err)
+            ServeStep::Outcome(JobOutcome::Failed(err))
         }
     }
 }
@@ -477,14 +636,15 @@ fn execute(
         memory_limit: Some(cfg.backend.memory_bytes()),
         ..RunOptions::default()
     };
+    let clock = cfg.clock.as_ref();
     match &cfg.backend {
         BackendKind::Gpu(device) => match job.spec.precision {
-            Precision::Fp32 => evolve_and_sample::<f32, _>(device, job, &opts),
-            Precision::Fp64 => evolve_and_sample::<f64, _>(device, job, &opts),
+            Precision::Fp32 => evolve_and_sample::<f32, _>(device, job, &opts, clock),
+            Precision::Fp64 => evolve_and_sample::<f64, _>(device, job, &opts, clock),
         },
         BackendKind::Cpu { .. } => match job.spec.precision {
-            Precision::Fp32 => evolve_and_sample::<f32, _>(&AerCpuBackend, job, &opts),
-            Precision::Fp64 => evolve_and_sample::<f64, _>(&AerCpuBackend, job, &opts),
+            Precision::Fp32 => evolve_and_sample::<f32, _>(&AerCpuBackend, job, &opts, clock),
+            Precision::Fp64 => evolve_and_sample::<f64, _>(&AerCpuBackend, job, &opts, clock),
         },
     }
 }
@@ -495,6 +655,7 @@ fn evolve_and_sample<T: Scalar, S: Simulator<T>>(
     sim: &S,
     job: &QueuedJob,
     opts: &RunOptions,
+    clock: &dyn Clock,
 ) -> Result<(Option<Counts>, ExecStats, Option<CachedMarginal>), SimError> {
     let evolve_opts = RunOptions { shots: 0, keep_state: true, ..opts.clone() };
     let out = sim.run(&job.canonical, &evolve_opts)?;
@@ -504,7 +665,7 @@ fn evolve_and_sample<T: Scalar, S: Simulator<T>>(
     if measured.is_empty() {
         return Ok((None, stats, None));
     }
-    let sample_start = Instant::now();
+    let sample_start = clock.now();
     let sample_span = span!(spans::SAMPLE);
     let probs = Arc::new(marginal_probs(&state, &measured));
     drop(state); // free the full state before sampling bookkeeping
@@ -515,7 +676,7 @@ fn evolve_and_sample<T: Scalar, S: Simulator<T>>(
     };
     let counts = sample_from_probs(&probs, &measured, &cfg);
     drop(sample_span);
-    stats.sampling_elapsed += sample_start.elapsed();
+    stats.sampling_elapsed += clock.now().saturating_sub(sample_start);
     let marginal =
         CachedMarginal { probs, measured: Arc::new(measured), stats: stats.clone() };
     Ok((counts, stats, Some(marginal)))

@@ -1,0 +1,92 @@
+//! `qgear-simtest`: deterministic simulation testing for the serving
+//! runtime, in the FoundationDB/TigerBeetle style.
+//!
+//! The serving stack (`qgear-serve`) and the cluster engine
+//! (`qgear-cluster`) read all time through the
+//! [`qgear_telemetry::clock::Clock`] capability. This crate supplies
+//! the other half of that bargain:
+//!
+//! * [`VirtualClock`] — a stepped simulated clock. Worker threads that
+//!   sleep on it park until the harness advances virtual time; the
+//!   clock can never advance past the earliest registered deadline, so
+//!   no sleeper is ever leapfrogged.
+//! * [`Scenario`] — a declarative failure script: submits, cancels,
+//!   time advances, plus a [`qgear_serve::FaultSchedule`] of worker
+//!   deaths, cache corruptions, and targeted transient strikes.
+//!   [`Scenario::generate`] derives one as a pure function of a 64-bit
+//!   seed.
+//! * [`run_scenario`] — the step-driven executor: pins the single
+//!   worker in a virtual backoff, applies the ops against the quiescent
+//!   service, then releases and drains by advancing to successive
+//!   sleeper deadlines. Same scenario ⇒ byte-identical [`Trace`].
+//! * [`oracle`] — invariants checked on every run: job conservation,
+//!   causal outcome times, dispatch accounting (no double-dispatch
+//!   beyond the worker-death budget), cancels honored with bounded
+//!   latency, cache bit-identity, and (for telemetry-owning tests)
+//!   span-tree balance.
+//! * [`shrink()`] — greedy minimization of a failing scenario to the
+//!   shortest prefix that still violates an oracle, for one-line
+//!   reproductions.
+//!
+//! Failing seeds replay exactly: set `QGEAR_SIMTEST_SEED` and re-run
+//! the suite (see [`seed_from_env`] / [`replay_command`]).
+
+pub mod clock;
+pub mod harness;
+pub mod oracle;
+pub mod rng;
+pub mod scenario;
+pub mod shrink;
+pub mod trace;
+
+pub use clock::VirtualClock;
+pub use harness::{run_scenario, SimReport, BLOCKER_JOB};
+pub use rng::SimRng;
+pub use scenario::{JobDef, Op, Scenario, TENANTS};
+pub use shrink::shrink;
+pub use trace::{counts_hash, OutcomeSummary, Trace, TraceEvent};
+
+/// The base seed tests derive scenarios from: `QGEAR_SIMTEST_SEED` when
+/// set (decimal or `0x`-hex), else `default`. The CI matrix exercises
+/// several fixed seeds; a failure report names the one to export.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("QGEAR_SIMTEST_SEED") {
+        Ok(raw) => {
+            let raw = raw.trim();
+            let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16)
+            } else {
+                raw.parse()
+            };
+            parsed.unwrap_or_else(|_| {
+                panic!("QGEAR_SIMTEST_SEED={raw:?} is not a u64")
+            })
+        }
+        Err(_) => default,
+    }
+}
+
+/// The one-line command that replays scenario `seed` under `test_name`.
+pub fn replay_command(seed: u64, test_name: &str) -> String {
+    format!("QGEAR_SIMTEST_SEED={seed} cargo test -q --test simtest {test_name}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_command_names_seed_and_test() {
+        let cmd = replay_command(42, "random_scenarios_hold_every_oracle");
+        assert!(cmd.contains("QGEAR_SIMTEST_SEED=42"));
+        assert!(cmd.contains("random_scenarios_hold_every_oracle"));
+    }
+
+    #[test]
+    fn seed_from_env_falls_back_to_default() {
+        // The variable is unset in the test environment unless the CI
+        // matrix exports it; accept either, but never panic.
+        let seed = seed_from_env(7);
+        let _ = seed;
+    }
+}

@@ -1,0 +1,296 @@
+//! The oracles: invariants every scenario run must satisfy, checked
+//! over the run's trace and final service state.
+//!
+//! Violations are returned as human-readable strings (not panics) so
+//! the shrinker can use "does this scenario still violate an oracle?"
+//! as its predicate.
+
+use crate::scenario::{Op, Scenario};
+use crate::trace::{OutcomeSummary, Trace, TraceEvent};
+use qgear_serve::FaultKind;
+use qgear_telemetry::TelemetrySnapshot;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Duration;
+
+/// Everything the oracles look at.
+#[derive(Debug)]
+pub struct OracleInput<'a> {
+    /// The scenario that ran.
+    pub scenario: &'a Scenario,
+    /// Accepted admission ids.
+    pub accepted: &'a [u64],
+    /// Terminal outcomes by admission id.
+    pub outcomes: &'a BTreeMap<u64, OutcomeSummary>,
+    /// Publication time of each outcome.
+    pub outcome_times: &'a BTreeMap<u64, Duration>,
+    /// Dispatches per admission id.
+    pub dispatch_counts: &'a BTreeMap<u64, usize>,
+    /// The run's event log.
+    pub trace: &'a Trace,
+    /// Upper bound on (outcome − cancel) virtual latency for a job
+    /// cancelled in flight (one backoff slice).
+    pub cancel_latency_bound: Duration,
+}
+
+/// Run every oracle; the returned list is empty iff all held.
+pub fn check(input: &OracleInput) -> Vec<String> {
+    let mut v = Vec::new();
+    conservation(input, &mut v);
+    termination_times(input, &mut v);
+    dispatch_accounting(input, &mut v);
+    cancels_honored(input, &mut v);
+    cache_bit_identity(input, &mut v);
+    v
+}
+
+/// **Job conservation**: every accepted job has exactly one terminal
+/// outcome, and no outcome exists for a job that was never accepted.
+fn conservation(input: &OracleInput, v: &mut Vec<String>) {
+    let accepted: BTreeSet<u64> = input.accepted.iter().copied().collect();
+    let resolved: BTreeSet<u64> = input.outcomes.keys().copied().collect();
+    for id in accepted.difference(&resolved) {
+        v.push(format!("conservation: accepted job {id} has no terminal outcome"));
+    }
+    for id in resolved.difference(&accepted) {
+        v.push(format!("conservation: job {id} resolved but was never accepted"));
+    }
+}
+
+/// **Causality**: every outcome has a publication time no earlier than
+/// the job's submission (virtual time never runs backward through a
+/// job's lifecycle).
+fn termination_times(input: &OracleInput, v: &mut Vec<String>) {
+    let mut submit_at: HashMap<u64, u128> = HashMap::new();
+    for e in &input.trace.events {
+        if let TraceEvent::Submit { at_ns, job, .. } = e {
+            submit_at.insert(*job, *at_ns);
+        }
+    }
+    for (id, t) in input.outcome_times {
+        if input.outcomes.get(id).is_none() {
+            continue;
+        }
+        if let Some(&s) = submit_at.get(id) {
+            if t.as_nanos() < s {
+                v.push(format!(
+                    "causality: job {id} resolved at {}ns before its submit at {s}ns",
+                    t.as_nanos()
+                ));
+            }
+        }
+    }
+}
+
+/// **No double-dispatch / no double-complete**: a job is handed to a
+/// worker at most `1 + scheduled worker deaths` times, and any job that
+/// ran (completed, failed, or expired at dispatch) was dispatched at
+/// least once. Cancelled-while-queued jobs never dispatch.
+fn dispatch_accounting(input: &OracleInput, v: &mut Vec<String>) {
+    let mut death_budget: HashMap<u64, usize> = HashMap::new();
+    for e in &input.scenario.events {
+        if e.kind == FaultKind::WorkerDeath {
+            *death_budget.entry(e.job + 1).or_insert(0) += 1;
+        }
+    }
+    for (&id, &n) in input.dispatch_counts {
+        let allowed = 1 + death_budget.get(&id).copied().unwrap_or(0);
+        if n > allowed {
+            v.push(format!(
+                "double-dispatch: job {id} dispatched {n}× with a budget of {allowed}"
+            ));
+        }
+    }
+    for (&id, outcome) in input.outcomes {
+        let dispatched = input.dispatch_counts.get(&id).copied().unwrap_or(0);
+        match outcome {
+            OutcomeSummary::Completed { .. }
+            | OutcomeSummary::Failed { .. }
+            | OutcomeSummary::Expired => {
+                if dispatched == 0 {
+                    v.push(format!("dispatch: job {id} resolved {outcome:?} without dispatching"));
+                }
+            }
+            OutcomeSummary::Cancelled => {}
+        }
+    }
+}
+
+/// **Cancellation honored, with bounded latency**: a cancel that caught
+/// the job still queued resolves it as `Cancelled` at exactly the
+/// cancel time; a cancel recorded against an in-flight job that does
+/// end `Cancelled` must resolve within one backoff slice of the
+/// request.
+fn cancels_honored(input: &OracleInput, v: &mut Vec<String>) {
+    for e in &input.trace.events {
+        let TraceEvent::Cancel { at_ns, job, while_queued } = e else {
+            continue;
+        };
+        let outcome = input.outcomes.get(job);
+        if *while_queued {
+            if !matches!(outcome, Some(OutcomeSummary::Cancelled)) {
+                v.push(format!(
+                    "cancel: job {job} removed from the queue but resolved {outcome:?}"
+                ));
+            }
+            if let Some(t) = input.outcome_times.get(job) {
+                if t.as_nanos() != *at_ns {
+                    v.push(format!(
+                        "cancel: queued job {job} resolved at {}ns, not the cancel time {at_ns}ns",
+                        t.as_nanos()
+                    ));
+                }
+            }
+        } else if matches!(outcome, Some(OutcomeSummary::Cancelled)) {
+            if let Some(t) = input.outcome_times.get(job) {
+                let latency = t.as_nanos().saturating_sub(*at_ns);
+                if latency > input.cancel_latency_bound.as_nanos() {
+                    v.push(format!(
+                        "cancel latency: in-flight job {job} took {latency}ns > one slice ({}ns)",
+                        input.cancel_latency_bound.as_nanos()
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// **Cache bit-identity**: jobs submitted with equal definitions share
+/// a cache key, so every completion among them must carry the same
+/// counts hash — whether served cold, from cache, from the marginal
+/// cache, or re-executed after a scheduled cache corruption.
+fn cache_bit_identity(input: &OracleInput, v: &mut Vec<String>) {
+    let mut groups: HashMap<_, Vec<(u64, u64)>> = HashMap::new();
+    let mut job = 0u64;
+    for op in &input.scenario.ops {
+        if let Op::Submit(def) = op {
+            let id = job + 1;
+            job += 1;
+            if let Some(OutcomeSummary::Completed { counts_hash, .. }) =
+                input.outcomes.get(&id)
+            {
+                groups.entry(*def).or_default().push((id, *counts_hash));
+            }
+        }
+    }
+    for (def, completions) in groups {
+        let Some(&(first_id, expect)) = completions.first() else {
+            continue;
+        };
+        for &(id, hash) in &completions[1..] {
+            if hash != expect {
+                v.push(format!(
+                    "cache identity: jobs {first_id} and {id} share def {def:?} but \
+                     sampled different counts ({expect:#x} vs {hash:#x})"
+                ));
+            }
+        }
+    }
+}
+
+/// **Span balance** (telemetry oracle): the recorded span tree is
+/// structurally sound and every `serve_job` span matches a dispatch.
+/// Run by tests that own the global telemetry collector.
+pub fn check_telemetry(snapshot: &TelemetrySnapshot, dispatches: usize) -> Vec<String> {
+    let mut v = Vec::new();
+    if let Err(e) = snapshot.verify_span_balance() {
+        v.push(format!("span balance: {e}"));
+    }
+    let jobs = snapshot.span_count(qgear_telemetry::names::spans::SERVE_JOB);
+    if jobs != dispatches {
+        v.push(format!(
+            "span balance: {jobs} serve_job spans for {dispatches} dispatches"
+        ));
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::JobDef;
+
+    fn base<'a>(
+        scenario: &'a Scenario,
+        accepted: &'a [u64],
+        outcomes: &'a BTreeMap<u64, OutcomeSummary>,
+        outcome_times: &'a BTreeMap<u64, Duration>,
+        dispatch_counts: &'a BTreeMap<u64, usize>,
+        trace: &'a Trace,
+    ) -> OracleInput<'a> {
+        OracleInput {
+            scenario,
+            accepted,
+            outcomes,
+            outcome_times,
+            dispatch_counts,
+            trace,
+            cancel_latency_bound: Duration::from_millis(1),
+        }
+    }
+
+    #[test]
+    fn lost_job_is_a_conservation_violation() {
+        let scenario = Scenario::empty(0).op(Op::Submit(JobDef::bell()));
+        let accepted = vec![0, 1];
+        let outcomes: BTreeMap<u64, OutcomeSummary> =
+            [(0, OutcomeSummary::Cancelled)].into_iter().collect();
+        let times: BTreeMap<u64, Duration> = [(0, Duration::ZERO)].into_iter().collect();
+        let dispatches = BTreeMap::new();
+        let trace = Trace::default();
+        let v = check(&base(&scenario, &accepted, &outcomes, &times, &dispatches, &trace));
+        assert!(
+            v.iter().any(|m| m.contains("conservation: accepted job 1")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn double_dispatch_without_death_budget_is_flagged() {
+        let scenario = Scenario::empty(0).op(Op::Submit(JobDef::bell()));
+        let accepted = vec![1];
+        let outcomes: BTreeMap<u64, OutcomeSummary> = [(
+            1,
+            OutcomeSummary::Completed {
+                attempts: 1,
+                from_cache: false,
+                from_state_cache: false,
+                counts_hash: 7,
+            },
+        )]
+        .into_iter()
+        .collect();
+        let times: BTreeMap<u64, Duration> = [(1, Duration::ZERO)].into_iter().collect();
+        let dispatches: BTreeMap<u64, usize> = [(1, 2)].into_iter().collect();
+        let trace = Trace::default();
+        let v = check(&base(&scenario, &accepted, &outcomes, &times, &dispatches, &trace));
+        assert!(v.iter().any(|m| m.contains("double-dispatch")), "{v:?}");
+
+        // The same double dispatch is licensed by a worker-death event.
+        let licensed = scenario.clone().event(0, 0, FaultKind::WorkerDeath);
+        let v = check(&base(&licensed, &accepted, &outcomes, &times, &dispatches, &trace));
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn divergent_counts_for_equal_defs_are_flagged() {
+        let def = JobDef::bell();
+        let scenario =
+            Scenario::empty(0).op(Op::Submit(def)).op(Op::Submit(def));
+        let accepted = vec![1, 2];
+        let mk = |h| OutcomeSummary::Completed {
+            attempts: 1,
+            from_cache: false,
+            from_state_cache: false,
+            counts_hash: h,
+        };
+        let outcomes: BTreeMap<u64, OutcomeSummary> =
+            [(1, mk(7)), (2, mk(8))].into_iter().collect();
+        let times: BTreeMap<u64, Duration> =
+            [(1, Duration::ZERO), (2, Duration::ZERO)].into_iter().collect();
+        let dispatches: BTreeMap<u64, usize> =
+            [(1, 1), (2, 1)].into_iter().collect();
+        let trace = Trace::default();
+        let v = check(&base(&scenario, &accepted, &outcomes, &times, &dispatches, &trace));
+        assert!(v.iter().any(|m| m.contains("cache identity")), "{v:?}");
+    }
+}

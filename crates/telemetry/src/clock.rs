@@ -1,0 +1,127 @@
+//! Time as a capability: the [`Clock`] every time-sensitive subsystem
+//! reads instead of calling `Instant::now()` / `thread::sleep` directly.
+//!
+//! The serving runtime (`qgear-serve`) and the cluster engine
+//! (`qgear-cluster`) measure queue waits, enforce deadlines, and pace
+//! retry backoff. With ambient wall-clock calls those paths can only be
+//! tested statistically — a deadline landing exactly on a completion
+//! boundary, or a cancel racing a backoff sleep, cannot be staged on a
+//! real clock. Threading a `Clock` handle through instead makes every
+//! temporal decision a pure function of the clock's readings, so the
+//! deterministic simulation harness (`qgear-simtest`) can substitute a
+//! virtual clock and replay whole failure scenarios from a seed.
+//!
+//! Production code uses [`WallClock`], which is a thin veneer over
+//! `Instant`/`thread::sleep` — the *only* place in the serve/cluster
+//! stack where those ambient primitives are touched.
+//!
+//! Time is represented as a [`Duration`] since the clock's epoch (its
+//! construction for `WallClock`, virtual zero for simulated clocks):
+//! monotonic, subtractable, and trivially serializable into traces.
+
+use std::fmt;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonic clock plus the ability to wait on it.
+///
+/// Implementations must be monotonic (`now()` never decreases) and
+/// `sleep_until` must not return before `now() >= deadline`.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// Monotonic time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Block the calling thread until `now() >= deadline`.
+    ///
+    /// Returns immediately when the deadline has already passed.
+    fn sleep_until(&self, deadline: Duration);
+
+    /// Block the calling thread for `dur` of this clock's time.
+    fn sleep(&self, dur: Duration) {
+        let deadline = self.now().saturating_add(dur);
+        self.sleep_until(deadline);
+    }
+}
+
+/// A shareable clock handle, as stored in configuration structs.
+pub type SharedClock = Arc<dyn Clock>;
+
+/// The production clock: real monotonic time, real sleeping.
+///
+/// Epoch is the moment of construction, so readings start near zero and
+/// stay comparable within one subsystem instance.
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is now.
+    pub fn new() -> Self {
+        WallClock { epoch: Instant::now() }
+    }
+
+    /// A fresh wall clock behind a [`SharedClock`] handle.
+    pub fn shared() -> SharedClock {
+        Arc::new(WallClock::new())
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        WallClock::new()
+    }
+}
+
+impl fmt::Debug for WallClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WallClock").finish_non_exhaustive()
+    }
+}
+
+impl Clock for WallClock {
+    fn now(&self) -> Duration {
+        self.epoch.elapsed()
+    }
+
+    fn sleep_until(&self, deadline: Duration) {
+        let now = self.now();
+        if deadline > now {
+            std::thread::sleep(deadline - now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallClock::new();
+        let a = clock.now();
+        let b = clock.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn sleep_until_past_deadline_returns_immediately() {
+        let clock = WallClock::new();
+        let before = clock.now();
+        clock.sleep_until(Duration::ZERO);
+        assert!(clock.now() - before < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn sleep_waits_at_least_the_requested_time() {
+        let clock = WallClock::new();
+        let start = clock.now();
+        clock.sleep(Duration::from_millis(2));
+        assert!(clock.now() - start >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn shared_handle_is_usable_as_dyn_clock() {
+        let clock: SharedClock = WallClock::shared();
+        assert!(clock.now() < Duration::from_secs(3600));
+    }
+}

@@ -44,12 +44,14 @@
 //! The JSON schema (version 1) is documented in `docs/TELEMETRY.md` at
 //! the workspace root and is exercised by `tests/telemetry.rs`.
 
+pub mod clock;
 mod metrics;
 pub mod names;
 mod sink;
 mod snapshot;
 mod span;
 
+pub use clock::{Clock, SharedClock, WallClock};
 pub use metrics::{counter_add, counter_inc, histogram_record};
 pub use sink::{JsonSink, NullSink, TelemetrySink};
 pub use snapshot::{HistogramSummary, SpanRecord, TelemetrySnapshot, SCHEMA_VERSION};

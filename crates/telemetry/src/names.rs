@@ -102,6 +102,21 @@ pub const SERVE_STATE_CACHE_HITS: &str = "serve.state_cache_hits";
 /// State-cache misses that fell through to a full simulation.
 pub const SERVE_STATE_CACHE_MISSES: &str = "serve.state_cache_misses";
 
+/// Cache entries found corrupted on probe (injected fault), invalidated
+/// and re-executed cold.
+pub const SERVE_CACHE_CORRUPTIONS: &str = "serve.cache_corruptions";
+
+/// Workers killed mid-job by an injected worker-death fault; each death
+/// requeues the victim job at the front of its tenant queue.
+pub const SERVE_WORKER_DEATHS: &str = "serve.worker_deaths";
+
+/// Jobs requeued after a worker death (conservation evidence: deaths
+/// and requeues must match).
+pub const SERVE_REQUEUES: &str = "serve.requeues";
+
+/// In-flight jobs cancelled while waiting out a retry backoff.
+pub const SERVE_CANCELLED_IN_BACKOFF: &str = "serve.cancelled_in_backoff";
+
 /// Per-tenant counter name for jobs completed, e.g. `serve.tenant.alice.jobs`.
 pub fn serve_tenant_jobs(tenant: &str) -> String {
     format!("serve.tenant.{tenant}.jobs")

@@ -68,6 +68,61 @@ impl TelemetrySnapshot {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
+    /// Completed spans whose leaf name is `name`.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// Check that the recorded span tree is *balanced*: every span's
+    /// path is consistent with its name and depth, and every nested span
+    /// lies inside the time window of some span recorded at its parent
+    /// path. A violation means a span guard was leaked, dropped out of
+    /// order, or timed against a different clock than its parent — the
+    /// simulation harness runs this as one of its oracles.
+    ///
+    /// Spans dropped past the storage cap make enclosure unverifiable,
+    /// so a snapshot with `dropped_spans > 0` is rejected.
+    pub fn verify_span_balance(&self) -> Result<(), String> {
+        if self.dropped_spans > 0 {
+            return Err(format!(
+                "{} spans dropped past the storage cap; balance unverifiable",
+                self.dropped_spans
+            ));
+        }
+        for span in &self.spans {
+            let segments: Vec<&str> = span.path.split('/').collect();
+            if segments.last().copied() != Some(span.name.as_str()) {
+                return Err(format!(
+                    "span path {:?} does not end in its name {:?}",
+                    span.path, span.name
+                ));
+            }
+            if segments.len() != span.depth as usize + 1 {
+                return Err(format!(
+                    "span {:?} has depth {} but {} path segments",
+                    span.path,
+                    span.depth,
+                    segments.len()
+                ));
+            }
+            if span.depth == 0 {
+                continue;
+            }
+            let parent_path = segments[..segments.len() - 1].join("/");
+            let end = span.start_ns + span.duration_ns;
+            let enclosed = self.spans.iter().any(|p| {
+                p.path == parent_path && p.start_ns <= span.start_ns && span.start_ns + span.duration_ns <= p.start_ns + p.duration_ns
+            });
+            if !enclosed {
+                return Err(format!(
+                    "span {:?} [{}, {}] ns has no enclosing parent span at path {:?}",
+                    span.path, span.start_ns, end, parent_path
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Encode as a schema-version-1 JSON document.
     pub fn to_value(&self, label: &str) -> Value {
         let spans = self
@@ -209,6 +264,43 @@ mod tests {
         let mut v = sample().to_value("x");
         v["schema_version"] = Value::U64(99);
         assert!(TelemetrySnapshot::from_value(&v).is_err());
+    }
+
+    #[test]
+    fn balanced_span_tree_verifies() {
+        let mut snap = sample();
+        snap.spans.push(SpanRecord {
+            path: "run".into(),
+            name: "run".into(),
+            depth: 0,
+            start_ns: 100,
+            duration_ns: 80,
+        });
+        assert!(snap.verify_span_balance().is_ok());
+        assert_eq!(snap.span_count("fuse"), 1);
+        assert_eq!(snap.span_count("absent"), 0);
+    }
+
+    #[test]
+    fn orphaned_child_span_fails_balance() {
+        // `run/fuse` exists but no `run` parent encloses it.
+        let snap = sample();
+        let err = snap.verify_span_balance().unwrap_err();
+        assert!(err.contains("no enclosing parent"), "{err}");
+    }
+
+    #[test]
+    fn inconsistent_depth_fails_balance() {
+        let mut snap = sample();
+        snap.spans[0].depth = 3;
+        assert!(snap.verify_span_balance().is_err());
+    }
+
+    #[test]
+    fn dropped_spans_make_balance_unverifiable() {
+        let mut snap = sample();
+        snap.dropped_spans = 1;
+        assert!(snap.verify_span_balance().is_err());
     }
 
     #[test]

@@ -19,6 +19,14 @@ cargo test -q --test differential
 echo "==> hotpath bench smoke (sweep executor end to end)"
 cargo run --release -p qgear-bench --bin hotpath -- --smoke
 
+# Deterministic simulation matrix: the simtest suite re-runs under three
+# fixed scenario seeds so the oracle properties are exercised on more of
+# the seed space than the default base seed (docs/TESTING.md).
+for seed in 0x51D3C0DE 0xDEADBEEF 0x00C0FFEE; do
+    echo "==> cargo test -q --test simtest (QGEAR_SIMTEST_SEED=${seed})"
+    QGEAR_SIMTEST_SEED="${seed}" cargo test -q --test simtest
+done
+
 echo "==> cargo doc --no-deps (RUSTDOCFLAGS=-D warnings)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 

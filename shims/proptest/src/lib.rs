@@ -403,8 +403,23 @@ macro_rules! prop_assert_ne {
     ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
 }
 
+/// The effective case count: the `QGEAR_PROPTEST_CASES` environment
+/// variable when set (so CI can dial property coverage up or down
+/// without recompiling), else the per-test configured count.
+#[doc(hidden)]
+pub fn __effective_cases(configured: u32) -> u32 {
+    match std::env::var("QGEAR_PROPTEST_CASES") {
+        Ok(raw) => raw
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("QGEAR_PROPTEST_CASES={raw:?} is not a u32")),
+        Err(_) => configured,
+    }
+}
+
 /// Define property tests: each `fn name(arg in strategy, ...)` runs
-/// `cases` times with freshly sampled inputs.
+/// `cases` times with freshly sampled inputs (overridable globally via
+/// `QGEAR_PROPTEST_CASES`).
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
@@ -427,9 +442,10 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
+                let cases = $crate::__effective_cases(config.cases);
                 let mut rng =
                     $crate::test_runner::TestRng::deterministic(stringify!($name));
-                for __case in 0..config.cases {
+                for __case in 0..cases {
                     let _ = __case;
                     $(
                         let $arg =
@@ -493,6 +509,22 @@ mod tests {
             seen.insert(strat.sample(&mut rng));
         }
         assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn env_var_overrides_configured_case_count() {
+        // The suite itself may run under QGEAR_PROPTEST_CASES (that is
+        // the point of the knob), so save and restore whatever is there.
+        // The temporary value is a valid number so a property test that
+        // happens to read it concurrently still runs (with 3 cases).
+        let prior = std::env::var("QGEAR_PROPTEST_CASES").ok();
+        std::env::set_var("QGEAR_PROPTEST_CASES", "3");
+        assert_eq!(crate::__effective_cases(256), 3);
+        std::env::remove_var("QGEAR_PROPTEST_CASES");
+        assert_eq!(crate::__effective_cases(16), 16);
+        if let Some(v) = prior {
+            std::env::set_var("QGEAR_PROPTEST_CASES", v);
+        }
     }
 
     proptest! {

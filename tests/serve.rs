@@ -18,7 +18,7 @@ use qgear_serve::{
 };
 use qgear_telemetry::names;
 use std::collections::{HashMap, HashSet};
-use std::time::Instant;
+use std::time::Duration;
 
 fn tenant_name(t: u8) -> &'static str {
     ["alice", "bob", "carol"][t as usize % 3]
@@ -38,8 +38,9 @@ fn queued(id: u64, tenant: u8, priority: u8) -> QueuedJob {
         canonical: circuit,
         key: CircuitKey(id),
         state_key: CircuitKey(id ^ u64::MAX),
-        submitted_at: Instant::now(),
+        submitted_at: Duration::ZERO,
         seq: 0,
+        attempts_made: 0,
     }
 }
 
