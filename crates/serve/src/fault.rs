@@ -78,6 +78,26 @@ pub enum FaultKind {
     /// The job's full-result cache entry is corrupted: the probe detects
     /// it, invalidates the entry, and falls through to a cold run.
     CorruptCache,
+    /// The worker dies *mid-run*, after completing `after_segments`
+    /// segments of segmented execution (so any checkpoints taken at
+    /// earlier segment boundaries survive). On a backend without
+    /// segmented execution this degrades to [`FaultKind::WorkerDeath`]
+    /// at the attempt boundary. Does not consume a retry.
+    WorkerDeathMidRun {
+        /// Segments the attempt completes before the worker dies
+        /// (≥ 1; the death lands strictly inside the run).
+        after_segments: u32,
+    },
+    /// The checkpoint generation with this per-job generation number is
+    /// corrupted at write time (one bit flipped in its encoded bytes).
+    /// The recovery ladder must detect this via CRC verification and
+    /// fall back to an older generation. The event's `attempt` field is
+    /// ignored — corruption targets the write, whichever attempt
+    /// performs it.
+    CorruptCheckpoint {
+        /// Zero-based per-job generation number to corrupt.
+        generation: u32,
+    },
 }
 
 /// One scheduled fault: `kind` strikes `attempt` (0-based, cumulative
@@ -132,12 +152,27 @@ impl FaultSchedule {
         &self.events
     }
 
-    /// The scheduled fault for `(job, attempt)`, if any. The first
-    /// matching event wins.
+    /// The scheduled fault for `(job, attempt)`, if any.
+    ///
+    /// **Matching order:** events are scanned in insertion order and the
+    /// *first* event whose `(job, attempt)` coordinates match wins. When
+    /// an attempt needs several effects at once — "die mid-run *and*
+    /// corrupt the newest checkpoint" — schedule multiple events at the
+    /// same coordinates and consume them with [`FaultSchedule::events_for`];
+    /// this accessor stays first-match for the single-fault callers.
     pub fn event_for(&self, job: u64, attempt: u32) -> Option<FaultKind> {
+        self.events_for(job, attempt).next()
+    }
+
+    /// All scheduled faults for `(job, attempt)`, in insertion order.
+    /// Multiple events at the same coordinates compose: e.g. a
+    /// [`FaultKind::WorkerDeathMidRun`] paired with a
+    /// [`FaultKind::CorruptCheckpoint`] models "the worker dies and the
+    /// checkpoint it just wrote is torn".
+    pub fn events_for(&self, job: u64, attempt: u32) -> impl Iterator<Item = FaultKind> + '_ {
         self.events
             .iter()
-            .find(|e| e.job == job && e.attempt == attempt)
+            .filter(move |e| e.job == job && e.attempt == attempt)
             .map(|e| e.kind)
     }
 
@@ -146,6 +181,17 @@ impl FaultSchedule {
         self.events
             .iter()
             .any(|e| e.job == job && e.kind == FaultKind::CorruptCache)
+    }
+
+    /// True when `job`'s checkpoint write of `generation` is scheduled
+    /// to be corrupted. Attempt-independent: corruption strikes the
+    /// write itself, whichever attempt performs it.
+    pub fn corrupts_checkpoint(&self, job: u64, generation: u64) -> bool {
+        self.events.iter().any(|e| {
+            e.job == job
+                && matches!(e.kind, FaultKind::CorruptCheckpoint { generation: g }
+                    if u64::from(g) == generation)
+        })
     }
 }
 
@@ -203,6 +249,41 @@ mod tests {
         assert!(!schedule.corrupts_cache(3), "non-corrupt kinds don't corrupt");
         assert!(FaultSchedule::none().is_empty());
         assert_eq!(schedule.events().len(), 3);
+    }
+
+    #[test]
+    fn multiple_events_per_attempt_compose() {
+        let schedule = FaultSchedule::none()
+            .with_event(2, 1, FaultKind::WorkerDeathMidRun { after_segments: 2 })
+            .with_event(2, 1, FaultKind::CorruptCheckpoint { generation: 1 })
+            .with_event(2, 1, FaultKind::Transient);
+        // event_for stays first-match (insertion order).
+        assert_eq!(
+            schedule.event_for(2, 1),
+            Some(FaultKind::WorkerDeathMidRun { after_segments: 2 })
+        );
+        // events_for yields every match, in insertion order.
+        let all: Vec<FaultKind> = schedule.events_for(2, 1).collect();
+        assert_eq!(
+            all,
+            vec![
+                FaultKind::WorkerDeathMidRun { after_segments: 2 },
+                FaultKind::CorruptCheckpoint { generation: 1 },
+                FaultKind::Transient,
+            ]
+        );
+        assert!(schedule.events_for(2, 0).next().is_none());
+    }
+
+    #[test]
+    fn checkpoint_corruption_targets_one_generation() {
+        let schedule =
+            FaultSchedule::none().with_event(4, 0, FaultKind::CorruptCheckpoint { generation: 1 });
+        assert!(schedule.corrupts_checkpoint(4, 1));
+        assert!(!schedule.corrupts_checkpoint(4, 0));
+        assert!(!schedule.corrupts_checkpoint(4, 2));
+        assert!(!schedule.corrupts_checkpoint(5, 1));
+        assert!(!schedule.corrupts_cache(4), "checkpoint ≠ result cache");
     }
 
     #[test]

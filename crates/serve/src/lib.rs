@@ -50,6 +50,7 @@
 //! ```
 
 pub mod cache;
+pub mod checkpoint_store;
 pub mod fault;
 pub mod hashkey;
 pub mod job;
@@ -57,6 +58,7 @@ pub mod scheduler;
 pub mod service;
 
 pub use cache::{MarginalCache, ResultCache};
+pub use checkpoint_store::{CheckpointGeneration, CheckpointRecord, CheckpointStore};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 pub use hashkey::CircuitKey;
 pub use job::{Admission, JobId, JobOutcome, JobResult, JobSpec, Priority, ServeError};

@@ -9,17 +9,22 @@
 //! so every admitted job reaches an outcome.
 
 use crate::cache::{CachedMarginal, CachedResult, MarginalCache, ResultCache};
+use crate::checkpoint_store::{CheckpointRecord, CheckpointStore};
 use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
 use crate::hashkey::CircuitKey;
 use crate::job::{Admission, JobId, JobOutcome, JobResult, JobSpec, ServeError};
 use crate::scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};
 use qgear_ir::fusion::DEFAULT_FUSION_WIDTH;
+use qgear_ir::schedule::DEFAULT_SWEEP_WIDTH;
 use qgear_ir::transpile::decompose_to_native;
 use qgear_num::scalar::Precision;
 use qgear_num::Scalar;
 use qgear_perfmodel::memory::state_bytes;
 use qgear_statevec::backend::{marginal_probs, sample_from_probs};
+use qgear_statevec::checkpoint::{decode as decode_checkpoint, encode as encode_checkpoint};
 use qgear_statevec::sampling::SamplingConfig;
+use qgear_statevec::segment::SegmentedRun;
+use qgear_statevec::CheckpointScalar;
 use qgear_statevec::{AerCpuBackend, Counts, ExecStats, GpuDevice, RunOptions, SimError, Simulator};
 use qgear_telemetry::clock::{Clock, SharedClock, WallClock};
 use qgear_telemetry::names::{self, spans};
@@ -70,6 +75,20 @@ pub struct ServeConfig {
     /// Fusion window passed to kernel-based engines (part of the cache
     /// key: different windows launch different kernels).
     pub fusion_width: usize,
+    /// Sweep window passed to the cache-blocked sweep scheduler (0
+    /// disables sweeping). Shapes the segmented-execution schedule, so
+    /// it is covered by the checkpoint plan fingerprint.
+    pub sweep_width: usize,
+    /// Schedule steps per execution segment when checkpointed execution
+    /// is enabled. `0` (the default) disables segmented execution and
+    /// checkpointing entirely; workers then run each attempt as one
+    /// uninterruptible call exactly as before. Only the GPU backend
+    /// executes segmented.
+    pub checkpoint_interval: usize,
+    /// Checkpoint generations retained per job (newest wins; older ones
+    /// are the recovery ladder's fallbacks). Ignored while
+    /// `checkpoint_interval == 0`.
+    pub checkpoint_generations: usize,
     /// Result-cache entries to retain (0 disables caching).
     pub cache_capacity: usize,
     /// State-marginal-cache entries to retain (0 disables it). A hit
@@ -104,6 +123,9 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             backend: BackendKind::default(),
             fusion_width: DEFAULT_FUSION_WIDTH,
+            sweep_width: DEFAULT_SWEEP_WIDTH,
+            checkpoint_interval: 0,
+            checkpoint_generations: 4,
             cache_capacity: 256,
             state_cache_capacity: 64,
             fault: FaultPlan::none(),
@@ -128,6 +150,11 @@ struct State {
     /// observe these between backoff slices and attempts.
     cancel_requests: HashSet<u64>,
     dispatch_log: Vec<DispatchRecord>,
+    /// Per-job generational checkpoints for in-flight segmented jobs.
+    checkpoints: CheckpointStore,
+    /// Ordered record of every checkpoint write/verify/resume decision,
+    /// for the simtest oracles and operators' post-mortems.
+    checkpoint_log: Vec<CheckpointRecord>,
     next_id: u64,
     in_flight: usize,
     shutdown: bool,
@@ -161,6 +188,8 @@ impl Service {
                 outcome_at: HashMap::new(),
                 cancel_requests: HashSet::new(),
                 dispatch_log: Vec::new(),
+                checkpoints: CheckpointStore::new(cfg.checkpoint_generations),
+                checkpoint_log: Vec::new(),
                 next_id: 0,
                 in_flight: 0,
                 shutdown: false,
@@ -329,6 +358,20 @@ impl Service {
             .clone()
     }
 
+    /// The checkpoint activity log so far — every write, verification
+    /// failure, resume, and cold restart in the order the workers
+    /// performed them. Jobs are serving ids ([`JobId`]`.0`). The
+    /// simtest progress-monotonicity oracle replays this to prove the
+    /// recovery ladder never moved a job's cursor backwards.
+    pub fn checkpoint_log(&self) -> Vec<CheckpointRecord> {
+        self.shared
+            .state
+            .lock()
+            .expect("serve state poisoned")
+            .checkpoint_log
+            .clone()
+    }
+
     /// Stop admitting, drain the queue, and join the workers. Idempotent;
     /// also invoked by `Drop`.
     pub fn shutdown(&self) {
@@ -396,6 +439,9 @@ fn worker_loop(shared: &Shared) {
                 st.outcomes.insert(job.id.0, outcome);
                 st.outcome_at.insert(job.id.0, now);
                 st.cancel_requests.remove(&job.id.0);
+                // Terminal: retained checkpoint generations are dead
+                // weight now, whatever the outcome was.
+                st.checkpoints.clear(job.id.0);
                 st.in_flight -= 1;
                 drop(st);
                 shared.done_cv.notify_all();
@@ -544,13 +590,25 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
             return ServeStep::Outcome(JobOutcome::Cancelled);
         }
         let _attempt_span = span!(spans::SERVE_ATTEMPT);
-        // Scheduled events out-rank the rate plan at the same coordinates;
-        // CorruptCache only matters at the probe, so it is inert here.
+        // Scheduled events out-rank the rate plan at the same coordinates.
+        // Multiple events can share an attempt (the composed "die *and*
+        // corrupt the checkpoint" scenarios): only the first
+        // execution-relevant kind decides this attempt's fate here —
+        // `CorruptCache` is consumed at the cache probe and
+        // `CorruptCheckpoint` at the checkpoint write, so both are inert
+        // at the attempt boundary.
         let fault = shared
             .cfg
             .schedule
-            .event_for(job.id.0, attempt)
-            .filter(|kind| *kind != FaultKind::CorruptCache)
+            .events_for(job.id.0, attempt)
+            .find(|kind| {
+                matches!(
+                    kind,
+                    FaultKind::Transient
+                        | FaultKind::WorkerDeath
+                        | FaultKind::WorkerDeathMidRun { .. }
+                )
+            })
             .or_else(|| {
                 shared.cfg.fault.strikes(job.id.0, attempt).then_some(FaultKind::Transient)
             });
@@ -558,6 +616,24 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
             Some(FaultKind::WorkerDeath) => {
                 // The dying attempt is consumed: the replacement worker
                 // resumes at the next global attempt index.
+                return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
+            }
+            Some(FaultKind::WorkerDeathMidRun { after_segments }) => {
+                if segmented_enabled(&shared.cfg) {
+                    match execute_segmented_dispatch(shared, job, Some(after_segments)) {
+                        Ok(SegmentedOutcome::Died) => {
+                            return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
+                        }
+                        Ok(SegmentedOutcome::Finished(done)) => {
+                            // Unreachable with a die budget, kept total.
+                            break Ok(*done);
+                        }
+                        Err(err) => break Err(ServeError::Sim(err)),
+                    }
+                }
+                // Without segmented execution there are no segment
+                // boundaries to die at: degrade to a plain worker death
+                // at the attempt boundary (documented on the variant).
                 return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
             }
             Some(FaultKind::Transient) => {
@@ -577,7 +653,16 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
                 }
                 continue;
             }
-            Some(FaultKind::CorruptCache) | None => {
+            Some(FaultKind::CorruptCache | FaultKind::CorruptCheckpoint { .. }) | None => {
+                if segmented_enabled(&shared.cfg) {
+                    break match execute_segmented_dispatch(shared, job, None) {
+                        Ok(SegmentedOutcome::Finished(done)) => Ok(*done),
+                        Ok(SegmentedOutcome::Died) => {
+                            unreachable!("segmented run without a die budget cannot die")
+                        }
+                        Err(err) => Err(ServeError::Sim(err)),
+                    };
+                }
                 break execute(&shared.cfg, job).map_err(ServeError::Sim);
             }
         }
@@ -614,6 +699,29 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
     }
 }
 
+/// The execution options every attempt of a job runs with — one
+/// construction point so the straight-through and segmented paths agree
+/// (they must: the checkpoint plan fingerprint covers these knobs).
+fn run_options(cfg: &ServeConfig, job: &QueuedJob) -> RunOptions {
+    RunOptions {
+        shots: job.spec.shots,
+        seed: job.spec.seed,
+        shot_batch: job.spec.shot_batch,
+        fusion_width: cfg.fusion_width,
+        sweep_width: cfg.sweep_width,
+        keep_state: false,
+        memory_limit: Some(cfg.backend.memory_bytes()),
+        ..RunOptions::default()
+    }
+}
+
+/// Whether attempts run in checkpointed segments: opted in via
+/// `checkpoint_interval` and only on the GPU backend (the segmented
+/// cursor is built over its fused/sweep schedule).
+fn segmented_enabled(cfg: &ServeConfig) -> bool {
+    cfg.checkpoint_interval > 0 && matches!(cfg.backend, BackendKind::Gpu(_))
+}
+
 /// Run the canonical circuit on the configured backend at the requested
 /// precision. Deterministic: both engines plus seeded multinomial
 /// sampling make equal `(circuit, shots, seed, precision, fusion_width)`
@@ -627,15 +735,7 @@ fn execute(
     cfg: &ServeConfig,
     job: &QueuedJob,
 ) -> Result<(Option<Counts>, ExecStats, Option<CachedMarginal>), SimError> {
-    let opts = RunOptions {
-        shots: job.spec.shots,
-        seed: job.spec.seed,
-        shot_batch: job.spec.shot_batch,
-        fusion_width: cfg.fusion_width,
-        keep_state: false,
-        memory_limit: Some(cfg.backend.memory_bytes()),
-        ..RunOptions::default()
-    };
+    let opts = run_options(cfg, job);
     let clock = cfg.clock.as_ref();
     match &cfg.backend {
         BackendKind::Gpu(device) => match job.spec.precision {
@@ -682,6 +782,164 @@ fn evolve_and_sample<T: Scalar, S: Simulator<T>>(
     Ok((counts, stats, Some(marginal)))
 }
 
+/// How one segmented attempt ended: with results to publish, or with
+/// the worker dying at a segment boundary (checkpoints left behind in
+/// the store for the replacement to resume from).
+enum SegmentedOutcome {
+    Finished(Box<(Option<Counts>, ExecStats, Option<CachedMarginal>)>),
+    Died,
+}
+
+/// Precision dispatch for [`execute_segmented`]. Caller guarantees
+/// [`segmented_enabled`], i.e. the backend is a GPU device.
+fn execute_segmented_dispatch(
+    shared: &Shared,
+    job: &QueuedJob,
+    die_after: Option<u32>,
+) -> Result<SegmentedOutcome, SimError> {
+    let BackendKind::Gpu(device) = &shared.cfg.backend else {
+        unreachable!("segmented execution is gated on the GPU backend");
+    };
+    match job.spec.precision {
+        Precision::Fp32 => execute_segmented::<f32>(shared, device, job, die_after),
+        Precision::Fp64 => execute_segmented::<f64>(shared, device, job, die_after),
+    }
+}
+
+/// One checkpointed execution attempt.
+///
+/// **Recovery ladder** (runs first): retained generations are tried
+/// newest-first; each is decoded, CRC-verified, and cross-checked
+/// against the freshly rebuilt plan. A generation that fails *any* of
+/// those checks is dropped (`checkpoint.verify_fail`), never loaded,
+/// and the ladder steps to the next older one. The first survivor
+/// becomes the resume point (`job.resumed_from` records its cursor);
+/// if generations existed but none survived, the attempt cold-restarts
+/// from `|0…0⟩`. Because segmented execution is bit-identical to
+/// straight-through execution, whichever rung the ladder lands on
+/// produces byte-identical final counts.
+///
+/// **Execution**: the schedule advances `checkpoint_interval` steps per
+/// segment, writing a checkpoint generation at every interior segment
+/// boundary (`checkpoint.write`). A scheduled
+/// [`FaultKind::CorruptCheckpoint`] flips one bit in the encoded bytes
+/// *before* they reach the store — the torn-write model the CRC framing
+/// exists to catch. With `die_after` set, the worker "dies" once that
+/// many segments have completed (checkpoints written at earlier
+/// boundaries survive in the store); the death always fires, at the end
+/// of the run if the schedule was shorter.
+fn execute_segmented<T: CheckpointScalar>(
+    shared: &Shared,
+    device: &GpuDevice,
+    job: &QueuedJob,
+    die_after: Option<u32>,
+) -> Result<SegmentedOutcome, SimError> {
+    let cfg = &shared.cfg;
+    let opts = run_options(cfg, job);
+
+    let generations = {
+        let st = shared.state.lock().expect("serve state poisoned");
+        st.checkpoints.newest_first(job.id.0)
+    };
+    let had_generations = !generations.is_empty();
+    let mut resumed: Option<SegmentedRun<T>> = None;
+    for generation in generations {
+        let restore_span = span!(spans::CHECKPOINT_RESTORE);
+        let verified = decode_checkpoint::<T>(&generation.bytes)
+            .and_then(|ck| SegmentedRun::resume(device, &job.canonical, &opts, ck));
+        drop(restore_span);
+        match verified {
+            Ok(run) => {
+                histogram_record(names::JOB_RESUMED_FROM, run.cursor() as f64);
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.checkpoint_log.push(CheckpointRecord::Resumed {
+                    job: job.id.0,
+                    generation: generation.generation,
+                    cursor: run.cursor() as u64,
+                });
+                resumed = Some(run);
+                break;
+            }
+            Err(_) => {
+                counter_inc(names::CHECKPOINT_VERIFY_FAILS);
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.checkpoints.drop_generation(job.id.0, generation.generation);
+                st.checkpoint_log.push(CheckpointRecord::VerifyFailed {
+                    job: job.id.0,
+                    generation: generation.generation,
+                });
+            }
+        }
+    }
+    if resumed.is_none() && had_generations {
+        let mut st = shared.state.lock().expect("serve state poisoned");
+        st.checkpoint_log.push(CheckpointRecord::ColdRestart { job: job.id.0 });
+    }
+    let mut run = match resumed {
+        Some(run) => run,
+        None => SegmentedRun::new(device, &job.canonical, &opts)?,
+    };
+
+    let interval = cfg.checkpoint_interval.max(1);
+    let mut segments_done: u32 = 0;
+    while !run.is_done() {
+        run.advance(interval);
+        segments_done += 1;
+        if !run.is_done() {
+            let write_span = span!(spans::CHECKPOINT_WRITE);
+            let mut bytes = encode_checkpoint(&run.checkpoint());
+            let cursor = run.cursor() as u64;
+            let mut st = shared.state.lock().expect("serve state poisoned");
+            let generation = st.checkpoints.next_generation(job.id.0);
+            if cfg.schedule.corrupts_checkpoint(job.id.0, generation) {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x40;
+            }
+            st.checkpoints.record(job.id.0, cursor, bytes);
+            st.checkpoint_log.push(CheckpointRecord::Wrote {
+                job: job.id.0,
+                generation,
+                cursor,
+            });
+            drop(st);
+            counter_inc(names::CHECKPOINT_WRITES);
+            drop(write_span);
+        }
+        if die_after.is_some_and(|d| segments_done >= d) {
+            return Ok(SegmentedOutcome::Died);
+        }
+    }
+    if die_after.is_some() {
+        // The schedule ran out before the death budget did: die at the
+        // end of the run, result unpublished, so the accounting for a
+        // scheduled mid-run death stays exact regardless of plan size.
+        return Ok(SegmentedOutcome::Died);
+    }
+
+    // Sampling mirrors `evolve_and_sample` exactly — same marginal
+    // conversion, same seeded draw, same cacheable artifact — so a
+    // segmented (or resumed) run is byte-identical to a straight one.
+    let mut stats = run.stats();
+    let (_, measured) = job.canonical.split_measurements();
+    if measured.is_empty() {
+        return Ok(SegmentedOutcome::Finished(Box::new((None, stats, None))));
+    }
+    let clock = cfg.clock.as_ref();
+    let sample_start = clock.now();
+    let sample_span = span!(spans::SAMPLE);
+    let probs = Arc::new(marginal_probs(run.state(), &measured));
+    let sampling = SamplingConfig {
+        shots: job.spec.shots,
+        seed: job.spec.seed,
+        batch_shots: job.spec.shot_batch,
+    };
+    let counts = sample_from_probs(&probs, &measured, &sampling);
+    drop(sample_span);
+    stats.sampling_elapsed += clock.now().saturating_sub(sample_start);
+    let marginal = CachedMarginal { probs, measured: Arc::new(measured), stats: stats.clone() };
+    Ok(SegmentedOutcome::Finished(Box::new((counts, stats, Some(marginal)))))
+}
+
 /// Telemetry bookkeeping shared by the cache-hit and cold-run paths.
 fn record_completion(spec: &JobSpec, service_time: Duration) {
     counter_inc(names::SERVE_JOBS_COMPLETED);
@@ -718,6 +976,90 @@ mod tests {
         assert_eq!(counts.total(), 500);
         // A Bell pair only ever measures 00 or 11.
         assert_eq!(counts.get(0) + counts.get(3), 500);
+        service.shutdown();
+    }
+
+    #[test]
+    fn segmented_death_resumes_from_the_surviving_generation() {
+        // 3 schedule steps (fusion 1, sweeps off): h, cx, cx. The worker
+        // dies after segment 2 with generation 1 (the newest checkpoint,
+        // cursor 2) corrupted at write, so the recovery ladder must skip
+        // it and resume generation 0 at cursor 1.
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let schedule = FaultSchedule::none()
+            .with_event(0, 0, FaultKind::WorkerDeathMidRun { after_segments: 2 })
+            .with_event(0, 0, FaultKind::CorruptCheckpoint { generation: 1 });
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            fusion_width: 1,
+            sweep_width: 0,
+            checkpoint_interval: 1,
+            checkpoint_generations: 3,
+            schedule,
+            ..Default::default()
+        });
+        let id = service.submit(JobSpec::new(c.clone()).shots(300).seed(11)).job_id().unwrap();
+        let outcome = service.wait(id).unwrap();
+        let result = outcome.result().expect("completed after resume").clone();
+        assert_eq!(result.attempts, 2, "the dying attempt was consumed");
+        let log = service.checkpoint_log();
+        assert!(log.contains(&CheckpointRecord::Wrote { job: 0, generation: 0, cursor: 1 }));
+        assert!(log.contains(&CheckpointRecord::Wrote { job: 0, generation: 1, cursor: 2 }));
+        assert!(
+            log.contains(&CheckpointRecord::VerifyFailed { job: 0, generation: 1 }),
+            "the corrupted newest generation must be rejected: {log:?}"
+        );
+        assert!(
+            log.contains(&CheckpointRecord::Resumed { job: 0, generation: 0, cursor: 1 }),
+            "generation k-1 should be the resume point: {log:?}"
+        );
+        service.shutdown();
+
+        // Byte-identical to a clean (fault-free, unsegmented) service run.
+        let clean = Service::start(ServeConfig {
+            workers: 1,
+            fusion_width: 1,
+            sweep_width: 0,
+            ..Default::default()
+        });
+        let cid = clean.submit(JobSpec::new(c).shots(300).seed(11)).job_id().unwrap();
+        let clean_outcome = clean.wait(cid).unwrap();
+        assert_eq!(result.counts, clean_outcome.result().unwrap().counts);
+        clean.shutdown();
+    }
+
+    #[test]
+    fn all_generations_corrupt_forces_a_cold_restart() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).measure_all();
+        let schedule = FaultSchedule::none()
+            .with_event(0, 0, FaultKind::WorkerDeathMidRun { after_segments: 2 })
+            .with_event(0, 0, FaultKind::CorruptCheckpoint { generation: 0 })
+            .with_event(0, 0, FaultKind::CorruptCheckpoint { generation: 1 });
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            fusion_width: 1,
+            sweep_width: 0,
+            checkpoint_interval: 1,
+            checkpoint_generations: 3,
+            schedule,
+            ..Default::default()
+        });
+        let id = service.submit(JobSpec::new(c).shots(100)).job_id().unwrap();
+        let outcome = service.wait(id).unwrap();
+        assert!(outcome.result().is_some(), "cold restart still completes");
+        let log = service.checkpoint_log();
+        let fails = log
+            .iter()
+            .filter(|r| matches!(r, CheckpointRecord::VerifyFailed { .. }))
+            .count();
+        assert_eq!(fails, 2, "both generations rejected: {log:?}");
+        assert!(log.contains(&CheckpointRecord::ColdRestart { job: 0 }));
+        assert!(
+            !log.iter().any(|r| matches!(r, CheckpointRecord::Resumed { .. })),
+            "nothing corrupt may ever be resumed from: {log:?}"
+        );
         service.shutdown();
     }
 

@@ -21,18 +21,55 @@
 
 use crate::clock::VirtualClock;
 use crate::oracle::{self, OracleInput};
-use crate::scenario::{Op, Scenario, TENANTS};
+use crate::scenario::{JobDef, Op, Scenario, TENANTS};
 use crate::trace::{counts_hash, ns, OutcomeSummary, Trace, TraceEvent};
+use qgear_ir::transpile::decompose_to_native;
 use qgear_serve::{
-    Admission, FaultKind, FaultPlan, FaultSchedule, JobId, JobOutcome, JobSpec, ServeConfig,
-    ServeError, Service,
+    Admission, CheckpointRecord, FaultKind, FaultPlan, FaultSchedule, JobId, JobOutcome, JobSpec,
+    ServeConfig, ServeError, Service,
 };
-use std::collections::BTreeMap;
+use qgear_statevec::{GpuDevice, RunOptions, RunOutput, Simulator};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Admission id of the pinning blocker job.
 pub const BLOCKER_JOB: u64 = 0;
+
+/// Fusion window the harness configures the service with (1 = one
+/// schedule step per source gate).
+pub const HARNESS_FUSION_WIDTH: usize = 1;
+
+/// Sweep window the harness configures the service with (0 = sweeping
+/// off, kernel-at-a-time).
+pub const HARNESS_SWEEP_WIDTH: usize = 0;
+
+/// What the service *should* have answered for `def`: the clean,
+/// fault-free execution of its spec, mirrored gate-for-gate (same
+/// canonicalization, same engine, same fusion/sweep configuration, same
+/// seeded sampling). The resume bit-identity oracle compares every
+/// completion against this.
+pub fn clean_counts_hash(def: &JobDef) -> u64 {
+    let spec = def.spec();
+    let canonical = if spec.circuit.is_native() {
+        spec.circuit.clone()
+    } else {
+        decompose_to_native(&spec.circuit).0
+    };
+    let opts = RunOptions {
+        shots: spec.shots,
+        seed: spec.seed,
+        shot_batch: spec.shot_batch,
+        fusion_width: HARNESS_FUSION_WIDTH,
+        sweep_width: HARNESS_SWEEP_WIDTH,
+        keep_state: false,
+        ..RunOptions::default()
+    };
+    let out: RunOutput<f64> = GpuDevice::a100_40gb()
+        .run(&canonical, &opts)
+        .expect("scenario circuits always execute");
+    counts_hash(&out.counts)
+}
 
 /// Real-time budget for the release phase; exceeding it is a
 /// termination-oracle violation, never a hang.
@@ -53,6 +90,9 @@ pub struct SimReport {
     pub dispatch_counts: BTreeMap<u64, usize>,
     /// Admission ids accepted (blocker included).
     pub accepted: Vec<u64>,
+    /// The service's checkpoint activity log (writes, verify failures,
+    /// resumes, cold restarts), in worker order.
+    pub checkpoint_log: Vec<CheckpointRecord>,
     /// Whether the release phase hit its real-time budget.
     pub timed_out: bool,
     /// Oracle violations (empty ⇔ the run was sound).
@@ -103,9 +143,16 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         schedule = schedule.with_event(e.job + 1, e.attempt, e.kind);
     }
 
+    // Fusion window 1 with sweeping off makes the schedule one step per
+    // gate, so even the small scenario circuits span several segments —
+    // mid-run deaths and checkpoint generations are actually exercised.
     let service = Service::start(ServeConfig {
         workers: 1,
         queue_capacity: 1024,
+        fusion_width: HARNESS_FUSION_WIDTH,
+        sweep_width: HARNESS_SWEEP_WIDTH,
+        checkpoint_interval: 1,
+        checkpoint_generations: 3,
         fault: FaultPlan::with_rate(scenario.fault_rate, scenario.seed),
         schedule,
         retry_backoff: pin,
@@ -201,6 +248,8 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
     let mut outcomes = BTreeMap::new();
     let mut outcome_times = BTreeMap::new();
     let mut dispatch_counts = BTreeMap::new();
+    let mut checkpoint_log = Vec::new();
+    let mut clean_hashes = BTreeMap::new();
     if timed_out {
         // The worker may be parked on virtual time forever; joining it
         // would hang. Leak the service — the violation fails the test.
@@ -220,6 +269,19 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         for record in service.dispatch_log() {
             *dispatch_counts.entry(record.id.0).or_insert(0usize) += 1;
         }
+        checkpoint_log = service.checkpoint_log();
+
+        // Fault-free mirror of every scenario job, memoized per def
+        // (duplicated defs are common by construction).
+        let mut memo: HashMap<JobDef, u64> = HashMap::new();
+        let mut id = BLOCKER_JOB + 1;
+        for op in &scenario.ops {
+            if let Op::Submit(def) = op {
+                let hash = *memo.entry(*def).or_insert_with(|| clean_counts_hash(def));
+                clean_hashes.insert(id, hash);
+                id += 1;
+            }
+        }
     }
 
     violations.extend(oracle::check(&OracleInput {
@@ -229,6 +291,8 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         outcome_times: &outcome_times,
         dispatch_counts: &dispatch_counts,
         trace: &trace,
+        checkpoint_log: &checkpoint_log,
+        clean_hashes: &clean_hashes,
         cancel_latency_bound: pin,
     }));
 
@@ -239,6 +303,7 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         outcome_times,
         dispatch_counts,
         accepted,
+        checkpoint_log,
         timed_out,
         violations,
     }

@@ -7,7 +7,7 @@
 
 use crate::scenario::{Op, Scenario};
 use crate::trace::{OutcomeSummary, Trace, TraceEvent};
-use qgear_serve::FaultKind;
+use qgear_serve::{CheckpointRecord, FaultKind};
 use qgear_telemetry::TelemetrySnapshot;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Duration;
@@ -27,6 +27,11 @@ pub struct OracleInput<'a> {
     pub dispatch_counts: &'a BTreeMap<u64, usize>,
     /// The run's event log.
     pub trace: &'a Trace,
+    /// The service's checkpoint activity log, in worker order.
+    pub checkpoint_log: &'a [CheckpointRecord],
+    /// Expected counts hash of a *fault-free* run, by admission id —
+    /// what every completion must reproduce byte-for-byte.
+    pub clean_hashes: &'a BTreeMap<u64, u64>,
     /// Upper bound on (outcome − cancel) virtual latency for a job
     /// cancelled in flight (one backoff slice).
     pub cancel_latency_bound: Duration,
@@ -40,6 +45,8 @@ pub fn check(input: &OracleInput) -> Vec<String> {
     dispatch_accounting(input, &mut v);
     cancels_honored(input, &mut v);
     cache_bit_identity(input, &mut v);
+    resume_bit_identity(input, &mut v);
+    progress_monotonicity(input, &mut v);
     v
 }
 
@@ -88,7 +95,7 @@ fn termination_times(input: &OracleInput, v: &mut Vec<String>) {
 fn dispatch_accounting(input: &OracleInput, v: &mut Vec<String>) {
     let mut death_budget: HashMap<u64, usize> = HashMap::new();
     for e in &input.scenario.events {
-        if e.kind == FaultKind::WorkerDeath {
+        if matches!(e.kind, FaultKind::WorkerDeath | FaultKind::WorkerDeathMidRun { .. }) {
             *death_budget.entry(e.job + 1).or_insert(0) += 1;
         }
     }
@@ -187,6 +194,67 @@ fn cache_bit_identity(input: &OracleInput, v: &mut Vec<String>) {
     }
 }
 
+/// **Resume bit-identity**: every completion — cold, cached, retried,
+/// or resumed from a mid-circuit checkpoint after any number of worker
+/// deaths — carries exactly the counts a fault-free run of the same
+/// definition produces. This is the end-to-end guarantee the whole
+/// checkpoint subsystem exists to preserve: recovery must change *when*
+/// a result arrives, never *what* it is.
+fn resume_bit_identity(input: &OracleInput, v: &mut Vec<String>) {
+    for (&id, outcome) in input.outcomes {
+        let OutcomeSummary::Completed { counts_hash, .. } = outcome else {
+            continue;
+        };
+        let Some(&expect) = input.clean_hashes.get(&id) else {
+            continue; // blocker / jobs without a mirror
+        };
+        if *counts_hash != expect {
+            v.push(format!(
+                "resume identity: job {id} completed with counts hash {counts_hash:#x}, \
+                 fault-free run gives {expect:#x}"
+            ));
+        }
+    }
+}
+
+/// **Progress monotonicity**: replaying the checkpoint log per job, the
+/// verified resume point never moves backwards across attempts — once
+/// the recovery ladder has proven progress up to cursor `c`, no later
+/// resume lands before `c`, and every checkpoint write records strictly
+/// more progress than the last proven resume point. A `ColdRestart`
+/// (the sanctioned bottom of the ladder, taken only when *no*
+/// generation survives verification) resets the floor to zero.
+fn progress_monotonicity(input: &OracleInput, v: &mut Vec<String>) {
+    let mut floor: HashMap<u64, u64> = HashMap::new();
+    for record in input.checkpoint_log {
+        match record {
+            CheckpointRecord::Wrote { job, generation, cursor } => {
+                let f = floor.get(job).copied().unwrap_or(0);
+                if *cursor <= f {
+                    v.push(format!(
+                        "progress: job {job} wrote generation {generation} at cursor \
+                         {cursor}, not past the proven floor {f}"
+                    ));
+                }
+            }
+            CheckpointRecord::Resumed { job, generation, cursor } => {
+                let f = floor.entry(*job).or_insert(0);
+                if *cursor < *f {
+                    v.push(format!(
+                        "progress: job {job} resumed generation {generation} at cursor \
+                         {cursor}, behind the proven floor {f}"
+                    ));
+                }
+                *f = (*f).max(*cursor);
+            }
+            CheckpointRecord::ColdRestart { job } => {
+                floor.insert(*job, 0);
+            }
+            CheckpointRecord::VerifyFailed { .. } => {}
+        }
+    }
+}
+
 /// **Span balance** (telemetry oracle): the recorded span tree is
 /// structurally sound and every `serve_job` span matches a dispatch.
 /// Run by tests that own the global telemetry collector.
@@ -217,6 +285,7 @@ mod tests {
         dispatch_counts: &'a BTreeMap<u64, usize>,
         trace: &'a Trace,
     ) -> OracleInput<'a> {
+        static NO_CLEAN_HASHES: BTreeMap<u64, u64> = BTreeMap::new();
         OracleInput {
             scenario,
             accepted,
@@ -224,6 +293,8 @@ mod tests {
             outcome_times,
             dispatch_counts,
             trace,
+            checkpoint_log: &[],
+            clean_hashes: &NO_CLEAN_HASHES,
             cancel_latency_bound: Duration::from_millis(1),
         }
     }
@@ -292,5 +363,85 @@ mod tests {
         let trace = Trace::default();
         let v = check(&base(&scenario, &accepted, &outcomes, &times, &dispatches, &trace));
         assert!(v.iter().any(|m| m.contains("cache identity")), "{v:?}");
+    }
+
+    #[test]
+    fn completion_diverging_from_the_clean_run_is_flagged() {
+        let scenario = Scenario::empty(0).op(Op::Submit(JobDef::bell()));
+        let accepted = vec![1];
+        let outcomes: BTreeMap<u64, OutcomeSummary> = [(
+            1,
+            OutcomeSummary::Completed {
+                attempts: 2,
+                from_cache: false,
+                from_state_cache: false,
+                counts_hash: 0xbad,
+            },
+        )]
+        .into_iter()
+        .collect();
+        let times: BTreeMap<u64, Duration> = [(1, Duration::ZERO)].into_iter().collect();
+        let dispatches: BTreeMap<u64, usize> = [(1, 1)].into_iter().collect();
+        let trace = Trace::default();
+        let clean: BTreeMap<u64, u64> = [(1, 0x900d)].into_iter().collect();
+        let mut input = base(&scenario, &accepted, &outcomes, &times, &dispatches, &trace);
+        input.clean_hashes = &clean;
+        let v = check(&input);
+        assert!(v.iter().any(|m| m.contains("resume identity: job 1")), "{v:?}");
+
+        // A matching hash — and a job with no mirror — are both fine.
+        let clean_ok: BTreeMap<u64, u64> = [(1, 0xbad)].into_iter().collect();
+        input.clean_hashes = &clean_ok;
+        assert!(check(&input).is_empty());
+    }
+
+    #[test]
+    fn backwards_resume_and_stale_write_violate_monotonicity() {
+        let scenario = Scenario::empty(0);
+        let accepted = vec![];
+        let outcomes = BTreeMap::new();
+        let times = BTreeMap::new();
+        let dispatches = BTreeMap::new();
+        let trace = Trace::default();
+        let mut input = base(&scenario, &accepted, &outcomes, &times, &dispatches, &trace);
+
+        // Healthy ladder: write, write, die, resume from the older
+        // generation, then write strictly past the resume point.
+        let healthy = [
+            CheckpointRecord::Wrote { job: 1, generation: 0, cursor: 1 },
+            CheckpointRecord::Wrote { job: 1, generation: 1, cursor: 2 },
+            CheckpointRecord::VerifyFailed { job: 1, generation: 1 },
+            CheckpointRecord::Resumed { job: 1, generation: 0, cursor: 1 },
+            CheckpointRecord::Wrote { job: 1, generation: 2, cursor: 2 },
+        ];
+        input.checkpoint_log = &healthy;
+        assert!(check(&input).is_empty());
+
+        // A resume behind the proven floor is flagged.
+        let backwards = [
+            CheckpointRecord::Resumed { job: 1, generation: 0, cursor: 3 },
+            CheckpointRecord::Resumed { job: 1, generation: 1, cursor: 2 },
+        ];
+        input.checkpoint_log = &backwards;
+        let v = check(&input);
+        assert!(v.iter().any(|m| m.contains("behind the proven floor")), "{v:?}");
+
+        // A write that does not advance past the floor is flagged...
+        let stale = [
+            CheckpointRecord::Resumed { job: 1, generation: 0, cursor: 2 },
+            CheckpointRecord::Wrote { job: 1, generation: 1, cursor: 2 },
+        ];
+        input.checkpoint_log = &stale;
+        let v = check(&input);
+        assert!(v.iter().any(|m| m.contains("not past the proven floor")), "{v:?}");
+
+        // ...unless a cold restart legitimately reset progress.
+        let restarted = [
+            CheckpointRecord::Resumed { job: 1, generation: 0, cursor: 2 },
+            CheckpointRecord::ColdRestart { job: 1 },
+            CheckpointRecord::Wrote { job: 1, generation: 1, cursor: 1 },
+        ];
+        input.checkpoint_log = &restarted;
+        assert!(check(&input).is_empty());
     }
 }

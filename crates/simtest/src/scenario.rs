@@ -239,10 +239,16 @@ impl Scenario {
         let mut events = Vec::new();
         for job in 0..n_jobs {
             for _ in 0..rng.below(3) {
-                let kind = match rng.below(4) {
+                let kind = match rng.below(6) {
                     0 => FaultKind::WorkerDeath,
                     1 => FaultKind::CorruptCache,
-                    _ => FaultKind::Transient,
+                    2 | 3 => FaultKind::Transient,
+                    4 => FaultKind::WorkerDeathMidRun {
+                        after_segments: 1 + rng.below(2) as u32,
+                    },
+                    _ => FaultKind::CorruptCheckpoint {
+                        generation: rng.below(2) as u32,
+                    },
                 };
                 events.push(FaultEvent { job, attempt: rng.below(3) as u32, kind });
             }

@@ -38,8 +38,10 @@
 
 pub mod aer;
 pub mod backend;
+pub mod checkpoint;
 pub mod gpu;
 pub mod sampling;
+pub mod segment;
 pub mod state;
 
 pub use aer::AerCpuBackend;
@@ -47,6 +49,11 @@ pub use backend::{
     marginal_probs, sample_from_probs, Counts, ExecStats, RunOptions, RunOutput, ShotBatchOutput,
     SimError, Simulator,
 };
+pub use checkpoint::{
+    decode as decode_checkpoint, encode as encode_checkpoint, plan_fingerprint,
+    CheckpointCounters, CheckpointError, CheckpointScalar, StateCheckpoint,
+};
 pub use gpu::GpuDevice;
 pub use sampling::SamplingConfig;
+pub use segment::SegmentedRun;
 pub use state::StateVector;

@@ -1,0 +1,427 @@
+//! Segmented execution: a resumable cursor over the fused/sweep schedule.
+//!
+//! [`SegmentedRun`] builds the *same* execution plan as
+//! [`GpuDevice`]'s straight-through [`Simulator::run`] — same capacity
+//! checks, same fusion clamp, same
+//! sweep scheduling decision — but applies it in bounded steps under
+//! caller control instead of one uninterruptible loop. Because the step
+//! kernels ([`GpuDevice::apply_block`] / [`GpuDevice::apply_sweep`])
+//! are deterministic over disjoint amplitude groups, the state after
+//! `k` steps is bit-identical whether those steps ran in one call, one
+//! per call, or across a checkpoint/restore boundary on a different
+//! worker. That property is what makes a [`StateCheckpoint`] safe to
+//! resume from: the cursor plus the amplitudes *are* the execution
+//! state; there is nothing hidden.
+//!
+//! Step granularity matches the plan the options select: one step per
+//! cache-blocked sweep when sweeping is on and profitable (the same
+//! `sweep_width > 0 && blocks > 1` condition as the straight-through
+//! path), otherwise one step per fused block.
+//!
+//! [`Simulator::run`]: crate::Simulator::run
+
+use crate::backend::{
+    check_capacity, sample_measured, ExecStats, RunOptions, RunOutput, SimError,
+};
+use crate::checkpoint::{
+    plan_fingerprint, CheckpointCounters, CheckpointError, CheckpointScalar, StateCheckpoint,
+};
+use crate::gpu::GpuDevice;
+use crate::sampling::SamplingConfig;
+use crate::state::StateVector;
+use qgear_ir::fusion::{self, FusedProgram};
+use qgear_ir::schedule::{self, Sweep};
+use qgear_ir::Circuit;
+use std::time::{Duration, Instant};
+
+/// A partially-executed simulation: the evolving state plus a cursor
+/// into its (fixed) kernel schedule.
+pub struct SegmentedRun<T: CheckpointScalar> {
+    state: StateVector<T>,
+    program: FusedProgram,
+    /// `Some` when the sweep-fused path was selected; steps index into
+    /// these sweeps. `None` means steps index `program.blocks` directly.
+    sweeps: Option<Vec<Sweep>>,
+    /// Exact-mode flag passed to `apply_sweep` (`!sweep_reorder`).
+    exact: bool,
+    measured: Vec<u32>,
+    cursor: usize,
+    steps_total: usize,
+    counters: CheckpointCounters,
+    fingerprint: u64,
+    sampling: SamplingConfig,
+    /// Real wall-clock accumulated across `advance` calls.
+    elapsed: Duration,
+}
+
+impl<T: CheckpointScalar> SegmentedRun<T> {
+    /// Build the plan exactly as the straight-through
+    /// [`Simulator::run`](crate::Simulator::run) would and position
+    /// the cursor at step zero.
+    pub fn new(
+        device: &GpuDevice,
+        circuit: &Circuit,
+        opts: &RunOptions,
+    ) -> Result<Self, SimError> {
+        let effective = RunOptions {
+            memory_limit: opts.memory_limit.or(Some(device.memory_bytes)),
+            ..opts.clone()
+        };
+        check_capacity::<T>(circuit.num_qubits(), &effective)?;
+        let (unitary, measured) = circuit.split_measurements();
+        let state: StateVector<T> = StateVector::zero(circuit.num_qubits());
+        let fusion_width = opts.fusion_width.clamp(1, fusion::MAX_FUSION_WIDTH);
+        let program = fusion::try_fuse(&unitary, fusion_width).map_err(|e| {
+            SimError::UnsupportedGate(format!(
+                "{e} (transpile to the native set before kernel transformation)"
+            ))
+        })?;
+        let sweeps = if effective.sweep_width > 0 && program.blocks.len() > 1 {
+            let sched_opts = schedule::SweepOptions {
+                max_width: effective.sweep_width,
+                reorder: effective.sweep_reorder,
+            };
+            Some(schedule::sweeps(&program, &sched_opts).sweeps)
+        } else {
+            None
+        };
+        let steps_total = match &sweeps {
+            Some(s) => s.len(),
+            None => program.blocks.len(),
+        };
+        let fingerprint = plan_fingerprint(
+            circuit,
+            effective.fusion_width,
+            effective.sweep_width,
+            effective.sweep_reorder,
+            T::PRECISION_TAG,
+        );
+        Ok(SegmentedRun {
+            state,
+            program,
+            sweeps,
+            exact: !effective.sweep_reorder,
+            measured,
+            cursor: 0,
+            steps_total,
+            counters: CheckpointCounters::default(),
+            fingerprint,
+            sampling: SamplingConfig {
+                shots: effective.shots,
+                seed: effective.seed,
+                batch_shots: effective.shot_batch,
+            },
+            elapsed: Duration::ZERO,
+        })
+    }
+
+    /// Apply up to `max_steps` further schedule steps (at least one when
+    /// not already done, even if `max_steps == 0` would stall). Returns
+    /// the number of steps actually applied. Stats accounting per step
+    /// matches the straight-through path exactly; the per-call telemetry
+    /// deltas sum to the same totals an uninterrupted run would emit.
+    pub fn advance(&mut self, max_steps: usize) -> usize {
+        if self.cursor >= self.steps_total {
+            return 0;
+        }
+        let start = Instant::now();
+        let sim_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SIMULATE);
+        let from = self.cursor;
+        let end = self.steps_total.min(self.cursor + max_steps.max(1));
+        let amp_bytes = (2 * T::BYTES) as u128;
+        let n_amps = self.state.len() as u128;
+        let before = self.counters;
+        while self.cursor < end {
+            match &self.sweeps {
+                Some(sweeps) => {
+                    let sweep = &sweeps[self.cursor];
+                    GpuDevice::apply_sweep(
+                        self.state.amplitudes_mut(),
+                        &self.program.blocks,
+                        sweep,
+                        self.exact,
+                    );
+                    self.counters.sweeps_executed += 1;
+                    self.counters.kernels_launched += sweep.kernels.len() as u64;
+                    self.counters.bytes_touched += 2 * n_amps * amp_bytes;
+                    for &ki in &sweep.kernels {
+                        self.counters.flops +=
+                            n_amps * (1u128 << self.program.blocks[ki].qubits.len());
+                    }
+                }
+                None => {
+                    let block = &self.program.blocks[self.cursor];
+                    GpuDevice::apply_block(self.state.amplitudes_mut(), block);
+                    self.counters.kernels_launched += 1;
+                    self.counters.bytes_touched += 2 * n_amps * amp_bytes;
+                    self.counters.flops += n_amps * (1u128 << block.qubits.len());
+                }
+            }
+            self.cursor += 1;
+        }
+        let applied = self.counters;
+        if applied.sweeps_executed > before.sweeps_executed {
+            qgear_telemetry::counter_add(
+                qgear_telemetry::names::SWEEPS_EXECUTED,
+                (applied.sweeps_executed - before.sweeps_executed) as u128,
+            );
+        }
+        qgear_telemetry::counter_add(
+            qgear_telemetry::names::KERNELS_LAUNCHED,
+            (applied.kernels_launched - before.kernels_launched) as u128,
+        );
+        if self.cursor >= self.steps_total && self.counters.gates_applied == 0 {
+            self.counters.gates_applied = self.program.source_gate_count() as u64;
+            qgear_telemetry::counter_add(
+                qgear_telemetry::names::GATES_APPLIED,
+                self.counters.gates_applied as u128,
+            );
+        }
+        drop(sim_span);
+        self.elapsed += start.elapsed();
+        self.cursor - from
+    }
+
+    /// Snapshot the current execution state. Cheap relative to the
+    /// evolution itself (one amplitude-vector clone); the caller owns
+    /// serialization via [`crate::checkpoint::encode`].
+    pub fn checkpoint(&self) -> StateCheckpoint<T> {
+        StateCheckpoint {
+            num_qubits: self.state.num_qubits(),
+            cursor: self.cursor as u64,
+            steps_total: self.steps_total as u64,
+            fingerprint: self.fingerprint,
+            counters: self.counters,
+            sampling: self.sampling,
+            state: self.state.clone(),
+        }
+    }
+
+    /// Rebuild the plan for `(circuit, opts)` and install a verified
+    /// checkpoint's state and cursor into it.
+    ///
+    /// The checkpoint must describe the *same* plan: the fingerprint,
+    /// step count, and amplitude count are all cross-checked against the
+    /// freshly-rebuilt schedule, so a checkpoint from a different
+    /// circuit, fusion width, or sweep configuration is rejected rather
+    /// than silently producing wrong amplitudes. The sampling
+    /// configuration is taken from `opts` (the job spec stays
+    /// authoritative), which the codec round-trips for audit only.
+    pub fn resume(
+        device: &GpuDevice,
+        circuit: &Circuit,
+        opts: &RunOptions,
+        ck: StateCheckpoint<T>,
+    ) -> Result<Self, CheckpointError> {
+        let mut run = SegmentedRun::new(device, circuit, opts)
+            .map_err(|e| CheckpointError::Rebuild(e.to_string()))?;
+        if ck.fingerprint != run.fingerprint {
+            return Err(CheckpointError::PlanMismatch {
+                expected: run.fingerprint,
+                found: ck.fingerprint,
+            });
+        }
+        if ck.steps_total != run.steps_total as u64 || ck.cursor > ck.steps_total {
+            return Err(CheckpointError::CursorOutOfRange {
+                cursor: ck.cursor,
+                steps_total: run.steps_total as u64,
+            });
+        }
+        if ck.state.len() != run.state.len() {
+            return Err(CheckpointError::AmplitudeMismatch {
+                expected: 2 * run.state.len() as u64,
+                found: 2 * ck.state.len() as u64,
+            });
+        }
+        run.state = ck.state;
+        run.cursor = ck.cursor as usize;
+        run.counters = ck.counters;
+        Ok(run)
+    }
+
+    /// Steps applied so far.
+    pub fn cursor(&self) -> usize {
+        self.cursor
+    }
+
+    /// Total steps in the schedule.
+    pub fn steps_total(&self) -> usize {
+        self.steps_total
+    }
+
+    /// Whether every schedule step has been applied.
+    pub fn is_done(&self) -> bool {
+        self.cursor >= self.steps_total
+    }
+
+    /// Fingerprint of the plan this run executes.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The (possibly partially-evolved) state.
+    pub fn state(&self) -> &StateVector<T> {
+        &self.state
+    }
+
+    /// Counters accumulated so far, as [`ExecStats`] (real wall-clock
+    /// reflects only the work done *in this process* — resumed runs
+    /// don't inherit a dead worker's timings).
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            gates_applied: self.counters.gates_applied,
+            kernels_launched: self.counters.kernels_launched,
+            sweeps_executed: self.counters.sweeps_executed,
+            bytes_touched: self.counters.bytes_touched,
+            flops: self.counters.flops,
+            elapsed: self.elapsed,
+            ..ExecStats::default()
+        }
+    }
+
+    /// Finish the run: sample (if the circuit measures and shots were
+    /// requested) and hand back the same shape as
+    /// [`Simulator::run`](crate::Simulator::run). Panics if the
+    /// schedule is not complete — call after `is_done()`.
+    pub fn finish(self, opts: &RunOptions) -> RunOutput<T> {
+        assert!(self.is_done(), "finish() before the schedule completed");
+        let mut stats = self.stats();
+        let sample_start = Instant::now();
+        let sample_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SAMPLE);
+        let counts = sample_measured(&self.state, &self.measured, opts);
+        drop(sample_span);
+        stats.sampling_elapsed = sample_start.elapsed();
+        RunOutput { state: opts.keep_state.then_some(self.state), counts, stats }
+    }
+}
+
+impl GpuDevice {
+    /// Run a circuit in bounded segments of `segment_steps` schedule
+    /// steps each. Functionally identical to [`Simulator::run`] on the
+    /// same options (bit-identical amplitudes and counts); exists so
+    /// callers that don't need checkpoints can still exercise the
+    /// segmented path end to end.
+    ///
+    /// [`Simulator::run`]: crate::Simulator::run
+    pub fn run_segmented<T: CheckpointScalar>(
+        &self,
+        circuit: &Circuit,
+        opts: &RunOptions,
+        segment_steps: usize,
+    ) -> Result<RunOutput<T>, SimError> {
+        let mut run = SegmentedRun::new(self, circuit, opts)?;
+        while !run.is_done() {
+            run.advance(segment_steps);
+        }
+        Ok(run.finish(opts))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::{decode, encode};
+
+    fn ghz(n: u32) -> Circuit {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 1..n {
+            c.cx(q - 1, q);
+        }
+        for q in 0..n {
+            c.measure(q);
+        }
+        c
+    }
+
+    fn bits<T: CheckpointScalar>(state: &StateVector<T>) -> Vec<u64> {
+        state
+            .amplitudes()
+            .iter()
+            .flat_map(|a| [a.re.to_f64().to_bits(), a.im.to_f64().to_bits()])
+            .collect()
+    }
+
+    #[test]
+    fn segmented_matches_straight_through() {
+        use crate::Simulator;
+        let c = ghz(4);
+        let opts = RunOptions { shots: 64, fusion_width: 1, sweep_width: 0, ..Default::default() };
+        let dev = GpuDevice::a100_40gb();
+        let straight: RunOutput<f64> = dev.run(&c, &opts).unwrap();
+        let segmented: RunOutput<f64> = dev.run_segmented(&c, &opts, 1).unwrap();
+        assert_eq!(
+            bits(straight.state.as_ref().unwrap()),
+            bits(segmented.state.as_ref().unwrap())
+        );
+        assert_eq!(straight.counts, segmented.counts);
+        assert_eq!(straight.stats.kernels_launched, segmented.stats.kernels_launched);
+        assert_eq!(straight.stats.gates_applied, segmented.stats.gates_applied);
+        assert_eq!(straight.stats.flops, segmented.stats.flops);
+    }
+
+    #[test]
+    fn checkpoint_resume_is_bit_identical() {
+        let c = ghz(3);
+        let opts = RunOptions { shots: 32, fusion_width: 1, sweep_width: 0, ..Default::default() };
+        let dev = GpuDevice::a100_40gb();
+
+        let mut clean: SegmentedRun<f64> = SegmentedRun::new(&dev, &c, &opts).unwrap();
+        while !clean.is_done() {
+            clean.advance(1);
+        }
+
+        let mut first: SegmentedRun<f64> = SegmentedRun::new(&dev, &c, &opts).unwrap();
+        first.advance(2);
+        let bytes = encode(&first.checkpoint());
+        drop(first); // the "worker" dies here
+
+        let ck = decode::<f64>(&bytes).unwrap();
+        assert_eq!(ck.cursor, 2);
+        let mut resumed = SegmentedRun::resume(&dev, &c, &opts, ck).unwrap();
+        while !resumed.is_done() {
+            resumed.advance(1);
+        }
+        assert_eq!(bits(clean.state()), bits(resumed.state()));
+        assert_eq!(clean.stats().kernels_launched, resumed.stats().kernels_launched);
+    }
+
+    #[test]
+    fn resume_rejects_a_different_plan() {
+        let dev = GpuDevice::a100_40gb();
+        let opts = RunOptions { fusion_width: 1, sweep_width: 0, ..Default::default() };
+        let mut run: SegmentedRun<f64> = SegmentedRun::new(&dev, &ghz(3), &opts).unwrap();
+        run.advance(1);
+        let ck = run.checkpoint();
+        let other = ghz(4);
+        assert!(matches!(
+            SegmentedRun::resume(&dev, &other, &opts, ck),
+            Err(CheckpointError::PlanMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sweep_schedule_checkpoints_at_sweep_granularity() {
+        use crate::Simulator;
+        let c = ghz(4);
+        // Narrow sweeps without reordering: several sweeps, exact mode.
+        let opts = RunOptions {
+            shots: 16,
+            fusion_width: 1,
+            sweep_width: 2,
+            sweep_reorder: false,
+            ..Default::default()
+        };
+        let dev = GpuDevice::a100_40gb();
+        let mut run: SegmentedRun<f64> = SegmentedRun::new(&dev, &c, &opts).unwrap();
+        assert!(run.steps_total() > 1, "plan should have multiple sweeps");
+        run.advance(1);
+        let ck = decode::<f64>(&encode(&run.checkpoint())).unwrap();
+        let mut resumed = SegmentedRun::resume(&dev, &c, &opts, ck).unwrap();
+        while !resumed.is_done() {
+            resumed.advance(1);
+        }
+        let straight: RunOutput<f64> = dev.run(&c, &opts).unwrap();
+        assert_eq!(bits(straight.state.as_ref().unwrap()), bits(resumed.state()));
+    }
+}

@@ -117,6 +117,20 @@ pub const SERVE_REQUEUES: &str = "serve.requeues";
 /// In-flight jobs cancelled while waiting out a retry backoff.
 pub const SERVE_CANCELLED_IN_BACKOFF: &str = "serve.cancelled_in_backoff";
 
+/// Mid-circuit checkpoints written into the per-job generational store
+/// at segment boundaries (`qgear-serve` segmented execution).
+pub const CHECKPOINT_WRITES: &str = "checkpoint.write";
+
+/// Checkpoint generations rejected by integrity verification (CRC,
+/// plan-fingerprint, or structural checks) during the recovery ladder;
+/// each increment means a generation was skipped, never loaded.
+pub const CHECKPOINT_VERIFY_FAILS: &str = "checkpoint.verify_fail";
+
+/// Histogram of the schedule cursor a resumed job continued from; a
+/// sample here means a `WorkerDied` recovery skipped that many segments
+/// of re-execution.
+pub const JOB_RESUMED_FROM: &str = "job.resumed_from";
+
 /// Per-tenant counter name for jobs completed, e.g. `serve.tenant.alice.jobs`.
 pub fn serve_tenant_jobs(tenant: &str) -> String {
     format!("serve.tenant.{tenant}.jobs")
@@ -158,4 +172,9 @@ pub mod spans {
     pub const SERVE_JOB: &str = "serve_job";
     /// One execution attempt inside a `serve_job` (retries open several).
     pub const SERVE_ATTEMPT: &str = "serve_attempt";
+    /// Encoding + recording of one mid-circuit checkpoint generation.
+    pub const CHECKPOINT_WRITE: &str = "checkpoint_write";
+    /// Decode + verify + plan-rebuild of one checkpoint generation
+    /// during the recovery ladder (opened per generation tried).
+    pub const CHECKPOINT_RESTORE: &str = "checkpoint_restore";
 }

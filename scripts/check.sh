@@ -12,17 +12,25 @@ cargo test -q --workspace
 
 # The cross-backend differential suite is part of the workspace test run
 # above, but it is the correctness gate for the sweep-scheduled hot path
-# — run it by name so a filtered/partial test environment can't skip it.
+# and for checkpoint/resume bit-identity — run it by name so a
+# filtered/partial test environment can't skip it.
 echo "==> cargo test -q --test differential"
 cargo test -q --test differential
+
+# Checkpoint/resume equivalence at every interruption boundary, by name
+# for the same reason.
+echo "==> cargo test -q --test differential resume_at_every_segment_boundary"
+cargo test -q --test differential resume_at_every_segment_boundary_is_bit_identical_to_straight_through
 
 echo "==> hotpath bench smoke (sweep executor end to end)"
 cargo run --release -p qgear-bench --bin hotpath -- --smoke
 
-# Deterministic simulation matrix: the simtest suite re-runs under three
-# fixed scenario seeds so the oracle properties are exercised on more of
-# the seed space than the default base seed (docs/TESTING.md).
-for seed in 0x51D3C0DE 0xDEADBEEF 0x00C0FFEE; do
+# Deterministic simulation matrix: the simtest suite re-runs under four
+# fixed scenario seeds so the oracle properties — including the
+# checkpoint-recovery acceptance scenario (die mid-run, newest
+# generation corrupt, resume from the prior one) — are exercised on
+# more of the seed space than the default base seed (docs/TESTING.md).
+for seed in 0x51D3C0DE 0xDEADBEEF 0x00C0FFEE 0x0C1CADA5; do
     echo "==> cargo test -q --test simtest (QGEAR_SIMTEST_SEED=${seed})"
     QGEAR_SIMTEST_SEED="${seed}" cargo test -q --test simtest
 done

@@ -25,7 +25,8 @@ use qgear_num::complex::Complex;
 use qgear_serve::{JobSpec, ServeConfig, Service};
 use qgear_statevec::backend::{marginal_probs, sample_from_probs};
 use qgear_statevec::{
-    AerCpuBackend, GpuDevice, RunOptions, RunOutput, SamplingConfig, Simulator,
+    decode_checkpoint, encode_checkpoint, AerCpuBackend, CheckpointScalar, GpuDevice, RunOptions,
+    RunOutput, SamplingConfig, SegmentedRun, Simulator,
 };
 use qgear_workloads::qft::{qft_circuit, QftOptions};
 use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
@@ -229,6 +230,131 @@ fn cluster_matches_single_device_with_sweeps_enabled() {
         approx_eq_up_to_phase(multi.amplitudes(), single.amplitudes(), 1e-10),
         "cluster diverged from single device"
     );
+}
+
+/// Run `circ` segmented, interrupting at schedule step `k`: snapshot,
+/// serialize through the full checkpoint codec (the same wire bytes a
+/// crashed worker leaves behind), decode, resume a *fresh* plan from the
+/// verified checkpoint, and finish.
+fn interrupted_at<T: CheckpointScalar>(
+    circ: &Circuit,
+    opts: &RunOptions,
+    k: usize,
+) -> RunOutput<T> {
+    let device = GpuDevice::a100_40gb();
+    let mut run = SegmentedRun::<T>::new(&device, circ, opts).expect("plan");
+    for _ in 0..k {
+        run.advance(1);
+    }
+    assert_eq!(run.cursor(), k, "interruption point off the boundary");
+    let bytes = encode_checkpoint(&run.checkpoint());
+    drop(run); // the "crash": only the wire bytes survive
+    let ck = decode_checkpoint::<T>(&bytes).expect("intact checkpoint verifies");
+    let mut resumed = SegmentedRun::resume(&device, circ, opts, ck).expect("resume");
+    while !resumed.is_done() {
+        resumed.advance(2);
+    }
+    resumed.finish(opts)
+}
+
+/// Checkpoint/restore is invisible to the physics: interrupting at
+/// *every* schedule boundary — including cursor 0 and the final step —
+/// and resuming through the codec reproduces the straight-through run
+/// bit for bit (amplitudes and sampled counts), across the plain-fused
+/// schedule and both sweep modes, at fp64.
+#[test]
+fn resume_at_every_segment_boundary_is_bit_identical_to_straight_through() {
+    let circ = qft_circuit(6, &QftOptions::default());
+    let mut circ = circ;
+    circ.measure_all();
+
+    // Sweep width 3 (vs the default 12) keeps several sweeps in the
+    // schedule, so there are genuine mid-run boundaries to interrupt at.
+    for (sweep_width, sweep_reorder) in [(0, false), (3, false), (3, true)] {
+        let opts = RunOptions {
+            shots: 512,
+            seed: 23,
+            shot_batch: 32,
+            fusion_width: 2,
+            sweep_width,
+            sweep_reorder,
+            keep_state: true,
+            ..Default::default()
+        };
+        let straight: RunOutput<f64> =
+            GpuDevice::a100_40gb().run(&circ, &opts).expect("straight run");
+        let straight_amps = straight.state.as_ref().expect("state").amplitudes();
+        let steps = SegmentedRun::<f64>::new(&GpuDevice::a100_40gb(), &circ, &opts)
+            .expect("plan")
+            .steps_total();
+        assert!(steps >= 2, "schedule too short to interrupt meaningfully");
+
+        for k in 0..=steps {
+            let resumed = interrupted_at::<f64>(&circ, &opts, k);
+            let resumed_amps = resumed.state.as_ref().expect("state").amplitudes();
+            for (a, b) in straight_amps.iter().zip(resumed_amps.iter()) {
+                assert_eq!(
+                    a.re.to_bits(),
+                    b.re.to_bits(),
+                    "amplitude divergence at boundary {k}, sweep ({sweep_width}, {sweep_reorder})"
+                );
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            assert_eq!(
+                straight.counts.as_ref().unwrap().map,
+                resumed.counts.unwrap().map,
+                "counts divergence at boundary {k}"
+            );
+            assert_eq!(straight.stats.gates_applied, resumed.stats.gates_applied);
+            assert_eq!(straight.stats.kernels_launched, resumed.stats.kernels_launched);
+        }
+    }
+}
+
+/// The fp32 segmented path behaves the same way: resume is bit-identical
+/// to its own straight-through fp32 run at every boundary, and the
+/// resumed fp32 state tracks the fp64 reference within single-precision
+/// tolerance — interruption never amplifies the precision gap.
+#[test]
+fn fp32_resume_is_self_consistent_and_tracks_fp64_within_tolerance() {
+    let mut circ = qft_circuit(6, &QftOptions::default());
+    circ.measure_all();
+    let opts = RunOptions {
+        shots: 256,
+        seed: 5,
+        fusion_width: 2,
+        keep_state: true,
+        ..Default::default()
+    };
+
+    let straight32: RunOutput<f32> = GpuDevice::a100_40gb().run(&circ, &opts).expect("fp32");
+    let straight32_amps = straight32.state.as_ref().expect("state").amplitudes();
+    let straight64: RunOutput<f64> = GpuDevice::a100_40gb().run(&circ, &opts).expect("fp64");
+    let f64_amps: Vec<Complex<f64>> =
+        straight64.state.as_ref().expect("state").amplitudes().to_vec();
+
+    let steps = SegmentedRun::<f32>::new(&GpuDevice::a100_40gb(), &circ, &opts)
+        .expect("plan")
+        .steps_total();
+    for k in 0..=steps {
+        let resumed = interrupted_at::<f32>(&circ, &opts, k);
+        let resumed_amps = resumed.state.as_ref().expect("state").amplitudes();
+        for (a, b) in straight32_amps.iter().zip(resumed_amps.iter()) {
+            assert_eq!(a.re.to_bits(), b.re.to_bits(), "fp32 divergence at boundary {k}");
+            assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+        assert_eq!(straight32.counts.as_ref().unwrap().map, resumed.counts.unwrap().map);
+
+        let widened: Vec<Complex<f64>> = resumed_amps
+            .iter()
+            .map(|c| Complex::new(f64::from(c.re), f64::from(c.im)))
+            .collect();
+        assert!(
+            approx_eq_up_to_phase(&widened, &f64_amps, 1e-4),
+            "fp32 resumed at boundary {k} deviates {} from fp64",
+            max_deviation(&widened, &f64_amps)
+        );
+    }
 }
 
 /// A served job's counts are bit-identical to evolving and sampling the

@@ -6,6 +6,19 @@ use proptest::prelude::*;
 use qgear_container::slurm::{Cluster, Constraint, JobRequest, JobState, Scheduler};
 use qgear_hdf5lite::{Compression, H5File};
 use qgear_ir::{qpy, Circuit};
+use qgear_statevec::{decode_checkpoint, encode_checkpoint, GpuDevice, RunOptions, SegmentedRun};
+
+/// Valid checkpoint wire bytes from a small mid-flight segmented run —
+/// the corpus the bit-flip property mutates.
+fn valid_checkpoint_bytes() -> Vec<u8> {
+    let mut c = Circuit::new(3);
+    c.h(0).cx(0, 1).cx(1, 2).measure_all();
+    let device = GpuDevice::a100_40gb();
+    let opts = RunOptions { shots: 32, fusion_width: 1, ..Default::default() };
+    let mut run = SegmentedRun::<f64>::new(&device, &c, &opts).unwrap();
+    run.advance(2);
+    encode_checkpoint(&run.checkpoint())
+}
 
 proptest! {
     #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
@@ -56,6 +69,44 @@ proptest! {
         let i = flip_at % bytes.len();
         bytes[i] ^= 1 << flip_bit;
         let _ = H5File::from_bytes(&bytes); // must not panic
+    }
+
+    #[test]
+    fn checkpoint_decoder_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..400),
+    ) {
+        // Arbitrary bytes must be rejected with a structured error —
+        // never a panic, never an Ok that smuggles garbage amplitudes
+        // in. The 4-byte magic alone rejects essentially everything;
+        // the per-section CRC framing rejects the rest.
+        prop_assert!(decode_checkpoint::<f64>(&bytes).is_err());
+        prop_assert!(decode_checkpoint::<f32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn checkpoint_decoder_rejects_every_bitflip(
+        flip_at in 0usize..1000,
+        flip_bit in 0u8..8,
+    ) {
+        // Unlike qpy (where a flip in f64 padding can be CRC-neutral
+        // only by restoring the byte), every checkpoint byte sits under
+        // either the magic/version preamble or a section CRC, so any
+        // single-bit corruption must surface as Err — a checkpoint is
+        // verified-or-rejected, never silently trusted.
+        let mut bytes = valid_checkpoint_bytes();
+        prop_assert!(decode_checkpoint::<f64>(&bytes).is_ok(), "sanity: intact bytes decode");
+        let i = flip_at % bytes.len();
+        bytes[i] ^= 1 << flip_bit;
+        prop_assert!(decode_checkpoint::<f64>(&bytes).is_err());
+    }
+
+    #[test]
+    fn checkpoint_decoder_rejects_every_truncation(
+        cut in 0usize..1000,
+    ) {
+        let bytes = valid_checkpoint_bytes();
+        let keep = cut % bytes.len(); // strictly shorter than the whole
+        prop_assert!(decode_checkpoint::<f64>(&bytes[..keep]).is_err());
     }
 
     #[test]

@@ -17,7 +17,8 @@
 use qgear_cluster::ClusterEngine;
 use qgear_ir::Circuit;
 use qgear_serve::{
-    FaultKind, FaultPlan, FaultSchedule, JobOutcome, JobSpec, ServeConfig, ServeError, Service,
+    CheckpointRecord, FaultKind, FaultPlan, FaultSchedule, JobOutcome, JobSpec, ServeConfig,
+    ServeError, Service,
 };
 use qgear_simtest::{
     replay_command, run_scenario, seed_from_env, shrink, JobDef, Op, OutcomeSummary, Scenario,
@@ -229,6 +230,65 @@ fn corrupted_cache_entry_falls_back_to_a_bit_identical_cold_run() {
     assert!(warm.from_cache);
     assert_eq!(warm.counts, cold.counts);
     service.shutdown();
+}
+
+/// The acceptance scenario for checkpointed execution: the worker dies
+/// after segment k = 2 with the newest checkpoint (generation 1, taken
+/// at cursor 2) corrupted in the store. The retry's recovery ladder
+/// must reject generation 1 by CRC, resume from generation 0 — the
+/// k − 1 segments of proven progress — and still complete with counts
+/// byte-identical to a fault-free run (the resume-bit-identity oracle
+/// checks the hash against a clean mirror execution). Varied over ≥ 3
+/// derived seeds, each replayable via `QGEAR_SIMTEST_SEED`.
+#[test]
+fn death_at_segment_k_with_newest_checkpoint_corrupt_resumes_from_the_prior_generation() {
+    let _l = lock();
+    let base = seed_from_env(0x0C1C_ADA5);
+    for i in 0..3u64 {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        // Every circuit family at 3 qubits has ≥ 3 schedule steps under
+        // the harness fusion width of 1, so a death after 2 segments
+        // always strikes mid-run with two generations already written.
+        let def = JobDef {
+            shape: (seed % 3) as u8,
+            qubits: 3,
+            shots: 16 + seed % 200,
+            seed: seed % 7,
+            ..JobDef::bell()
+        };
+        let scenario = Scenario::empty(seed)
+            .op(Op::Submit(def))
+            .event(0, 0, FaultKind::WorkerDeathMidRun { after_segments: 2 })
+            .event(0, 0, FaultKind::CorruptCheckpoint { generation: 1 });
+        let report = run_scenario(&scenario);
+        assert!(
+            report.is_ok(),
+            "oracle violations for seed {seed:#x}: {violations:#?}\nreplay: {cmd}",
+            violations = report.violations,
+            cmd = replay_command(
+                seed,
+                "death_at_segment_k_with_newest_checkpoint_corrupt_resumes_from_the_prior_generation",
+            ),
+        );
+        // Scenario job 0 is admission id 1 (the harness blocker is 0).
+        let log = &report.checkpoint_log;
+        assert!(
+            log.contains(&CheckpointRecord::VerifyFailed { job: 1, generation: 1 }),
+            "newest generation must fail verification; log: {log:?}"
+        );
+        assert!(
+            log.contains(&CheckpointRecord::Resumed { job: 1, generation: 0, cursor: 1 }),
+            "must resume from generation k−1 at cursor 1; log: {log:?}"
+        );
+        assert!(
+            !log.contains(&CheckpointRecord::ColdRestart { job: 1 }),
+            "an older verified generation makes a cold restart illegal; log: {log:?}"
+        );
+        match report.outcomes.get(&1) {
+            Some(OutcomeSummary::Completed { attempts: 2, .. }) => {}
+            other => panic!("expected completion on attempt 2, got {other:?} (seed {seed:#x})"),
+        }
+    }
 }
 
 /// The storage side of the fault taxonomy: a truncated or bit-flipped

@@ -170,6 +170,84 @@ fn instrumented_run_is_bitwise_identical_to_uninstrumented() {
     assert_eq!(plain.counts.unwrap().map, instrumented.counts.unwrap().map);
 }
 
+/// Checkpointed-recovery telemetry: a worker death with the newest
+/// generation corrupted produces `checkpoint.write` and
+/// `checkpoint.verify_fail` counter traffic, a `job.resumed_from`
+/// histogram sample (the cursor execution resumed at), checkpoint spans
+/// inside the serving span tree — and all three names survive the JSON
+/// export round trip by their documented keys.
+#[test]
+fn checkpoint_recovery_metrics_flow_into_the_json_export() {
+    use qgear_serve::{FaultKind, FaultSchedule, JobSpec, ServeConfig, Service};
+    let _l = LOCK.lock().unwrap();
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+    let service = Service::start(ServeConfig {
+        workers: 1,
+        fusion_width: 1,
+        sweep_width: 0,
+        checkpoint_interval: 1,
+        checkpoint_generations: 3,
+        schedule: FaultSchedule::none()
+            .with_event(0, 0, FaultKind::WorkerDeathMidRun { after_segments: 2 })
+            .with_event(0, 0, FaultKind::CorruptCheckpoint { generation: 1 }),
+        ..Default::default()
+    });
+    let mut c = qgear_ir::Circuit::new(3);
+    c.h(0).cx(0, 1).cx(1, 2).measure_all();
+    let id = service.submit(JobSpec::new(c).shots(100).seed(3)).job_id().expect("accepted");
+    assert!(service.wait(id).expect("outcome").is_completed());
+    service.shutdown();
+    qgear_telemetry::disable();
+    let snap = qgear_telemetry::snapshot();
+    qgear_telemetry::reset();
+
+    assert!(
+        snap.counter(names::CHECKPOINT_WRITES) >= 2,
+        "two generations written before the death, got {}",
+        snap.counter(names::CHECKPOINT_WRITES)
+    );
+    assert!(
+        snap.counter(names::CHECKPOINT_VERIFY_FAILS) >= 1,
+        "the corrupted newest generation must fail verification"
+    );
+    let resumed = snap
+        .histograms
+        .get(names::JOB_RESUMED_FROM)
+        .expect("resume-cursor histogram recorded");
+    assert!(resumed.count >= 1);
+    assert!(resumed.min >= 1.0, "resume from the surviving generation is past cursor 0");
+
+    let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+    assert!(
+        paths.iter().any(|p| p.ends_with(spans::CHECKPOINT_WRITE)),
+        "no checkpoint_write span in {paths:?}"
+    );
+    assert!(
+        paths.iter().any(|p| p.ends_with(spans::CHECKPOINT_RESTORE)),
+        "no checkpoint_restore span in {paths:?}"
+    );
+
+    let dir = std::env::temp_dir().join(format!("qgear-telemetry-ck-{}", std::process::id()));
+    let sink = JsonSink::new(&dir);
+    let path = sink.export("checkpoint recovery", &snap).expect("export").expect("a file");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let counters = value["counters"].as_object().expect("counters object");
+    for key in [names::CHECKPOINT_WRITES, names::CHECKPOINT_VERIFY_FAILS] {
+        assert!(counters.iter().any(|(k, _)| k == key), "counter {key} missing from export");
+    }
+    let histograms = value["histograms"].as_object().expect("histograms object");
+    assert!(
+        histograms.iter().any(|(k, _)| k == names::JOB_RESUMED_FROM),
+        "histogram {} missing from export",
+        names::JOB_RESUMED_FROM
+    );
+    let (_, back) = TelemetrySnapshot::from_value(&value).expect("schema decode");
+    assert_eq!(back, snap, "export round trip preserves the checkpoint metrics");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn json_sink_roundtrips_against_documented_schema() {
     let _l = LOCK.lock().unwrap();
