@@ -1,6 +1,7 @@
-//! Hot-path benchmark: unfused vs fused vs sweep-fused execution.
+//! Hot-path benchmark: unfused vs fused vs sweep-fused vs planned
+//! execution.
 //!
-//! Measures real wall-clock for the three kernel strategies on the three
+//! Measures real wall-clock for the four kernel strategies on the three
 //! paper workloads (QFT, random CX blocks, QCrank encoding):
 //!
 //! * **unfused** — the Aer-like CPU baseline, one full-state pass per gate;
@@ -8,7 +9,11 @@
 //!   (`sweep_width: 0`), one full-state pass per fused kernel;
 //! * **sweep**   — the GPU engine with the commutation-aware sweep
 //!   scheduler on (the default), one full-state pass per *sweep* with
-//!   cache-blocked tiles kept hot across the sweep's kernels.
+//!   cache-blocked tiles kept hot across the sweep's kernels;
+//! * **planned** — the adaptive planner (`RunOptions::planned()`): per
+//!   scheduled segment, the cheapest of the three modes under the
+//!   calibrated cost model, with structure-dispatched fused kernels.
+//!   See `docs/PLANNER.md` for how to read this series.
 //!
 //! Emits `results/hotpath.jsonl` (via [`Report`]) plus a summary
 //! `BENCH_hotpath.json` at the repo root with the per-point stats and
@@ -22,6 +27,9 @@
 //! grid (n = 10, 12); `--full` to extend the default grid to n = 24.
 //! `--workload <qft|random|qcrank>` restricts to one workload and
 //! `--sizes <a,b,...>` overrides the qubit grid (for quick probes).
+//! `--enforce-planned` exits nonzero if the planned series is slower
+//! than the best fixed mode on any cell (CI's planner regression gate,
+//! run by `scripts/check.sh` on the smoke grid).
 
 use qgear_bench::report::{human_time, Report};
 use qgear_statevec::{AerCpuBackend, GpuDevice, RunOptions, RunOutput, Simulator};
@@ -53,6 +61,21 @@ struct Sample {
     note: Option<String>,
 }
 
+/// Planned-vs-best-fixed comparison for one (workload, size) cell.
+#[derive(Debug, Serialize)]
+struct PlannedCell {
+    workload: String,
+    num_qubits: u32,
+    planned_seconds: f64,
+    /// Fastest of the fixed modes measured on this cell.
+    best_fixed_seconds: f64,
+    /// Which fixed mode was fastest.
+    best_fixed_mode: String,
+    /// `planned_seconds / best_fixed_seconds` (≤ 1 means the planner
+    /// matched or beat every fixed mode).
+    ratio: f64,
+}
+
 /// The `BENCH_hotpath.json` document.
 #[derive(Debug, Serialize)]
 struct Summary {
@@ -64,6 +87,11 @@ struct Summary {
     qft_sweep_over_fused: Vec<Speedup>,
     /// Minimum of the above at n >= 20 (the acceptance bar is 1.3).
     qft_sweep_speedup_min_n20: Option<f64>,
+    /// Planned-mode comparison per cell (the planner acceptance bar:
+    /// every ratio ≤ 1 within noise).
+    planned_vs_best_fixed: Vec<PlannedCell>,
+    /// Maximum `ratio` across all cells.
+    planned_worst_ratio: Option<f64>,
 }
 
 /// Skip the unfused baseline when its amplitude·gate product would take
@@ -100,6 +128,7 @@ fn run_mode(circ: &qgear_ir::Circuit, mode: &str, reps: u32) -> Sample {
     let opts = match mode {
         "unfused" | "fused" => RunOptions { sweep_width: 0, ..Default::default() },
         "sweep" => RunOptions::default(),
+        "planned" => RunOptions::planned(),
         other => panic!("unknown mode {other}"),
     };
     let mut best = f64::INFINITY;
@@ -176,7 +205,7 @@ fn main() {
         for name in workloads.iter().copied() {
             let circ = workload(name, n);
             let reps = if n < 20 { 3 } else { 1 };
-            for mode in ["unfused", "fused", "sweep"] {
+            for mode in ["unfused", "fused", "sweep", "planned"] {
                 let mut sample = if mode == "unfused"
                     && (1u128 << n) * circ.len() as u128 > UNFUSED_COST_CAP
                 {
@@ -242,6 +271,59 @@ fn main() {
         println!("  min at n>=20: {m:.2}x (acceptance bar 1.3x)");
     }
 
+    // Planner acceptance: planned never slower than the best fixed mode
+    // on any cell (ratio ≤ 1 within noise).
+    let mut planned_cells: Vec<PlannedCell> = Vec::new();
+    for &n in &sizes {
+        for name in workloads.iter().copied() {
+            let cell = |mode: &str| {
+                samples
+                    .iter()
+                    .find(|s| s.workload == name && s.num_qubits == n && s.mode == mode)
+                    .map(|s| s.seconds)
+                    .filter(|s| !s.is_nan())
+            };
+            let Some(planned) = cell("planned") else { continue };
+            let fixed: Vec<(&str, f64)> = ["unfused", "fused", "sweep"]
+                .iter()
+                .filter_map(|&m| cell(m).map(|s| (m, s)))
+                .collect();
+            let Some(&(best_mode, best)) = fixed
+                .iter()
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("non-NaN seconds"))
+            else {
+                continue;
+            };
+            planned_cells.push(PlannedCell {
+                workload: name.to_owned(),
+                num_qubits: n,
+                planned_seconds: planned,
+                best_fixed_seconds: best,
+                best_fixed_mode: best_mode.to_owned(),
+                ratio: planned / best,
+            });
+        }
+    }
+    println!("\nplanned vs best fixed mode:");
+    for c in &planned_cells {
+        println!(
+            "  {:>8} n={:>2}: planned {} vs best fixed {} ({}) → ratio {:.2}",
+            c.workload,
+            c.num_qubits,
+            human_time(c.planned_seconds),
+            human_time(c.best_fixed_seconds),
+            c.best_fixed_mode,
+            c.ratio
+        );
+    }
+    let worst_ratio = planned_cells
+        .iter()
+        .map(|c| c.ratio)
+        .fold(None, |acc: Option<f64>, r| Some(acc.map_or(r, |a| a.max(r))));
+    if let Some(w) = worst_ratio {
+        println!("  worst ratio: {w:.2} (bar: ≤ 1 within noise)");
+    }
+
     report.finish();
 
     let summary = Summary {
@@ -251,6 +333,8 @@ fn main() {
         samples,
         qft_sweep_over_fused: qft_speedups,
         qft_sweep_speedup_min_n20: min_n20,
+        planned_vs_best_fixed: planned_cells,
+        planned_worst_ratio: worst_ratio,
     };
     let json = serde_json::to_value(&summary).expect("summary serializes");
     let root = match std::env::var("CARGO_MANIFEST_DIR") {
@@ -267,4 +351,28 @@ fn main() {
     let path = root.join(file);
     std::fs::write(&path, format!("{json}\n")).expect("write BENCH_hotpath.json");
     println!("→ summary written to {}", path.display());
+
+    // CI gate (scripts/check.sh --smoke): fail if the planner lost any
+    // cell beyond timer noise. The tolerance absorbs scheduler jitter on
+    // sub-second smoke cells: 25% relative plus a 10 ms absolute floor.
+    // Runs after the summary write so a failing run still leaves the
+    // artifact to inspect.
+    if args.iter().any(|a| a == "--enforce-planned") {
+        let losers: Vec<&PlannedCell> = summary
+            .planned_vs_best_fixed
+            .iter()
+            .filter(|c| c.planned_seconds > c.best_fixed_seconds * 1.25 + 0.010)
+            .collect();
+        if !losers.is_empty() {
+            eprintln!("planned-mode regression: slower than the best fixed mode on:");
+            for c in losers {
+                eprintln!(
+                    "  {} n={}: planned {:.3}s vs best fixed {:.3}s ({})",
+                    c.workload, c.num_qubits, c.planned_seconds, c.best_fixed_seconds, c.best_fixed_mode
+                );
+            }
+            std::process::exit(1);
+        }
+        println!("planned-mode gate passed: never slower than the best fixed mode");
+    }
 }

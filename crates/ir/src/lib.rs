@@ -43,7 +43,7 @@ pub mod transpile;
 pub use circuit::Circuit;
 pub use encoding::{EncodedCircuit, TensorEncoding};
 pub use error::IrError;
-pub use fusion::{FusedBlock, FusedProgram, FusionError};
+pub use fusion::{FusedBlock, FusedProgram, FusionError, KernelStructure};
 pub use gate::{Gate, GateKind};
 pub use parametric::{ParamCircuit, ParamValue};
 pub use schedule::{Sweep, SweepOptions, SweepSchedule};

@@ -72,6 +72,34 @@ pub struct RunOptions {
     /// Set to 40 GB to reproduce the single-A100 limit, 460 GB for the
     /// CPU-node limit.
     pub memory_limit: Option<u128>,
+    /// Execution strategy for the simulated-GPU engine: `Fixed` replays
+    /// the historical global-mode behaviour selected by the knobs above;
+    /// `Planned` lets the adaptive planner pick the cheapest mode per
+    /// scheduled segment (see [`crate::planner`]). The default stays
+    /// `Fixed` for bit-compatibility with existing artifacts — use
+    /// [`RunOptions::planned`] for the recommended adaptive path.
+    pub strategy: crate::planner::ExecStrategy,
+    /// Cost-model constants the planner prices segments with; ignored
+    /// under `ExecStrategy::Fixed`. Defaults to the host-reference fit;
+    /// pass [`crate::planner::PlannerCosts::calibrated`] output to feed
+    /// measured telemetry back into the model.
+    pub planner_costs: crate::planner::PlannerCosts,
+}
+
+impl RunOptions {
+    /// The recommended adaptive configuration: default knobs with the
+    /// per-segment planner enabled.
+    ///
+    /// ```
+    /// use qgear_statevec::{GpuDevice, RunOptions, RunOutput, Simulator};
+    /// let mut c = qgear_ir::Circuit::new(3);
+    /// c.h(0).cx(0, 1).cx(1, 2);
+    /// let out: RunOutput<f64> = GpuDevice::default().run(&c, &RunOptions::planned()).unwrap();
+    /// assert!(out.state.is_some());
+    /// ```
+    pub fn planned() -> Self {
+        RunOptions { strategy: crate::planner::ExecStrategy::Planned, ..Default::default() }
+    }
 }
 
 impl Default for RunOptions {
@@ -85,6 +113,8 @@ impl Default for RunOptions {
             sweep_reorder: true,
             keep_state: true,
             memory_limit: None,
+            strategy: crate::planner::ExecStrategy::Fixed,
+            planner_costs: crate::planner::PlannerCosts::host_reference(),
         }
     }
 }

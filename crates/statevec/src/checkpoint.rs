@@ -227,6 +227,12 @@ pub struct StateCheckpoint<T: CheckpointScalar> {
 /// that shapes the fused/sweep schedule or the arithmetic. Two runs
 /// with equal fingerprints rebuild byte-identical schedules, so a
 /// cursor is portable between them; anything else must be rejected.
+///
+/// Fixed-mode runs use this digest directly (value-stable with earlier
+/// releases). Adaptive runs additionally fold the planner's per-segment
+/// mode-decision digest in via [`fold_strategy`], so a cursor taken
+/// under one plan can never resume under a run whose cost model decided
+/// differently — the segmentation itself would differ.
 pub fn plan_fingerprint(
     circuit: &Circuit,
     fusion_width: usize,
@@ -239,16 +245,27 @@ pub fn plan_fingerprint(
         h ^= u64::from(b);
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
-    let mix = |h: u64, v: u64| -> u64 {
-        let mut z = h.wrapping_add(v).wrapping_add(0x9E37_79B9_7F4A_7C15);
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
     h = mix(h, fusion_width as u64);
     h = mix(h, sweep_width as u64);
     h = mix(h, u64::from(sweep_reorder));
     mix(h, u64::from(precision_tag))
+}
+
+/// Fold an execution-strategy digest (e.g.
+/// [`ExecutionPlan::digest`](crate::planner::ExecutionPlan)) into a plan
+/// fingerprint. Any nonzero-entropy digest moves the fingerprint, so
+/// fixed-mode cursors (un-folded fingerprints) and adaptive cursors
+/// reject each other on resume.
+pub fn fold_strategy(fingerprint: u64, strategy_digest: u64) -> u64 {
+    mix(mix(fingerprint, 1), strategy_digest)
+}
+
+/// One splitmix64 avalanche step (shared by the fingerprint builders).
+fn mix(h: u64, v: u64) -> u64 {
+    let mut z = h.wrapping_add(v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 /// Append one CRC-framed section.

@@ -16,8 +16,9 @@
 //! `qgear-perfmodel` converts those counters into projected A100 timings.
 
 use crate::backend::{check_capacity, sample_measured, ExecStats, RunOptions, RunOutput, SimError, Simulator};
+use crate::planner::{self, ExecStrategy};
 use crate::state::StateVector;
-use qgear_ir::fusion::{self, FusedBlock};
+use qgear_ir::fusion::{self, FusedBlock, KernelStructure};
 use qgear_ir::schedule::{self, Sweep};
 use qgear_ir::Circuit;
 use qgear_num::{Complex, Scalar};
@@ -153,6 +154,167 @@ impl GpuDevice {
                 }
                 // SAFETY: same disjointness argument as the gather.
                 unsafe { shared.write(idx[local], acc) };
+            }
+        });
+    }
+
+    /// Execute one fused block through the kernel matching its structure
+    /// class — the planner's "fused stops meaning dense `2^k` apply"
+    /// dispatch (see [`KernelStructure`] and `crate::planner`).
+    ///
+    /// `Diagonal` and `Dense` fall through to [`GpuDevice::apply_block`]
+    /// (which already has the element-wise diagonal fast path);
+    /// `Permutation` runs a gather/permute/scatter pass with one complex
+    /// multiply per amplitude; `Controlled` runs the block-diagonal
+    /// factorization over the full state, cutting per-amplitude cost from
+    /// `2^k` to `2^μ` mul-adds. All four dispatch targets apply the same
+    /// unitary: results agree with the dense kernel to the structure
+    /// classifier's tolerance (1e-15, far below engine agreement bounds).
+    pub fn apply_block_structured<T: Scalar>(
+        state: &mut [Complex<T>],
+        block: &FusedBlock,
+        structure: &KernelStructure,
+    ) {
+        match structure {
+            KernelStructure::Diagonal | KernelStructure::Dense => {
+                GpuDevice::apply_block(state, block);
+            }
+            KernelStructure::Permutation(perm) => {
+                GpuDevice::apply_block_permutation(state, block, perm);
+            }
+            KernelStructure::Controlled { mixing } => {
+                GpuDevice::apply_block_controlled(state, block, mixing);
+            }
+        }
+    }
+
+    /// Permutation kernel: the fused block's matrix has exactly one
+    /// nonzero per column (X/CX/SWAP ladders, optionally with phases), so
+    /// applying it is an index shuffle plus one complex multiply per
+    /// amplitude — no `2^k`-wide mul-add accumulation.
+    fn apply_block_permutation<T: Scalar>(
+        state: &mut [Complex<T>],
+        block: &FusedBlock,
+        perm: &[(usize, qgear_num::C64)],
+    ) {
+        let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::APPLY_BLOCK);
+        qgear_telemetry::counter_add(
+            qgear_telemetry::names::AMPLITUDES_TOUCHED,
+            2 * state.len() as u128,
+        );
+        let k = block.qubits.len();
+        let dim = 1usize << k;
+        debug_assert!(dim <= 64);
+        // Column `c` maps to row `rows[c]` with weight `phases[c]`.
+        let rows: Vec<usize> = perm.iter().map(|&(r, _)| r).collect();
+        let phases: Vec<Complex<T>> = perm.iter().map(|&(_, p)| p.cast()).collect();
+        let mut sorted = block.qubits.clone();
+        sorted.sort_unstable();
+        let masks: Vec<usize> = block.qubits.iter().map(|&q| 1usize << q).collect();
+        let groups = state.len() >> k;
+
+        let shared = SharedState(state.as_mut_ptr());
+        let shared = &shared;
+        let rows = &rows;
+        let phases = &phases;
+        let masks = &masks;
+        let sorted = &sorted;
+        (0..groups).into_par_iter().for_each(move |g| {
+            let mut base = g;
+            for &q in sorted {
+                let low = base & ((1usize << q) - 1);
+                base = ((base >> q) << (q + 1)) | low;
+            }
+            let mut scratch = [Complex::<T>::ZERO; 64];
+            let mut idx = [0usize; 64];
+            for local in 0..dim {
+                let mut i = base;
+                for (j, &mask) in masks.iter().enumerate() {
+                    if local & (1 << j) != 0 {
+                        i |= mask;
+                    }
+                }
+                idx[local] = i;
+                // SAFETY: group-disjoint indices, as in `apply_block`.
+                scratch[local] = unsafe { shared.read(i) };
+            }
+            for c in 0..dim {
+                // SAFETY: same disjointness argument as the gather.
+                unsafe { shared.write(idx[rows[c]], phases[c] * scratch[c]) };
+            }
+        });
+    }
+
+    /// Controlled-structure kernel: the block mixes only `μ < k` of its
+    /// qubits ([`FusedBlock::mixing_mask`]), so it factors into `2^(k-μ)`
+    /// independent `2^μ × 2^μ` sub-unitaries indexed by the unmixed
+    /// (control/phase) bits — the full-state analogue of the sweep path's
+    /// `KernelPlan::Factored`, built by the same factorization.
+    fn apply_block_controlled<T: Scalar>(
+        state: &mut [Complex<T>],
+        block: &FusedBlock,
+        mixing: &[bool],
+    ) {
+        let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::APPLY_BLOCK);
+        qgear_telemetry::counter_add(
+            qgear_telemetry::names::AMPLITUDES_TOUCHED,
+            2 * state.len() as u128,
+        );
+        // Global bit masks (the factorization is mask-space agnostic: it
+        // works identically on tile slots and global indices).
+        let masks: Vec<usize> = block.qubits.iter().map(|&q| 1usize << q).collect();
+        let KernelPlan::Factored { subs, mixed_masks, sorted_mixed, diag_extract, mdim } =
+            KernelPlan::<T>::factored(block, mixing, &masks)
+        else {
+            unreachable!("factored() always builds KernelPlan::Factored")
+        };
+        let mu = sorted_mixed.len();
+        debug_assert!(mdim <= 64);
+        let groups = state.len() >> mu;
+
+        let shared = SharedState(state.as_mut_ptr());
+        let shared = &shared;
+        let subs = &subs;
+        let mixed_masks = &mixed_masks;
+        let sorted_mixed = &sorted_mixed;
+        let diag_extract = &diag_extract;
+        (0..groups).into_par_iter().for_each(move |g| {
+            // Expand the group index around the mixed bits; the base then
+            // carries every assignment of the unmixed bits.
+            let mut base = g;
+            for &p in sorted_mixed {
+                let low = base & ((1usize << p) - 1);
+                base = ((base >> p) << (p + 1)) | low;
+            }
+            let mut d = 0usize;
+            for &(mask, weight) in diag_extract {
+                if base & mask != 0 {
+                    d |= weight;
+                }
+            }
+            let sub = &subs[d];
+            let mut scratch = [Complex::<T>::ZERO; 64];
+            let mut idx = [0usize; 64];
+            for a in 0..mdim {
+                let mut i = base;
+                for (j, &mask) in mixed_masks.iter().enumerate() {
+                    if a & (1 << j) != 0 {
+                        i |= mask;
+                    }
+                }
+                idx[a] = i;
+                // SAFETY: groups expand to disjoint index sets (zero bits
+                // reinserted at every mixed position), so tasks never
+                // alias — same argument as `apply_block`.
+                scratch[a] = unsafe { shared.read(i) };
+            }
+            for (r, row) in sub.chunks_exact(mdim).enumerate() {
+                let mut acc = Complex::<T>::ZERO;
+                for c in 0..mdim {
+                    acc = row[c].mul_add(scratch[c], acc);
+                }
+                // SAFETY: same disjointness argument as the gather.
+                unsafe { shared.write(idx[r], acc) };
             }
         });
     }
@@ -533,6 +695,46 @@ impl<T: Scalar> Simulator<T> for GpuDevice {
         let mut stats = ExecStats::default();
         let start = Instant::now();
         let sim_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SIMULATE);
+        if effective.strategy == ExecStrategy::Planned {
+            // Adaptive path: the planner walks the sweep schedule and
+            // executes every segment in its cost-model-chosen mode.
+            let plan = planner::plan(
+                &unitary,
+                effective.fusion_width,
+                effective.sweep_width,
+                effective.sweep_reorder,
+                &effective.planner_costs,
+                2 * T::BYTES as usize,
+            )
+            .map_err(|e| {
+                SimError::UnsupportedGate(format!(
+                    "{e} (transpile to the native set before kernel transformation)"
+                ))
+            })?;
+            for idx in 0..plan.len() {
+                let seg = planner::execute_segment(state.amplitudes_mut(), &plan, idx);
+                stats.kernels_launched += seg.kernels_launched;
+                stats.sweeps_executed += seg.sweeps_executed;
+                stats.bytes_touched += seg.bytes_touched;
+                stats.flops += seg.flops;
+            }
+            stats.gates_applied = plan.source_gates;
+            qgear_telemetry::counter_add(
+                qgear_telemetry::names::SWEEPS_EXECUTED,
+                stats.sweeps_executed as u128,
+            );
+            qgear_telemetry::counter_add(qgear_telemetry::names::GATES_APPLIED, stats.gates_applied as u128);
+            qgear_telemetry::counter_add(qgear_telemetry::names::KERNELS_LAUNCHED, stats.kernels_launched as u128);
+            drop(sim_span);
+            stats.elapsed = start.elapsed();
+
+            let sample_start = Instant::now();
+            let sample_span = qgear_telemetry::span!(qgear_telemetry::names::spans::SAMPLE);
+            let counts = sample_measured(&state, &measured, &effective);
+            drop(sample_span);
+            stats.sampling_elapsed = sample_start.elapsed();
+            return Ok(RunOutput { state: effective.keep_state.then_some(state), counts, stats });
+        }
         // Fusion rejects arity-3 gates with a typed error; surface it as
         // an unsupported-gate failure instead of aborting the caller's
         // thread (the serving workers depend on this).

@@ -12,6 +12,14 @@
 //!   statistics (kernel launches, bytes touched) feed the calibrated
 //!   performance model in `qgear-perfmodel`.
 //!
+//! Neither fixed execution mode wins everywhere — the hot-path bench
+//! records dense fusion running 3–6× *slower* than the per-gate baseline
+//! on unstructured workloads. The [`planner`] module resolves this: under
+//! [`RunOptions::planned`] the simulated-GPU engine prices unfused, fused
+//! (structure-dispatched) and sweep execution per scheduled segment
+//! against a calibrated cost model and runs each segment in its cheapest
+//! mode. See `docs/PLANNER.md` for the model and decision procedure.
+//!
 //! Shared infrastructure: [`StateVector`] storage generic over `f32`/`f64`
 //! ([`qgear_num::Scalar`]), Born-rule [`sampling`] with multinomial shot
 //! draws, and the [`Simulator`] trait the `qgear` core crate dispatches on.
@@ -34,12 +42,18 @@
 //! let (a, g) = (aer.state.unwrap(), gpu.state.unwrap());
 //! assert!(a.fidelity(&g) > 1.0 - 1e-12);
 //! assert!(gpu.stats.kernels_launched < aer.stats.kernels_launched);
+//!
+//! // The adaptive planner picks the cheapest mode per segment instead
+//! // of one global mode — same physics, never the worst-case path.
+//! let planned: RunOutput<f64> = GpuDevice::a100_40gb().run(&c, &RunOptions::planned()).unwrap();
+//! assert!(planned.state.unwrap().fidelity(&g) > 1.0 - 1e-12);
 //! ```
 
 pub mod aer;
 pub mod backend;
 pub mod checkpoint;
 pub mod gpu;
+pub mod planner;
 pub mod sampling;
 pub mod segment;
 pub mod state;
@@ -54,6 +68,7 @@ pub use checkpoint::{
     CheckpointCounters, CheckpointError, CheckpointScalar, StateCheckpoint,
 };
 pub use gpu::GpuDevice;
+pub use planner::{plan, ExecStrategy, ExecutionPlan, PlannerCosts, SegmentMode};
 pub use sampling::SamplingConfig;
 pub use segment::SegmentedRun;
 pub use state::StateVector;

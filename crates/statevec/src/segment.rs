@@ -16,7 +16,12 @@
 //! Step granularity matches the plan the options select: one step per
 //! cache-blocked sweep when sweeping is on and profitable (the same
 //! `sweep_width > 0 && blocks > 1` condition as the straight-through
-//! path), otherwise one step per fused block.
+//! path), otherwise one step per fused block. Under
+//! [`ExecStrategy::Planned`](crate::planner::ExecStrategy) the steps are
+//! the planner's segments — one per scheduled sweep, each executed in
+//! its cost-model-chosen mode — and the planner's mode-decision digest
+//! is folded into the checkpoint fingerprint so a cursor can only
+//! resume under the identical plan.
 //!
 //! [`Simulator::run`]: crate::Simulator::run
 
@@ -24,9 +29,11 @@ use crate::backend::{
     check_capacity, sample_measured, ExecStats, RunOptions, RunOutput, SimError,
 };
 use crate::checkpoint::{
-    plan_fingerprint, CheckpointCounters, CheckpointError, CheckpointScalar, StateCheckpoint,
+    fold_strategy, plan_fingerprint, CheckpointCounters, CheckpointError, CheckpointScalar,
+    StateCheckpoint,
 };
 use crate::gpu::GpuDevice;
+use crate::planner::{self, ExecStrategy, ExecutionPlan};
 use crate::sampling::SamplingConfig;
 use crate::state::StateVector;
 use qgear_ir::fusion::{self, FusedProgram};
@@ -34,16 +41,28 @@ use qgear_ir::schedule::{self, Sweep};
 use qgear_ir::Circuit;
 use std::time::{Duration, Instant};
 
+/// The checkpointable step schedule a [`SegmentedRun`] walks — the same
+/// three shapes the straight-through engine executes.
+enum StepPlan {
+    /// Kernel-at-a-time: one step per fused block (`sweep_width == 0`
+    /// or a single-block program).
+    Blocks { program: FusedProgram },
+    /// Sweep-fused: one step per cache-blocked sweep.
+    Sweeps {
+        program: FusedProgram,
+        sweeps: Vec<Sweep>,
+        /// Exact-mode flag passed to `apply_sweep` (`!sweep_reorder`).
+        exact: bool,
+    },
+    /// Adaptive: one step per planner segment, each in its chosen mode.
+    Planned { plan: ExecutionPlan },
+}
+
 /// A partially-executed simulation: the evolving state plus a cursor
 /// into its (fixed) kernel schedule.
 pub struct SegmentedRun<T: CheckpointScalar> {
     state: StateVector<T>,
-    program: FusedProgram,
-    /// `Some` when the sweep-fused path was selected; steps index into
-    /// these sweeps. `None` means steps index `program.blocks` directly.
-    sweeps: Option<Vec<Sweep>>,
-    /// Exact-mode flag passed to `apply_sweep` (`!sweep_reorder`).
-    exact: bool,
+    plan: StepPlan,
     measured: Vec<u32>,
     cursor: usize,
     steps_total: usize,
@@ -70,37 +89,57 @@ impl<T: CheckpointScalar> SegmentedRun<T> {
         check_capacity::<T>(circuit.num_qubits(), &effective)?;
         let (unitary, measured) = circuit.split_measurements();
         let state: StateVector<T> = StateVector::zero(circuit.num_qubits());
-        let fusion_width = opts.fusion_width.clamp(1, fusion::MAX_FUSION_WIDTH);
-        let program = fusion::try_fuse(&unitary, fusion_width).map_err(|e| {
-            SimError::UnsupportedGate(format!(
-                "{e} (transpile to the native set before kernel transformation)"
-            ))
-        })?;
-        let sweeps = if effective.sweep_width > 0 && program.blocks.len() > 1 {
-            let sched_opts = schedule::SweepOptions {
-                max_width: effective.sweep_width,
-                reorder: effective.sweep_reorder,
-            };
-            Some(schedule::sweeps(&program, &sched_opts).sweeps)
-        } else {
-            None
-        };
-        let steps_total = match &sweeps {
-            Some(s) => s.len(),
-            None => program.blocks.len(),
-        };
-        let fingerprint = plan_fingerprint(
+        let base_fingerprint = plan_fingerprint(
             circuit,
             effective.fusion_width,
             effective.sweep_width,
             effective.sweep_reorder,
             T::PRECISION_TAG,
         );
+        let (plan, steps_total, fingerprint) = if effective.strategy == ExecStrategy::Planned {
+            let plan = planner::plan(
+                &unitary,
+                effective.fusion_width,
+                effective.sweep_width,
+                effective.sweep_reorder,
+                &effective.planner_costs,
+                2 * T::BYTES,
+            )
+            .map_err(|e| {
+                SimError::UnsupportedGate(format!(
+                    "{e} (transpile to the native set before kernel transformation)"
+                ))
+            })?;
+            let steps = plan.len();
+            // The mode-decision digest distinguishes plans that walk the
+            // same schedule with different per-segment choices (e.g.
+            // differently calibrated cost models).
+            let fp = fold_strategy(base_fingerprint, plan.digest);
+            (StepPlan::Planned { plan }, steps, fp)
+        } else {
+            let fusion_width = opts.fusion_width.clamp(1, fusion::MAX_FUSION_WIDTH);
+            let program = fusion::try_fuse(&unitary, fusion_width).map_err(|e| {
+                SimError::UnsupportedGate(format!(
+                    "{e} (transpile to the native set before kernel transformation)"
+                ))
+            })?;
+            if effective.sweep_width > 0 && program.blocks.len() > 1 {
+                let sched_opts = schedule::SweepOptions {
+                    max_width: effective.sweep_width,
+                    reorder: effective.sweep_reorder,
+                };
+                let sweeps = schedule::sweeps(&program, &sched_opts).sweeps;
+                let steps = sweeps.len();
+                let exact = !effective.sweep_reorder;
+                (StepPlan::Sweeps { program, sweeps, exact }, steps, base_fingerprint)
+            } else {
+                let steps = program.blocks.len();
+                (StepPlan::Blocks { program }, steps, base_fingerprint)
+            }
+        };
         Ok(SegmentedRun {
             state,
-            program,
-            sweeps,
-            exact: !effective.sweep_reorder,
+            plan,
             measured,
             cursor: 0,
             steps_total,
@@ -132,29 +171,37 @@ impl<T: CheckpointScalar> SegmentedRun<T> {
         let n_amps = self.state.len() as u128;
         let before = self.counters;
         while self.cursor < end {
-            match &self.sweeps {
-                Some(sweeps) => {
+            match &self.plan {
+                StepPlan::Sweeps { program, sweeps, exact } => {
                     let sweep = &sweeps[self.cursor];
                     GpuDevice::apply_sweep(
                         self.state.amplitudes_mut(),
-                        &self.program.blocks,
+                        &program.blocks,
                         sweep,
-                        self.exact,
+                        *exact,
                     );
                     self.counters.sweeps_executed += 1;
                     self.counters.kernels_launched += sweep.kernels.len() as u64;
                     self.counters.bytes_touched += 2 * n_amps * amp_bytes;
                     for &ki in &sweep.kernels {
                         self.counters.flops +=
-                            n_amps * (1u128 << self.program.blocks[ki].qubits.len());
+                            n_amps * (1u128 << program.blocks[ki].qubits.len());
                     }
                 }
-                None => {
-                    let block = &self.program.blocks[self.cursor];
+                StepPlan::Blocks { program } => {
+                    let block = &program.blocks[self.cursor];
                     GpuDevice::apply_block(self.state.amplitudes_mut(), block);
                     self.counters.kernels_launched += 1;
                     self.counters.bytes_touched += 2 * n_amps * amp_bytes;
                     self.counters.flops += n_amps * (1u128 << block.qubits.len());
+                }
+                StepPlan::Planned { plan } => {
+                    let seg =
+                        planner::execute_segment(self.state.amplitudes_mut(), plan, self.cursor);
+                    self.counters.sweeps_executed += seg.sweeps_executed;
+                    self.counters.kernels_launched += seg.kernels_launched;
+                    self.counters.bytes_touched += seg.bytes_touched;
+                    self.counters.flops += seg.flops;
                 }
             }
             self.cursor += 1;
@@ -171,7 +218,12 @@ impl<T: CheckpointScalar> SegmentedRun<T> {
             (applied.kernels_launched - before.kernels_launched) as u128,
         );
         if self.cursor >= self.steps_total && self.counters.gates_applied == 0 {
-            self.counters.gates_applied = self.program.source_gate_count() as u64;
+            self.counters.gates_applied = match &self.plan {
+                StepPlan::Blocks { program } | StepPlan::Sweeps { program, .. } => {
+                    program.source_gate_count() as u64
+                }
+                StepPlan::Planned { plan } => plan.source_gates,
+            };
             qgear_telemetry::counter_add(
                 qgear_telemetry::names::GATES_APPLIED,
                 self.counters.gates_applied as u128,

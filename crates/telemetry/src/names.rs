@@ -131,6 +131,43 @@ pub const CHECKPOINT_VERIFY_FAILS: &str = "checkpoint.verify_fail";
 /// of re-execution.
 pub const JOB_RESUMED_FROM: &str = "job.resumed_from";
 
+/// Segments walked by the adaptive execution planner
+/// (`qgear-statevec::planner`), one per scheduled sweep.
+pub const PLANNER_SEGMENTS: &str = "planner.segments";
+
+/// Segments the planner resolved to per-gate unfused execution.
+pub const PLANNER_MODE_UNFUSED: &str = "planner.mode_chosen.unfused";
+
+/// Segments the planner resolved to kernel-at-a-time structured fused
+/// execution.
+pub const PLANNER_MODE_FUSED: &str = "planner.mode_chosen.fused";
+
+/// Segments the planner resolved to a cache-blocked sweep pass.
+pub const PLANNER_MODE_SWEEP: &str = "planner.mode_chosen.sweep";
+
+/// Histogram of the planner's predicted per-segment cost (µs of the
+/// chosen mode).
+pub const PLANNER_PREDICTED_US: &str = "planner.predicted_us";
+
+/// Histogram of measured per-segment execution time (µs) on the planned
+/// path — compare against `planner.predicted_us` to audit the model.
+pub const PLANNER_ACTUAL_US: &str = "planner.actual_us";
+
+/// Histograms of actual/predicted cost ratio per executed segment, split
+/// by chosen mode. `PlannerCosts::calibrated` folds the means back into
+/// the cost constants (>1 ⇒ the model was optimistic for that mode).
+pub const PLANNER_RATIO_UNFUSED: &str = "planner.cost_ratio.unfused";
+/// See [`PLANNER_RATIO_UNFUSED`].
+pub const PLANNER_RATIO_FUSED: &str = "planner.cost_ratio.fused";
+/// See [`PLANNER_RATIO_UNFUSED`].
+pub const PLANNER_RATIO_SWEEP: &str = "planner.cost_ratio.sweep";
+
+/// Per-structure-class counter name for kernels dispatched by the
+/// structured fused path, e.g. `planner.kernel.permutation`.
+pub fn planner_kernel(structure: &str) -> String {
+    format!("planner.kernel.{structure}")
+}
+
 /// Per-tenant counter name for jobs completed, e.g. `serve.tenant.alice.jobs`.
 pub fn serve_tenant_jobs(tenant: &str) -> String {
     format!("serve.tenant.{tenant}.jobs")

@@ -22,8 +22,11 @@ cargo test -q --test differential
 echo "==> cargo test -q --test differential resume_at_every_segment_boundary"
 cargo test -q --test differential resume_at_every_segment_boundary_is_bit_identical_to_straight_through
 
-echo "==> hotpath bench smoke (sweep executor end to end)"
-cargo run --release -p qgear-bench --bin hotpath -- --smoke
+# The smoke grid runs all four modes (unfused/fused/sweep/planned) end
+# to end; --enforce-planned fails the gate if the adaptive planner is
+# slower than the best fixed mode on any smoke cell (docs/PLANNER.md).
+echo "==> hotpath bench smoke (sweep executor + planner gate end to end)"
+cargo run --release -p qgear-bench --bin hotpath -- --smoke --enforce-planned
 
 # Deterministic simulation matrix: the simtest suite re-runs under four
 # fixed scenario seeds so the oracle properties — including the

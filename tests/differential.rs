@@ -15,6 +15,15 @@
 //! pins seed determinism of batched sampling and keeps the cluster and
 //! serving layers in the comparison so sweep scheduling stays honest
 //! everywhere it is enabled.
+//!
+//! The adaptive planner (`qgear_statevec::planner`) joins the
+//! comparison on the same terms: naturally-planned execution agrees at
+//! tolerance on any circuit, a planner pinned to one mode
+//! (`PlannerCosts::force_mode`) is bit-identical to the corresponding
+//! fixed path, checkpoint/resume through `SegmentedRun` is bit-identical
+//! at every planned segment boundary, and the structure-dispatched
+//! kernels (diagonal/permutation/controlled) match the dense kernel on
+//! random gates of each structure class.
 
 use proptest::prelude::*;
 use qgear_cluster::ClusterEngine;
@@ -25,8 +34,8 @@ use qgear_num::complex::Complex;
 use qgear_serve::{JobSpec, ServeConfig, Service};
 use qgear_statevec::backend::{marginal_probs, sample_from_probs};
 use qgear_statevec::{
-    decode_checkpoint, encode_checkpoint, AerCpuBackend, CheckpointScalar, GpuDevice, RunOptions,
-    RunOutput, SamplingConfig, SegmentedRun, Simulator,
+    decode_checkpoint, encode_checkpoint, AerCpuBackend, CheckpointScalar, ExecStrategy, GpuDevice,
+    PlannerCosts, RunOptions, RunOutput, SamplingConfig, SegmentMode, SegmentedRun, Simulator,
 };
 use qgear_workloads::qft::{qft_circuit, QftOptions};
 use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
@@ -123,6 +132,69 @@ proptest! {
             prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
             prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
         }
+
+        // The adaptive planner joins the agreement on any circuit, no
+        // matter which per-segment modes the cost model picks.
+        let planned_opts = RunOptions { keep_state: true, ..RunOptions::planned() };
+        let planned: RunOutput<f64> =
+            GpuDevice::a100_40gb().run(&native, &planned_opts).expect("planned run");
+        let planned = planned.state.expect("state kept");
+        prop_assert!(approx_eq_up_to_phase(planned.amplitudes(), &expect, 1e-9));
+    }
+
+    /// A planner pinned to unfused mode with reordering off replays the
+    /// baseline's gate-at-a-time arithmetic in source order, so its state
+    /// is bit-identical to `AerCpuBackend` — segmentation is invisible.
+    #[test]
+    fn planner_forced_unfused_is_bit_identical_to_aer(circ in arb_circuit(5, 40)) {
+        let (native, _) = transpile::decompose_to_native(&circ);
+        let aer: RunOutput<f64> = AerCpuBackend
+            .run(&native, &RunOptions { keep_state: true, ..Default::default() })
+            .expect("aer run");
+        let aer = aer.state.expect("state kept");
+
+        let opts = RunOptions {
+            keep_state: true,
+            sweep_reorder: false,
+            strategy: ExecStrategy::Planned,
+            planner_costs: PlannerCosts {
+                force_mode: Some(SegmentMode::Unfused),
+                ..PlannerCosts::host_reference()
+            },
+            ..Default::default()
+        };
+        let planned: RunOutput<f64> =
+            GpuDevice::a100_40gb().run(&native, &opts).expect("planned run");
+        let planned = planned.state.expect("state kept");
+        for (a, b) in aer.amplitudes().iter().zip(planned.amplitudes().iter()) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
+    }
+
+    /// A planner pinned to sweep mode executes the exact sweep schedule
+    /// the fixed sweep path would have, bit for bit.
+    #[test]
+    fn planner_forced_sweep_is_bit_identical_to_fixed_sweep_mode(circ in arb_circuit(5, 40)) {
+        let (native, _) = transpile::decompose_to_native(&circ);
+        let fixed = gpu_state(&native, schedule::DEFAULT_SWEEP_WIDTH, true);
+
+        let opts = RunOptions {
+            keep_state: true,
+            strategy: ExecStrategy::Planned,
+            planner_costs: PlannerCosts {
+                force_mode: Some(SegmentMode::Sweep),
+                ..PlannerCosts::host_reference()
+            },
+            ..Default::default()
+        };
+        let planned: RunOutput<f64> =
+            GpuDevice::a100_40gb().run(&native, &opts).expect("planned run");
+        let planned = planned.state.expect("state kept");
+        for (a, b) in fixed.iter().zip(planned.amplitudes().iter()) {
+            prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+            prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+        }
     }
 
     /// `schedule::sweeps` is a legal reorder on arbitrary 8-qubit
@@ -175,6 +247,212 @@ proptest! {
         let split: RunOutput<f64> = GpuDevice::a100_40gb().run(&native, &batched).expect("gpu");
         prop_assert_eq!(plain.counts.unwrap().map, split.counts.unwrap().map);
     }
+}
+
+/// A dense, normalized, deterministic pseudo-random state so kernel
+/// comparisons exercise every amplitude (|0…0⟩ would leave most of the
+/// state zero and hide scatter/gather bugs).
+fn rich_state(num_qubits: u32, seed: u64) -> Vec<Complex<f64>> {
+    let dim = 1usize << num_qubits;
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((s >> 11) as f64) / ((1u64 << 53) as f64) - 0.5
+    };
+    let mut amps: Vec<Complex<f64>> =
+        (0..dim).map(|_| Complex::new(next(), next())).collect();
+    let norm = amps.iter().map(|c| c.re * c.re + c.im * c.im).sum::<f64>().sqrt();
+    for a in &mut amps {
+        a.re /= norm;
+        a.im /= norm;
+    }
+    amps
+}
+
+/// Fuse a circuit and check every block's structure-dispatched kernel
+/// against the dense kernel on a rich state; `admissible` pins which
+/// structure classes the gate pool may legally produce.
+fn assert_structured_matches_dense(
+    circ: &Circuit,
+    seed: u64,
+    admissible: impl Fn(&fusion::KernelStructure) -> bool,
+) {
+    let (native, _) = transpile::decompose_to_native(circ);
+    let (unitary, _) = native.split_measurements();
+    let program = fusion::try_fuse(&unitary, 5).expect("fusable");
+    for block in &program.blocks {
+        let structure = block.structure();
+        assert!(
+            admissible(&structure),
+            "gate pool produced unexpected structure {}",
+            structure.name()
+        );
+        let mut dense = rich_state(native.num_qubits(), seed);
+        let mut structured = dense.clone();
+        GpuDevice::apply_block(&mut dense, block);
+        GpuDevice::apply_block_structured(&mut structured, block, &structure);
+        assert!(
+            max_deviation(&dense, &structured) < 1e-12,
+            "{} kernel deviates {} from dense apply",
+            structure.name(),
+            max_deviation(&dense, &structured)
+        );
+    }
+}
+
+/// Strategy: circuits drawn only from diagonal gates.
+fn diagonal_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (2..=max_qubits, 1..=max_gates)
+        .prop_flat_map(|(n, len)| {
+            let gate = (0u8..5, 0..n, 1..n, -6.3..6.3f64);
+            (Just(n), proptest::collection::vec(gate, len))
+        })
+        .prop_map(|(n, gates)| {
+            let mut c = Circuit::new(n);
+            for (kind, a, boff, theta) in gates {
+                let b = (a + boff) % n;
+                match kind {
+                    0 => {
+                        c.rz(theta, a);
+                    }
+                    1 => {
+                        c.p(theta, a);
+                    }
+                    2 => {
+                        c.t(a);
+                    }
+                    3 => {
+                        c.cz(a, b);
+                    }
+                    _ => {
+                        c.cr1(theta, a, b);
+                    }
+                }
+            }
+            c
+        })
+}
+
+/// Strategy: circuits drawn only from classical permutation gates.
+fn permutation_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (2..=max_qubits, 1..=max_gates)
+        .prop_flat_map(|(n, len)| {
+            let gate = (0u8..3, 0..n, 1..n);
+            (Just(n), proptest::collection::vec(gate, len))
+        })
+        .prop_map(|(n, gates)| {
+            let mut c = Circuit::new(n);
+            for (kind, a, boff) in gates {
+                let b = (a + boff) % n;
+                match kind {
+                    0 => {
+                        c.x(a);
+                    }
+                    1 => {
+                        c.cx(a, b);
+                    }
+                    _ => {
+                        c.swap(a, b);
+                    }
+                }
+            }
+            c
+        })
+}
+
+/// Strategy: circuits that only ever mix qubit 0 (rotations on it,
+/// controls elsewhere), so multi-qubit fused blocks carry unmixed
+/// control qubits — the shape the controlled kernel specializes.
+fn controlled_circuit(max_qubits: u32, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    (3..=max_qubits, 2..=max_gates)
+        .prop_flat_map(|(n, len)| {
+            let gate = (0u8..3, 1..n, -6.3..6.3f64);
+            (Just(n), proptest::collection::vec(gate, len))
+        })
+        .prop_map(|(n, gates)| {
+            let mut c = Circuit::new(n);
+            for (kind, b, theta) in gates {
+                match kind {
+                    0 => {
+                        c.ry(theta, 0);
+                    }
+                    1 => {
+                        c.cx(b, 0);
+                    }
+                    _ => {
+                        c.cr1(theta, b, 0);
+                    }
+                }
+            }
+            c
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Diagonal gate pools fuse into diagonal kernels, and the
+    /// phase-multiply fast path matches the dense kernel.
+    #[test]
+    fn diagonal_kernels_match_dense_apply(
+        circ in diagonal_circuit(5, 24),
+        seed in 0u64..1_000,
+    ) {
+        assert_structured_matches_dense(&circ, seed, |s| {
+            matches!(s, fusion::KernelStructure::Diagonal)
+        });
+    }
+
+    /// Permutation gate pools fuse into permutation kernels (or collapse
+    /// to a diagonal identity), and the gather/scatter fast path matches
+    /// the dense kernel.
+    #[test]
+    fn permutation_kernels_match_dense_apply(
+        circ in permutation_circuit(5, 24),
+        seed in 0u64..1_000,
+    ) {
+        assert_structured_matches_dense(&circ, seed, |s| {
+            matches!(
+                s,
+                fusion::KernelStructure::Permutation(_) | fusion::KernelStructure::Diagonal
+            )
+        });
+    }
+
+    /// Pools that only mix one qubit produce controlled (or narrower)
+    /// kernels, and the factored fast path matches the dense kernel.
+    #[test]
+    fn controlled_kernels_match_dense_apply(
+        circ in controlled_circuit(5, 24),
+        seed in 0u64..1_000,
+    ) {
+        assert_structured_matches_dense(&circ, seed, |_| true);
+    }
+}
+
+/// The controlled fast path on a deterministic known-Controlled block —
+/// guarantees the factored kernel is exercised even if a proptest draw
+/// happens to classify everything narrower.
+#[test]
+fn controlled_kernel_matches_dense_on_a_known_block() {
+    let mut c = Circuit::new(3);
+    c.ry(0.4, 0).cx(1, 0).cr1(0.7, 2, 0);
+    let (native, _) = transpile::decompose_to_native(&c);
+    let (unitary, _) = native.split_measurements();
+    let program = fusion::try_fuse(&unitary, 3).expect("fusable");
+    assert_eq!(program.blocks.len(), 1, "expected one 3-qubit block");
+    let block = &program.blocks[0];
+    let structure = block.structure();
+    assert!(
+        matches!(structure, fusion::KernelStructure::Controlled { .. }),
+        "expected Controlled, got {}",
+        structure.name()
+    );
+    let mut dense = rich_state(3, 9);
+    let mut structured = dense.clone();
+    GpuDevice::apply_block(&mut dense, block);
+    GpuDevice::apply_block_structured(&mut structured, block, &structure);
+    assert!(max_deviation(&dense, &structured) < 1e-12);
 }
 
 /// fp32 execution of the sweep-fused hot path tracks fp64 within single
@@ -261,7 +539,8 @@ fn interrupted_at<T: CheckpointScalar>(
 /// *every* schedule boundary — including cursor 0 and the final step —
 /// and resuming through the codec reproduces the straight-through run
 /// bit for bit (amplitudes and sampled counts), across the plain-fused
-/// schedule and both sweep modes, at fp64.
+/// schedule, both sweep modes, and the adaptive planner (natural and
+/// pinned to each forced mode), at fp64.
 #[test]
 fn resume_at_every_segment_boundary_is_bit_identical_to_straight_through() {
     let circ = qft_circuit(6, &QftOptions::default());
@@ -270,24 +549,48 @@ fn resume_at_every_segment_boundary_is_bit_identical_to_straight_through() {
 
     // Sweep width 3 (vs the default 12) keeps several sweeps in the
     // schedule, so there are genuine mid-run boundaries to interrupt at.
-    for (sweep_width, sweep_reorder) in [(0, false), (3, false), (3, true)] {
-        let opts = RunOptions {
-            shots: 512,
-            seed: 23,
-            shot_batch: 32,
-            fusion_width: 2,
-            sweep_width,
-            sweep_reorder,
-            keep_state: true,
-            ..Default::default()
-        };
+    let fixed = |sweep_width, sweep_reorder| RunOptions {
+        shots: 512,
+        seed: 23,
+        shot_batch: 32,
+        fusion_width: 2,
+        sweep_width,
+        sweep_reorder,
+        keep_state: true,
+        ..Default::default()
+    };
+    let forced = |mode| PlannerCosts { force_mode: Some(mode), ..PlannerCosts::host_reference() };
+    let configs = [
+        ("fused", fixed(0, false)),
+        ("ordered sweeps", fixed(3, false)),
+        ("reordered sweeps", fixed(3, true)),
+        ("planned", RunOptions { strategy: ExecStrategy::Planned, ..fixed(3, true) }),
+        (
+            "planned forced unfused",
+            RunOptions {
+                strategy: ExecStrategy::Planned,
+                planner_costs: forced(SegmentMode::Unfused),
+                ..fixed(3, false)
+            },
+        ),
+        (
+            "planned forced sweep",
+            RunOptions {
+                strategy: ExecStrategy::Planned,
+                planner_costs: forced(SegmentMode::Sweep),
+                ..fixed(3, true)
+            },
+        ),
+    ];
+
+    for (label, opts) in configs {
         let straight: RunOutput<f64> =
             GpuDevice::a100_40gb().run(&circ, &opts).expect("straight run");
         let straight_amps = straight.state.as_ref().expect("state").amplitudes();
         let steps = SegmentedRun::<f64>::new(&GpuDevice::a100_40gb(), &circ, &opts)
             .expect("plan")
             .steps_total();
-        assert!(steps >= 2, "schedule too short to interrupt meaningfully");
+        assert!(steps >= 2, "{label}: schedule too short to interrupt meaningfully");
 
         for k in 0..=steps {
             let resumed = interrupted_at::<f64>(&circ, &opts, k);
@@ -296,14 +599,14 @@ fn resume_at_every_segment_boundary_is_bit_identical_to_straight_through() {
                 assert_eq!(
                     a.re.to_bits(),
                     b.re.to_bits(),
-                    "amplitude divergence at boundary {k}, sweep ({sweep_width}, {sweep_reorder})"
+                    "amplitude divergence at boundary {k} ({label})"
                 );
                 assert_eq!(a.im.to_bits(), b.im.to_bits());
             }
             assert_eq!(
                 straight.counts.as_ref().unwrap().map,
                 resumed.counts.unwrap().map,
-                "counts divergence at boundary {k}"
+                "counts divergence at boundary {k} ({label})"
             );
             assert_eq!(straight.stats.gates_applied, resumed.stats.gates_applied);
             assert_eq!(straight.stats.kernels_launched, resumed.stats.kernels_launched);
