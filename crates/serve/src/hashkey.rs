@@ -7,9 +7,10 @@
 //! both engines are deterministic and sampling is a seeded multinomial
 //! draw, equal keys guarantee equal `Counts`.
 
-use crate::job::JobSpec;
+use crate::job::{Engine, JobSpec};
 use qgear_ir::Circuit;
 use qgear_num::scalar::Precision;
+use qgear_statevec::NoiseChannel;
 
 /// 64-bit FNV-1a offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
@@ -23,8 +24,11 @@ pub struct CircuitKey(pub u64);
 
 impl CircuitKey {
     /// Digest a spec whose circuit has already been canonicalized
-    /// (transpiled to the native set).
-    pub fn for_spec(circuit: &Circuit, spec: &JobSpec, fusion_width: usize) -> Self {
+    /// (transpiled to the native set), together with the engine
+    /// admission routed it to. Different engines sample through
+    /// different code paths (dense marginal vs tableau vs trajectory
+    /// fan), so the engine tag is part of result identity.
+    pub fn for_spec(circuit: &Circuit, spec: &JobSpec, fusion_width: usize, engine: Engine) -> Self {
         let mut h = Fnv::new();
         h.u64(u64::from(circuit.num_qubits()));
         for gate in circuit.gates() {
@@ -43,6 +47,8 @@ impl CircuitKey {
             Precision::Fp64 => 2,
         });
         h.u64(fusion_width as u64);
+        h.u64(engine.tag());
+        h.noise(spec);
         CircuitKey(h.finish())
     }
 
@@ -56,6 +62,8 @@ impl CircuitKey {
         let mut h = Fnv::new();
         // Domain tag: state keys must never be confused with result keys.
         h.u64(0x5747_4154_454b_4559); // "WGATEKEY"
+        // The marginal cache is only populated and probed on the dense
+        // ideal path, so noise/engine knobs never reach this digest.
         h.u64(u64::from(circuit.num_qubits()));
         for gate in circuit.gates() {
             h.u64(u64::from(gate.kind.tag()));
@@ -90,6 +98,30 @@ impl Fnv {
         }
     }
 
+    /// Digest the noise knobs: channel kinds and strengths in order,
+    /// trajectory width, and the fidelity floor. Jobs differing only in
+    /// noise must not collide in the result cache.
+    fn noise(&mut self, spec: &JobSpec) {
+        match &spec.noise {
+            None => self.u64(0),
+            Some(model) => {
+                self.u64(1 + model.channels.len() as u64);
+                for ch in &model.channels {
+                    let (tag, param) = match *ch {
+                        NoiseChannel::BitFlip { p } => (1u64, p),
+                        NoiseChannel::PhaseFlip { p } => (2, p),
+                        NoiseChannel::Depolarizing { p } => (3, p),
+                        NoiseChannel::AmplitudeDamping { gamma } => (4, gamma),
+                    };
+                    self.u64(tag);
+                    self.u64(param.to_bits());
+                }
+                self.u64(u64::from(spec.trajectories));
+            }
+        }
+        self.u64(spec.min_fidelity.to_bits());
+    }
+
     fn finish(&self) -> u64 {
         self.0
     }
@@ -112,22 +144,59 @@ mod tests {
     #[test]
     fn equal_specs_hash_equal() {
         let c = ghz();
-        let a = CircuitKey::for_spec(&c, &spec(&c), 5);
-        let b = CircuitKey::for_spec(&c, &spec(&c), 5);
+        let a = CircuitKey::for_spec(&c, &spec(&c), 5, Engine::Dense);
+        let b = CircuitKey::for_spec(&c, &spec(&c), 5, Engine::Dense);
         assert_eq!(a, b);
     }
 
     #[test]
     fn every_knob_perturbs_the_key() {
         let c = ghz();
-        let base = CircuitKey::for_spec(&c, &spec(&c), 5);
-        assert_ne!(CircuitKey::for_spec(&c, &spec(&c).shots(7), 5), base);
-        assert_ne!(CircuitKey::for_spec(&c, &spec(&c).seed(99), 5), base);
+        let base = CircuitKey::for_spec(&c, &spec(&c), 5, Engine::Dense);
         assert_ne!(
-            CircuitKey::for_spec(&c, &spec(&c).precision(Precision::Fp32), 5),
+            CircuitKey::for_spec(&c, &spec(&c).shots(7), 5, Engine::Dense),
             base
         );
-        assert_ne!(CircuitKey::for_spec(&c, &spec(&c), 4), base);
+        assert_ne!(
+            CircuitKey::for_spec(&c, &spec(&c).seed(99), 5, Engine::Dense),
+            base
+        );
+        assert_ne!(
+            CircuitKey::for_spec(&c, &spec(&c).precision(Precision::Fp32), 5, Engine::Dense),
+            base
+        );
+        assert_ne!(CircuitKey::for_spec(&c, &spec(&c), 4, Engine::Dense), base);
+    }
+
+    #[test]
+    fn engine_and_noise_perturb_the_key() {
+        use qgear_statevec::NoiseModel;
+        let c = ghz();
+        let base = CircuitKey::for_spec(&c, &spec(&c), 5, Engine::Dense);
+        // Same circuit routed to the stabilizer engine samples through a
+        // different path: the results must not share a cache slot.
+        assert_ne!(
+            CircuitKey::for_spec(&c, &spec(&c), 5, Engine::Stabilizer),
+            base
+        );
+        let noisy = NoiseModel::single(NoiseChannel::BitFlip { p: 0.01 });
+        let withnoise = CircuitKey::for_spec(
+            &c,
+            &spec(&c).with_noise(noisy.clone(), 32),
+            5,
+            Engine::Trajectory,
+        );
+        assert_ne!(withnoise, base);
+        // Trajectory width changes the fan, hence the counts.
+        assert_ne!(
+            CircuitKey::for_spec(&c, &spec(&c).with_noise(noisy, 64), 5, Engine::Trajectory),
+            withnoise
+        );
+        // Fidelity floor participates: it selects the projected circuit.
+        assert_ne!(
+            CircuitKey::for_spec(&c, &spec(&c).min_fidelity(0.8), 5, Engine::Dense),
+            base
+        );
     }
 
     #[test]
@@ -138,8 +207,8 @@ mod tests {
         b.cx(0, 1).h(0);
         let sa = spec(&a);
         assert_ne!(
-            CircuitKey::for_spec(&a, &sa, 5),
-            CircuitKey::for_spec(&b, &sa, 5)
+            CircuitKey::for_spec(&a, &sa, 5, Engine::Dense),
+            CircuitKey::for_spec(&b, &sa, 5, Engine::Dense)
         );
 
         let mut p = Circuit::new(1);
@@ -147,8 +216,8 @@ mod tests {
         let mut q = Circuit::new(1);
         q.rz(0.250000001, 0);
         assert_ne!(
-            CircuitKey::for_spec(&p, &sa, 5),
-            CircuitKey::for_spec(&q, &sa, 5)
+            CircuitKey::for_spec(&p, &sa, 5, Engine::Dense),
+            CircuitKey::for_spec(&q, &sa, 5, Engine::Dense)
         );
     }
 
@@ -156,11 +225,12 @@ mod tests {
     fn tenant_and_priority_do_not_perturb_the_key() {
         // Identity of the *submitter* must not fragment the cache.
         let c = ghz();
-        let a = CircuitKey::for_spec(&c, &spec(&c).tenant("alice"), 5);
+        let a = CircuitKey::for_spec(&c, &spec(&c).tenant("alice"), 5, Engine::Dense);
         let b = CircuitKey::for_spec(
             &c,
             &spec(&c).tenant("bob").priority(crate::Priority::High),
             5,
+            Engine::Dense,
         );
         assert_eq!(a, b);
     }

@@ -2,7 +2,7 @@
 
 use qgear_ir::Circuit;
 use qgear_num::scalar::Precision;
-use qgear_statevec::{Counts, ExecStats, SimError};
+use qgear_statevec::{Counts, ExecStats, NoiseModel, SimError};
 use std::fmt;
 use std::time::Duration;
 
@@ -54,6 +54,77 @@ impl fmt::Display for Priority {
     }
 }
 
+/// Which execution engine admission routed a job to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// Dense state-vector simulation (exponential memory, any circuit).
+    #[default]
+    Dense,
+    /// CHP stabilizer tableau (quadratic memory, Clifford circuits only).
+    Stabilizer,
+    /// Stochastic Pauli-trajectory fan wrapping a dense inner engine.
+    Trajectory,
+    /// Trajectory fan wrapping the stabilizer engine (Clifford + Pauli
+    /// noise stays stabilizer-simulable).
+    TrajectoryStabilizer,
+}
+
+impl Engine {
+    /// Canonical lowercase name, used for telemetry counter suffixes.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Engine::Dense => "dense",
+            Engine::Stabilizer => "stabilizer",
+            Engine::Trajectory => "trajectory",
+            Engine::TrajectoryStabilizer => "trajectory_stabilizer",
+        }
+    }
+
+    /// Stable small tag for cache-key digests.
+    pub const fn tag(self) -> u64 {
+        match self {
+            Engine::Dense => 0,
+            Engine::Stabilizer => 1,
+            Engine::Trajectory => 2,
+            Engine::TrajectoryStabilizer => 3,
+        }
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One backend admission considered for a job, and what it concluded.
+/// Returned inside [`Admission::RejectedInfeasible`] so a rejected
+/// client can see *why* every candidate was ruled out instead of a bare
+/// byte count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackendVerdict {
+    /// The engine that was priced.
+    pub engine: Engine,
+    /// Bytes this engine's representation of the job needs.
+    pub required_bytes: u128,
+    /// Bytes the backing device offers.
+    pub capacity_bytes: u128,
+    /// True when the engine could have run the job.
+    pub feasible: bool,
+    /// Human-readable explanation (why infeasible, or why chosen).
+    pub reason: String,
+}
+
+impl fmt::Display for BackendVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ({} bytes required, {} available)",
+            self.engine, self.reason, self.required_bytes, self.capacity_bytes
+        )
+    }
+}
+
 /// One simulation request, as handed to [`crate::Service::submit`].
 #[derive(Debug, Clone)]
 pub struct JobSpec {
@@ -78,6 +149,17 @@ pub struct JobSpec {
     pub deadline: Option<Duration>,
     /// Override the service-wide retry budget for this job.
     pub max_retries: Option<u32>,
+    /// Stochastic Pauli noise to apply via the trajectory fan. `None`
+    /// runs the circuit ideally.
+    pub noise: Option<NoiseModel>,
+    /// Trajectories in the noise fan (ignored without a noise model).
+    pub trajectories: u32,
+    /// Minimum acceptable result fidelity in `[0, 1]`. `1.0` (the
+    /// default) demands exact simulation; lower values let admission
+    /// substitute a cheaper approximate engine — e.g. project a
+    /// near-Clifford circuit onto its nearest Clifford circuit when the
+    /// projection fidelity clears this bar.
+    pub min_fidelity: f64,
 }
 
 impl JobSpec {
@@ -94,6 +176,9 @@ impl JobSpec {
             priority: Priority::Normal,
             deadline: None,
             max_retries: None,
+            noise: None,
+            trajectories: 16,
+            min_fidelity: 1.0,
         }
     }
 
@@ -144,6 +229,20 @@ impl JobSpec {
         self.max_retries = Some(retries);
         self
     }
+
+    /// Attach a noise model, executed as a `trajectories`-wide
+    /// stochastic Pauli-trajectory fan.
+    pub fn with_noise(mut self, model: NoiseModel, trajectories: u32) -> Self {
+        self.noise = Some(model);
+        self.trajectories = trajectories.max(1);
+        self
+    }
+
+    /// Set the minimum acceptable result fidelity (clamped to `[0, 1]`).
+    pub fn min_fidelity(mut self, fidelity: f64) -> Self {
+        self.min_fidelity = fidelity.clamp(0.0, 1.0);
+        self
+    }
 }
 
 /// The answer to a submission — backpressure is explicit, never a panic
@@ -159,13 +258,16 @@ pub enum Admission {
         /// Configured queue bound.
         capacity: usize,
     },
-    /// The perf-model says the state vector cannot fit the backend, so
+    /// No engine admission is allowed to use can hold the job, so
     /// queueing it would only waste a dispatch slot.
     RejectedInfeasible {
-        /// Bytes the state vector needs.
+        /// Bytes the cheapest considered representation needs.
         required_bytes: u128,
         /// Bytes the backend device offers.
         device_bytes: u128,
+        /// Every backend admission priced, with its verdict — clients
+        /// see why each candidate was ruled out, not just a byte count.
+        considered: Vec<BackendVerdict>,
     },
     /// The service is draining; no new work is admitted.
     ShuttingDown,

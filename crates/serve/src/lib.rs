@@ -61,6 +61,8 @@ pub use cache::{MarginalCache, ResultCache};
 pub use checkpoint_store::{CheckpointGeneration, CheckpointRecord, CheckpointStore};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSchedule};
 pub use hashkey::CircuitKey;
-pub use job::{Admission, JobId, JobOutcome, JobResult, JobSpec, Priority, ServeError};
+pub use job::{
+    Admission, BackendVerdict, Engine, JobId, JobOutcome, JobResult, JobSpec, Priority, ServeError,
+};
 pub use scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};
-pub use service::{BackendKind, ServeConfig, Service};
+pub use service::{BackendKind, SelectionPolicy, ServeConfig, Service};

@@ -15,7 +15,7 @@
 //! property-testable without threads.
 
 use crate::hashkey::CircuitKey;
-use crate::job::{JobId, JobSpec, Priority};
+use crate::job::{Engine, JobId, JobSpec, Priority};
 use qgear_ir::Circuit;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
@@ -43,6 +43,9 @@ pub struct QueuedJob {
     /// (nonzero only after a worker died mid-job and the job was
     /// requeued). The retry budget spans dispatches.
     pub attempts_made: u32,
+    /// Engine admission routed the job to (decided once at submit so
+    /// retries and requeues replay on the same engine).
+    pub engine: Engine,
 }
 
 /// One dispatch event, recorded in admission order for invariant checks
@@ -204,6 +207,7 @@ mod tests {
             submitted_at: Duration::ZERO,
             seq: 0,
             attempts_made: 0,
+            engine: Engine::Dense,
         }
     }
 

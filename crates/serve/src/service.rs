@@ -12,20 +12,25 @@ use crate::cache::{CachedMarginal, CachedResult, MarginalCache, ResultCache};
 use crate::checkpoint_store::{CheckpointRecord, CheckpointStore};
 use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
 use crate::hashkey::CircuitKey;
-use crate::job::{Admission, JobId, JobOutcome, JobResult, JobSpec, ServeError};
+use crate::job::{Admission, BackendVerdict, Engine, JobId, JobOutcome, JobResult, JobSpec, ServeError};
 use crate::scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};
 use qgear_ir::fusion::DEFAULT_FUSION_WIDTH;
 use qgear_ir::schedule::DEFAULT_SWEEP_WIDTH;
 use qgear_ir::transpile::decompose_to_native;
+use qgear_ir::{classify, clifford_projection, Circuit};
 use qgear_num::scalar::Precision;
 use qgear_num::Scalar;
-use qgear_perfmodel::memory::state_bytes;
+use qgear_perfmodel::memory::{state_bytes, tableau_bytes};
+use qgear_stabilizer::{StabilizerBackend, MAX_MEASURED_QUBITS};
 use qgear_statevec::backend::{marginal_probs, sample_from_probs};
 use qgear_statevec::checkpoint::{decode as decode_checkpoint, encode as encode_checkpoint};
 use qgear_statevec::sampling::SamplingConfig;
 use qgear_statevec::segment::SegmentedRun;
 use qgear_statevec::CheckpointScalar;
-use qgear_statevec::{AerCpuBackend, Counts, ExecStats, GpuDevice, RunOptions, SimError, Simulator};
+use qgear_statevec::{
+    AerCpuBackend, Counts, ExecStats, GpuDevice, RunOptions, SimError, Simulator,
+    TrajectoryBackend,
+};
 use qgear_telemetry::clock::{Clock, SharedClock, WallClock};
 use qgear_telemetry::names::{self, spans};
 use qgear_telemetry::{counter_add, counter_inc, histogram_record, span};
@@ -60,6 +65,23 @@ impl Default for BackendKind {
     fn default() -> Self {
         BackendKind::Gpu(GpuDevice::a100_40gb())
     }
+}
+
+/// How admission picks the execution engine for each job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Every ideal job runs on the dense state-vector backend — the
+    /// legacy behaviour, preserved as the default so bit-pinned
+    /// regression hashes stay valid. Jobs carrying a noise model still
+    /// route through the trajectory fan (noise cannot run dense-ideal).
+    #[default]
+    DenseOnly,
+    /// Price every applicable engine and take the cheapest feasible one:
+    /// Clifford circuits (and near-Clifford circuits whose projection
+    /// clears the job's fidelity floor) route to the stabilizer tableau
+    /// — quadratic memory, so 100+ qubit Clifford jobs are admissible —
+    /// and everything else falls back to dense.
+    Auto,
 }
 
 /// Service configuration.
@@ -114,6 +136,9 @@ pub struct ServeConfig {
     /// The clock every temporal decision reads. Production keeps the
     /// default [`WallClock`]; simulation substitutes a virtual clock.
     pub clock: SharedClock,
+    /// How admission chooses among execution engines (dense state
+    /// vector, stabilizer tableau, trajectory fans).
+    pub selection: SelectionPolicy,
 }
 
 impl Default for ServeConfig {
@@ -134,6 +159,7 @@ impl Default for ServeConfig {
             retry_backoff: Duration::from_millis(1),
             backoff_slice: Duration::from_millis(1),
             clock: WallClock::shared(),
+            selection: SelectionPolicy::default(),
         }
     }
 }
@@ -222,22 +248,31 @@ impl Service {
             decompose_to_native(&spec.circuit).0
         };
 
-        // Feasibility gate: bounce state vectors the device cannot hold
-        // *before* they occupy queue space (Fig. 4a's memory wall turned
-        // into admission control).
-        let n = canonical.num_qubits();
-        let required_bytes = if n >= 100 {
-            u128::MAX
-        } else {
-            state_bytes(n, spec.precision)
-        };
+        // Backend selection + feasibility gate: price every engine the
+        // policy allows and bounce jobs no engine can hold *before* they
+        // occupy queue space (Fig. 4a's memory wall turned into
+        // admission control). A rejection carries every verdict so the
+        // client sees why each candidate was ruled out.
         let device_bytes = self.shared.cfg.backend.memory_bytes();
-        if required_bytes > device_bytes {
-            counter_inc(names::SERVE_REJECTED_INFEASIBLE);
-            return Admission::RejectedInfeasible { required_bytes, device_bytes };
-        }
+        let Selection { engine, canonical } =
+            match select_engine(&self.shared.cfg, &spec, canonical) {
+                Ok(selection) => selection,
+                Err(considered) => {
+                    counter_inc(names::SERVE_REJECTED_INFEASIBLE);
+                    let required_bytes = considered
+                        .iter()
+                        .map(|v| v.required_bytes)
+                        .min()
+                        .unwrap_or(u128::MAX);
+                    return Admission::RejectedInfeasible {
+                        required_bytes,
+                        device_bytes,
+                        considered,
+                    };
+                }
+            };
 
-        let key = CircuitKey::for_spec(&canonical, &spec, self.shared.cfg.fusion_width);
+        let key = CircuitKey::for_spec(&canonical, &spec, self.shared.cfg.fusion_width, engine);
         let state_key = CircuitKey::state_key(&canonical, &spec, self.shared.cfg.fusion_width);
         let submitted_at = self.shared.cfg.clock.now();
         let mut st = self.shared.state.lock().expect("serve state poisoned");
@@ -262,9 +297,11 @@ impl Service {
             submitted_at,
             seq: 0,
             attempts_made: 0,
+            engine,
         };
         st.queue.push(job).expect("queue not full under lock");
         counter_inc(names::SERVE_JOBS_SUBMITTED);
+        counter_inc(&names::admission_backend_chosen(engine.name()));
         histogram_record(names::SERVE_QUEUE_DEPTH, st.queue.len() as f64);
         drop(st);
         self.shared.jobs_cv.notify_one();
@@ -543,10 +580,15 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
     // State-marginal probe: the same circuit evolved before under
     // different sampling knobs. Re-sample the cached exact marginal —
     // no device time, and bit-identical to what a cold run would draw
-    // (both paths share `marginal_probs`/`sample_from_probs`).
-    let marginal = {
+    // (both paths share `marginal_probs`/`sample_from_probs`). Only the
+    // dense ideal path produces or consumes marginals: the state key
+    // does not digest engine or noise knobs, so a tableau- or
+    // trajectory-routed job must never alias a dense entry.
+    let marginal = if job.engine == Engine::Dense {
         let st = shared.state.lock().expect("serve state poisoned");
         st.marginals.get(job.state_key)
+    } else {
+        None
     };
     if let Some(hit) = marginal {
         let sample_span = span!(spans::SAMPLE);
@@ -619,7 +661,7 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
                 return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
             }
             Some(FaultKind::WorkerDeathMidRun { after_segments }) => {
-                if segmented_enabled(&shared.cfg) {
+                if segmented_enabled(&shared.cfg) && job.engine == Engine::Dense {
                     match execute_segmented_dispatch(shared, job, Some(after_segments)) {
                         Ok(SegmentedOutcome::Died) => {
                             return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
@@ -654,7 +696,7 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
                 continue;
             }
             Some(FaultKind::CorruptCache | FaultKind::CorruptCheckpoint { .. }) | None => {
-                if segmented_enabled(&shared.cfg) {
+                if segmented_enabled(&shared.cfg) && job.engine == Engine::Dense {
                     break match execute_segmented_dispatch(shared, job, None) {
                         Ok(SegmentedOutcome::Finished(done)) => Ok(*done),
                         Ok(SegmentedOutcome::Died) => {
@@ -722,6 +764,145 @@ fn segmented_enabled(cfg: &ServeConfig) -> bool {
     cfg.checkpoint_interval > 0 && matches!(cfg.backend, BackendKind::Gpu(_))
 }
 
+/// The admission decision: which engine runs the job, and the circuit it
+/// runs (the original canonical circuit, or its Clifford projection when
+/// a near-Clifford downgrade cleared the job's fidelity floor).
+struct Selection {
+    engine: Engine,
+    canonical: Circuit,
+}
+
+fn verdict(
+    engine: Engine,
+    required_bytes: u128,
+    capacity_bytes: u128,
+    feasible: bool,
+    reason: impl Into<String>,
+) -> BackendVerdict {
+    BackendVerdict { engine, required_bytes, capacity_bytes, feasible, reason: reason.into() }
+}
+
+/// Price every engine the policy allows against the job and pick the
+/// cheapest feasible one. `Err` carries the verdict for every candidate
+/// considered — the payload of [`Admission::RejectedInfeasible`].
+fn select_engine(
+    cfg: &ServeConfig,
+    spec: &JobSpec,
+    canonical: Circuit,
+) -> Result<Selection, Vec<BackendVerdict>> {
+    let n = canonical.num_qubits();
+    let device_bytes = cfg.backend.memory_bytes();
+    // Dense pricing: 100+ qubit registers are unconditionally beyond any
+    // modelled device (2^100 amplitudes), and `state_bytes` would
+    // overflow its shift there, so they price as infinite.
+    let dense_required = if n >= 100 { u128::MAX } else { state_bytes(n, spec.precision) };
+    let dense_feasible = dense_required <= device_bytes;
+    let noisy = spec.noise.as_ref().is_some_and(|m| !m.is_trivial());
+    // Noisy jobs fan over trajectories; the fan's inner engine decides
+    // the memory price.
+    let dense_engine = if noisy { Engine::Trajectory } else { Engine::Dense };
+
+    let mut considered = Vec::new();
+
+    if cfg.selection == SelectionPolicy::Auto {
+        let stab_engine = if noisy { Engine::TrajectoryStabilizer } else { Engine::Stabilizer };
+        let tableau_required = tableau_bytes(n);
+        let summary = classify(&canonical);
+        // The candidate circuit the tableau would run: the job's own
+        // circuit when it is Clifford, or its nearest-Clifford projection
+        // when the job's fidelity floor admits the approximation. (Pauli
+        // trajectory noise is Clifford, so noise never disqualifies.)
+        let candidate = if summary.is_clifford() {
+            Some((canonical.clone(), "Clifford circuit".to_owned()))
+        } else if spec.min_fidelity < 1.0 {
+            match clifford_projection(&canonical) {
+                Some((projected, fidelity)) if fidelity >= spec.min_fidelity => Some((
+                    projected,
+                    format!(
+                        "near-Clifford projection at fidelity {fidelity:.4} >= floor {:.4}",
+                        spec.min_fidelity
+                    ),
+                )),
+                Some((_, fidelity)) => {
+                    considered.push(verdict(
+                        stab_engine,
+                        tableau_required,
+                        device_bytes,
+                        false,
+                        format!(
+                            "Clifford projection fidelity {fidelity:.4} below floor {:.4}",
+                            spec.min_fidelity
+                        ),
+                    ));
+                    None
+                }
+                None => {
+                    considered.push(verdict(
+                        stab_engine,
+                        tableau_required,
+                        device_bytes,
+                        false,
+                        "circuit has gates with no Clifford projection",
+                    ));
+                    None
+                }
+            }
+        } else {
+            considered.push(verdict(
+                stab_engine,
+                tableau_required,
+                device_bytes,
+                false,
+                format!(
+                    "not a Clifford circuit ({} T gates, {} other non-Clifford)",
+                    summary.t_count, summary.other_non_clifford
+                ),
+            ));
+            None
+        };
+
+        if let Some((circuit, why)) = candidate {
+            let (_, measured) = circuit.split_measurements();
+            if measured.len() > MAX_MEASURED_QUBITS {
+                considered.push(verdict(
+                    stab_engine,
+                    tableau_required,
+                    device_bytes,
+                    false,
+                    format!(
+                        "measures {} qubits; stabilizer sampling packs outcomes into \
+                         {MAX_MEASURED_QUBITS}-bit keys",
+                        measured.len()
+                    ),
+                ));
+            } else if tableau_required <= device_bytes {
+                return Ok(Selection { engine: stab_engine, canonical: circuit });
+            } else {
+                considered.push(verdict(
+                    stab_engine,
+                    tableau_required,
+                    device_bytes,
+                    false,
+                    format!("{why}, but the tableau exceeds device memory"),
+                ));
+            }
+        }
+    }
+
+    if dense_feasible {
+        Ok(Selection { engine: dense_engine, canonical })
+    } else {
+        considered.push(verdict(
+            dense_engine,
+            dense_required,
+            device_bytes,
+            false,
+            "state vector exceeds device memory",
+        ));
+        Err(considered)
+    }
+}
+
 /// Run the canonical circuit on the configured backend at the requested
 /// precision. Deterministic: both engines plus seeded multinomial
 /// sampling make equal `(circuit, shots, seed, precision, fusion_width)`
@@ -737,16 +918,67 @@ fn execute(
 ) -> Result<(Option<Counts>, ExecStats, Option<CachedMarginal>), SimError> {
     let opts = run_options(cfg, job);
     let clock = cfg.clock.as_ref();
-    match &cfg.backend {
-        BackendKind::Gpu(device) => match job.spec.precision {
-            Precision::Fp32 => evolve_and_sample::<f32, _>(device, job, &opts, clock),
-            Precision::Fp64 => evolve_and_sample::<f64, _>(device, job, &opts, clock),
+    match job.engine {
+        Engine::Dense => match &cfg.backend {
+            BackendKind::Gpu(device) => match job.spec.precision {
+                Precision::Fp32 => evolve_and_sample::<f32, _>(device, job, &opts, clock),
+                Precision::Fp64 => evolve_and_sample::<f64, _>(device, job, &opts, clock),
+            },
+            BackendKind::Cpu { .. } => match job.spec.precision {
+                Precision::Fp32 => evolve_and_sample::<f32, _>(&AerCpuBackend, job, &opts, clock),
+                Precision::Fp64 => evolve_and_sample::<f64, _>(&AerCpuBackend, job, &opts, clock),
+            },
         },
-        BackendKind::Cpu { .. } => match job.spec.precision {
-            Precision::Fp32 => evolve_and_sample::<f32, _>(&AerCpuBackend, job, &opts, clock),
-            Precision::Fp64 => evolve_and_sample::<f64, _>(&AerCpuBackend, job, &opts, clock),
-        },
+        // Non-dense engines run whole (evolve + sample inside the
+        // engine) and never feed the marginal cache: the tableau path
+        // has no state vector, and a noisy run is a mixture with no
+        // single marginal.
+        Engine::Stabilizer => {
+            let sim = StabilizerBackend::default();
+            match job.spec.precision {
+                Precision::Fp32 => run_counts::<f32, _>(&sim, job, &opts),
+                Precision::Fp64 => run_counts::<f64, _>(&sim, job, &opts),
+            }
+        }
+        Engine::Trajectory => {
+            let model = job.spec.noise.clone().expect("trajectory engine implies a noise model");
+            match &cfg.backend {
+                BackendKind::Gpu(device) => {
+                    let sim = TrajectoryBackend::new(device.clone(), model, job.spec.trajectories);
+                    match job.spec.precision {
+                        Precision::Fp32 => run_counts::<f32, _>(&sim, job, &opts),
+                        Precision::Fp64 => run_counts::<f64, _>(&sim, job, &opts),
+                    }
+                }
+                BackendKind::Cpu { .. } => {
+                    let sim = TrajectoryBackend::new(AerCpuBackend, model, job.spec.trajectories);
+                    match job.spec.precision {
+                        Precision::Fp32 => run_counts::<f32, _>(&sim, job, &opts),
+                        Precision::Fp64 => run_counts::<f64, _>(&sim, job, &opts),
+                    }
+                }
+            }
+        }
+        Engine::TrajectoryStabilizer => {
+            let model = job.spec.noise.clone().expect("trajectory engine implies a noise model");
+            let sim = TrajectoryBackend::new(StabilizerBackend::default(), model, job.spec.trajectories);
+            match job.spec.precision {
+                Precision::Fp32 => run_counts::<f32, _>(&sim, job, &opts),
+                Precision::Fp64 => run_counts::<f64, _>(&sim, job, &opts),
+            }
+        }
     }
+}
+
+/// Run an engine that samples internally (stabilizer, trajectory fans)
+/// and hand back its counts; no marginal artifact is produced.
+fn run_counts<T: Scalar, S: Simulator<T>>(
+    sim: &S,
+    job: &QueuedJob,
+    opts: &RunOptions,
+) -> Result<(Option<Counts>, ExecStats, Option<CachedMarginal>), SimError> {
+    let out = sim.run(&job.canonical, opts)?;
+    Ok((out.counts, out.stats, None))
 }
 
 /// Evolve once with sampling deferred, then draw the requested counts
@@ -1141,12 +1373,136 @@ mod tests {
         // 33 qubits fp64 = 137 GB > 40 GB A100: bounced, never queued.
         let admission = service.submit(JobSpec::new(Circuit::new(33)));
         match admission {
-            Admission::RejectedInfeasible { required_bytes, device_bytes } => {
+            Admission::RejectedInfeasible { required_bytes, device_bytes, considered } => {
                 assert!(required_bytes > device_bytes);
+                // The default DenseOnly policy priced exactly one engine,
+                // and the verdict explains the rejection.
+                assert_eq!(considered.len(), 1);
+                assert_eq!(considered[0].engine, Engine::Dense);
+                assert!(!considered[0].feasible);
+                assert!(considered[0].reason.contains("exceeds device memory"));
             }
             other => panic!("expected RejectedInfeasible, got {other:?}"),
         }
         assert_eq!(service.queue_depth(), 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn auto_policy_routes_clifford_to_stabilizer_and_keeps_dense_for_general() {
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            selection: SelectionPolicy::Auto,
+            ..Default::default()
+        });
+        // Clifford circuit → stabilizer engine.
+        let id = service.submit(JobSpec::new(bell()).shots(200)).job_id().unwrap();
+        let outcome = service.wait(id).unwrap();
+        let counts = outcome.result().unwrap().counts.clone().unwrap();
+        assert_eq!(counts.total(), 200);
+        assert_eq!(counts.get(0) + counts.get(3), 200, "Bell pair measures 00/11 only");
+        // Non-Clifford circuit (T gate) → dense engine, still served.
+        let mut general = Circuit::new(2);
+        general.h(0).t(0).cx(0, 1).measure_all();
+        let id = service.submit(JobSpec::new(general).shots(100)).job_id().unwrap();
+        let outcome = service.wait(id).unwrap();
+        assert_eq!(outcome.result().unwrap().counts.as_ref().unwrap().total(), 100);
+        service.shutdown();
+    }
+
+    #[test]
+    fn auto_policy_admits_hundred_qubit_clifford_job() {
+        // 2^100 amplitudes is unconditionally infeasible dense; the
+        // tableau is a few kilobytes. Auto admission must route the job
+        // to the stabilizer engine and complete it.
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            selection: SelectionPolicy::Auto,
+            ..Default::default()
+        });
+        let mut ghz = Circuit::new(100);
+        ghz.h(0);
+        for q in 1..100 {
+            ghz.cx(q - 1, q);
+        }
+        for q in 0..64 {
+            ghz.measure(q);
+        }
+        let id = service.submit(JobSpec::new(ghz).shots(64)).job_id().unwrap();
+        let outcome = service.wait(id).unwrap();
+        let counts = outcome.result().unwrap().counts.clone().unwrap();
+        assert_eq!(counts.total(), 64);
+        for &key in counts.map.keys() {
+            assert!(key == 0 || key == u64::MAX, "GHZ measures all-0 or all-1");
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn rejection_lists_every_considered_backend_under_auto() {
+        // 33 qubits with a T gate: stabilizer inapplicable (non-Clifford),
+        // dense infeasible (137 GB > 40 GB) — both verdicts reported.
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            selection: SelectionPolicy::Auto,
+            ..Default::default()
+        });
+        let mut c = Circuit::new(33);
+        c.h(0).t(0).measure(0);
+        match service.submit(JobSpec::new(c)) {
+            Admission::RejectedInfeasible { considered, .. } => {
+                assert_eq!(considered.len(), 2, "both engines priced: {considered:?}");
+                assert_eq!(considered[0].engine, Engine::Stabilizer);
+                assert!(considered[0].reason.contains("not a Clifford circuit"));
+                assert_eq!(considered[1].engine, Engine::Dense);
+                assert!(considered[1].reason.contains("exceeds device memory"));
+            }
+            other => panic!("expected RejectedInfeasible, got {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn noisy_job_routes_through_the_trajectory_fan() {
+        use qgear_statevec::{NoiseChannel, NoiseModel};
+        let service = small_service(1);
+        let model = NoiseModel::single(NoiseChannel::BitFlip { p: 0.05 });
+        let id = service
+            .submit(JobSpec::new(bell()).shots(500).with_noise(model, 8))
+            .job_id()
+            .unwrap();
+        let outcome = service.wait(id).unwrap();
+        let result = outcome.result().unwrap();
+        let counts = result.counts.as_ref().unwrap();
+        assert_eq!(counts.total(), 500, "shots conserved across the fan");
+        service.shutdown();
+    }
+
+    #[test]
+    fn min_fidelity_floor_downgrades_near_clifford_to_stabilizer() {
+        // One T gate: projection fidelity cos²(π/8) ≈ 0.8536. A floor of
+        // 0.8 admits the projected circuit on the stabilizer engine even
+        // at widths dense could never hold.
+        let service = Service::start(ServeConfig {
+            workers: 1,
+            selection: SelectionPolicy::Auto,
+            ..Default::default()
+        });
+        let mut c = Circuit::new(101);
+        c.h(0).t(0).cx(0, 1).measure(0).measure(1);
+        let id = service
+            .submit(JobSpec::new(c.clone()).shots(100).min_fidelity(0.8))
+            .job_id()
+            .unwrap();
+        assert!(service.wait(id).unwrap().result().is_some());
+        // The same job demanding exact results is rejected: stabilizer
+        // inapplicable, dense can't hold 101 qubits.
+        match service.submit(JobSpec::new(c).shots(100)) {
+            Admission::RejectedInfeasible { considered, .. } => {
+                assert_eq!(considered.len(), 2);
+            }
+            other => panic!("expected RejectedInfeasible, got {other:?}"),
+        }
         service.shutdown();
     }
 

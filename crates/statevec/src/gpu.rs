@@ -704,7 +704,7 @@ impl<T: Scalar> Simulator<T> for GpuDevice {
                 effective.sweep_width,
                 effective.sweep_reorder,
                 &effective.planner_costs,
-                2 * T::BYTES as usize,
+                2 * T::BYTES,
             )
             .map_err(|e| {
                 SimError::UnsupportedGate(format!(

@@ -53,6 +53,7 @@ pub mod aer;
 pub mod backend;
 pub mod checkpoint;
 pub mod gpu;
+pub mod noise;
 pub mod planner;
 pub mod sampling;
 pub mod segment;
@@ -68,6 +69,7 @@ pub use checkpoint::{
     CheckpointCounters, CheckpointError, CheckpointScalar, StateCheckpoint,
 };
 pub use gpu::GpuDevice;
+pub use noise::{NoiseChannel, NoiseModel, TrajectoryBackend};
 pub use planner::{plan, ExecStrategy, ExecutionPlan, PlannerCosts, SegmentMode};
 pub use sampling::SamplingConfig;
 pub use segment::SegmentedRun;

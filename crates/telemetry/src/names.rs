@@ -162,10 +162,25 @@ pub const PLANNER_RATIO_FUSED: &str = "planner.cost_ratio.fused";
 /// See [`PLANNER_RATIO_UNFUSED`].
 pub const PLANNER_RATIO_SWEEP: &str = "planner.cost_ratio.sweep";
 
+/// Noise trajectories requested across all trajectory-batch fans
+/// (`qgear-statevec::noise`), including trajectories that were dealt
+/// zero shots and therefore skipped.
+pub const TRAJECTORIES_REQUESTED: &str = "trajectory.requested";
+
+/// Noise trajectories actually executed on the inner engine (dealt at
+/// least one shot).
+pub const TRAJECTORIES_RUN: &str = "trajectory.runs";
+
 /// Per-structure-class counter name for kernels dispatched by the
 /// structured fused path, e.g. `planner.kernel.permutation`.
 pub fn planner_kernel(structure: &str) -> String {
     format!("planner.kernel.{structure}")
+}
+
+/// Per-engine counter name for admission-time backend choice, e.g.
+/// `admission.backend_chosen.stabilizer`.
+pub fn admission_backend_chosen(engine: &str) -> String {
+    format!("admission.backend_chosen.{engine}")
 }
 
 /// Per-tenant counter name for jobs completed, e.g. `serve.tenant.alice.jobs`.
@@ -214,4 +229,7 @@ pub mod spans {
     /// Decode + verify + plan-rebuild of one checkpoint generation
     /// during the recovery ladder (opened per generation tried).
     pub const CHECKPOINT_RESTORE: &str = "checkpoint_restore";
+    /// One noise-trajectory fan: shot dealing, per-trajectory runs and
+    /// the histogram merge (`qgear-statevec::noise`).
+    pub const TRAJECTORY_BATCH: &str = "trajectory_batch";
 }

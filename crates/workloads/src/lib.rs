@@ -16,8 +16,12 @@
 //!   QCrank's cost depends only on pixel count and qubit split);
 //! * [`hamiltonian`] — Pauli-sum observables with qubit-wise-commuting
 //!   partitioning, the §2.4 "distinct Hamiltonians … distributed across
-//!   multiple hardware resources" workflow.
+//!   multiple hardware resources" workflow;
+//! * [`clifford`] — Clifford circuit families (GHZ, teleportation,
+//!   seeded random Clifford) for the stabilizer backend's differential
+//!   tests and the 100+ qubit admission demonstrations.
 
+pub mod clifford;
 pub mod hamiltonian;
 pub mod images;
 pub mod qcrank;

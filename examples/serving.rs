@@ -73,11 +73,16 @@ fn main() {
 
     // --- explicit backpressure and control-plane outcomes -----------------
     match service.submit(JobSpec::new(Circuit::new(36))) {
-        Admission::RejectedInfeasible { required_bytes, device_bytes } => println!(
-            "36-qubit fp64 job rejected at submit: needs {:.0} GB, device holds {:.0} GB",
-            required_bytes as f64 / 1e9,
-            device_bytes as f64 / 1e9
-        ),
+        Admission::RejectedInfeasible { required_bytes, device_bytes, considered } => {
+            println!(
+                "36-qubit fp64 job rejected at submit: needs {:.0} GB, device holds {:.0} GB",
+                required_bytes as f64 / 1e9,
+                device_bytes as f64 / 1e9
+            );
+            for verdict in &considered {
+                println!("  considered: {verdict}");
+            }
+        }
         other => println!("unexpected verdict: {other:?}"),
     }
     let doomed = service

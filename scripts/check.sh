@@ -28,6 +28,13 @@ cargo test -q --test differential resume_at_every_segment_boundary_is_bit_identi
 echo "==> hotpath bench smoke (sweep executor + planner gate end to end)"
 cargo run --release -p qgear-bench --bin hotpath -- --smoke --enforce-planned
 
+# Backend smoke: stabilizer scaling at 16/64/128 qubits plus trajectory
+# throughput, emitting BENCH_backends.json (docs/BACKENDS.md). The run
+# itself asserts shot conservation on every point, so a broken engine
+# fails the gate rather than writing bad numbers.
+echo "==> bench_backends smoke (stabilizer scaling + trajectory throughput)"
+cargo run --release -p qgear-bench --bin bench_backends -- --smoke
+
 # Deterministic simulation matrix: the simtest suite re-runs under four
 # fixed scenario seeds so the oracle properties — including the
 # checkpoint-recovery acceptance scenario (die mid-run, newest

@@ -1,0 +1,425 @@
+//! Cross-engine differential and property tests for the stabilizer and
+//! noise-trajectory backends (docs/BACKENDS.md).
+//!
+//! Three layers:
+//!
+//! * **Differential** — every Clifford workload small enough for the
+//!   dense engine runs on both engines with the same `(shots, seed)`;
+//!   both sample through the shared multinomial path, so histograms
+//!   must agree *bit for bit*, not just statistically. Noise-trajectory
+//!   fans are checked against closed-form channel statistics at ±2%.
+//! * **Property** — proptest drives random Clifford words onto the raw
+//!   tableau: algebraic identities (`H² = 1`, `S⁴ = 1`, `CX² = 1`),
+//!   the stabilizer/destabilizer anticommutation invariant, and
+//!   measurement idempotence.
+//! * **End-to-end** — the serving runtime under a virtual clock admits
+//!   a 100-qubit Clifford job (infeasible dense), routes it to the
+//!   stabilizer engine, and completes it; infeasible jobs report a
+//!   verdict for every backend admission considered.
+
+use proptest::prelude::*;
+use qgear_ir::{classify, Circuit};
+use qgear_perfmodel::memory;
+use qgear_serve::{Admission, JobOutcome, JobSpec, SelectionPolicy, ServeConfig, Service};
+use qgear_simtest::VirtualClock;
+use qgear_stabilizer::{StabilizerBackend, Tableau};
+use qgear_statevec::{
+    AerCpuBackend, Counts, NoiseChannel, NoiseModel, RunOptions, RunOutput, SimError, Simulator,
+    TrajectoryBackend,
+};
+use qgear_workloads::clifford::{ghz, random_clifford, teleportation};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------
+// Differential: stabilizer vs dense on small Clifford circuits
+// ---------------------------------------------------------------------
+
+fn counts_on<S: Simulator<f64>>(engine: &S, c: &Circuit, shots: u64, seed: u64) -> Counts {
+    let opts = RunOptions { shots, seed, ..Default::default() };
+    let out: RunOutput<f64> = engine.run(c, &opts).expect("engine runs the circuit");
+    out.counts.expect("measured circuit yields counts")
+}
+
+/// Run `c` on both engines with identical sampling knobs and insist the
+/// sampled *distributions* agree: identical measured sets, identical
+/// outcome supports, and every key within 6σ of the uniform-on-support
+/// law a stabilizer state's marginal obeys. Bit-exact histogram equality
+/// is deliberately not demanded — Clifford marginals are *exactly*
+/// equiprobable over their support, and the conditional-binomial
+/// sampler's allocation among equal-probability keys is sensitive to
+/// the float dust the dense marginal carries and the tableau does not.
+fn assert_engines_agree(c: &Circuit, shots: u64, seed: u64) {
+    let dense = counts_on(&AerCpuBackend, c, shots, seed);
+    let stab = counts_on(&StabilizerBackend::default(), c, shots, seed);
+    assert_eq!(dense.qubits, stab.qubits, "{}: measured sets differ", c.name);
+    assert_eq!(dense.total(), shots, "{}: dense lost shots", c.name);
+    assert_eq!(stab.total(), shots, "{}: stabilizer lost shots", c.name);
+    let support: std::collections::BTreeSet<u64> = dense.map.keys().copied().collect();
+    let stab_support: std::collections::BTreeSet<u64> = stab.map.keys().copied().collect();
+    assert_eq!(support, stab_support, "{}: outcome supports diverge", c.name);
+    // A stabilizer state's measurement marginal is uniform over an
+    // affine subspace: P(key) = 1/m on the support, for both engines.
+    let m = support.len() as f64;
+    let p = 1.0 / m;
+    let expected = shots as f64 * p;
+    let tol = 6.0 * (shots as f64 * p * (1.0 - p)).sqrt() + 1.0;
+    for &key in &support {
+        for (engine, counts) in [("dense", &dense), ("stabilizer", &stab)] {
+            let got = counts.get(key) as f64;
+            assert!(
+                (got - expected).abs() <= tol,
+                "{}: {engine} key {key:#x} drew {got}, expected {expected} ± {tol}",
+                c.name
+            );
+        }
+    }
+}
+
+#[test]
+fn stabilizer_matches_dense_on_ghz_at_every_small_width() {
+    for n in 2..=10u32 {
+        assert_engines_agree(&ghz(n, n), 2000, 0xD1FF + u64::from(n));
+    }
+}
+
+#[test]
+fn stabilizer_matches_dense_on_teleportation() {
+    let c = teleportation();
+    assert_engines_agree(&c, 1000, 3);
+    // Teleporting |0⟩ must always land 0 on the receiver.
+    let counts = counts_on(&StabilizerBackend::default(), &c, 1000, 3);
+    assert_eq!(counts.get(0), 1000, "teleported |0> read as 1");
+}
+
+#[test]
+fn stabilizer_matches_dense_on_seeded_random_cliffords() {
+    for seed in 0..8u64 {
+        // Widths 2..=6: support ≤ 64 keys, so at 4000 shots every
+        // support key is overwhelmingly likely to be drawn by both
+        // engines (and the fixed seeds make the check reproducible).
+        let n = 2 + (seed % 5) as u32;
+        let c = random_clifford(n, 12, 0xC11F_0000 + seed);
+        assert_engines_agree(&c, 4000, 0x5EED + seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Differential: trajectory statistics vs closed-form channel rates
+// ---------------------------------------------------------------------
+
+fn flip_circuit() -> Circuit {
+    let mut c = Circuit::new(1);
+    c.x(0).measure(0);
+    c
+}
+
+#[test]
+fn trajectory_bit_flip_rate_matches_channel_within_two_percent() {
+    // One X gate, one bit-flip channel draw: P(read 0) = p exactly.
+    let p = 0.1;
+    let model = NoiseModel::single(NoiseChannel::BitFlip { p });
+    let backend = TrajectoryBackend::new(AerCpuBackend, model, 4000);
+    let counts = counts_on(&backend, &flip_circuit(), 4000, 11);
+    let observed = counts.probability(0);
+    assert!((observed - p).abs() < 0.02, "bit-flip rate {observed} vs analytic {p}");
+}
+
+#[test]
+fn trajectory_depolarizing_rate_matches_channel_within_two_percent() {
+    // Depolarizing p: X or Y flips the readout (2p/3), Z leaves it.
+    let p = 0.3;
+    let model = NoiseModel::single(NoiseChannel::Depolarizing { p });
+    let backend = TrajectoryBackend::new(AerCpuBackend, model, 4000);
+    let counts = counts_on(&backend, &flip_circuit(), 4000, 13);
+    let analytic = 2.0 * p / 3.0;
+    let observed = counts.probability(0);
+    assert!(
+        (observed - analytic).abs() < 0.02,
+        "depolarizing flip rate {observed} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn trajectory_phase_flip_is_invisible_in_the_z_basis() {
+    let model = NoiseModel::single(NoiseChannel::PhaseFlip { p: 0.4 });
+    let backend = TrajectoryBackend::new(AerCpuBackend, model, 512);
+    let counts = counts_on(&backend, &flip_circuit(), 2000, 17);
+    assert_eq!(counts.get(1), 2000, "Z errors must not move Z-basis outcomes");
+}
+
+#[test]
+fn trajectory_fan_is_bit_identical_over_dense_and_stabilizer_inners() {
+    // Pauli insertions keep a Clifford circuit Clifford and the fan's
+    // per-trajectory seeds don't depend on the inner engine, so the
+    // merged histogram must match across inners bit for bit.
+    let model = NoiseModel::single(NoiseChannel::BitFlip { p: 0.15 });
+    let c = ghz(6, 6);
+    let dense_fan = TrajectoryBackend::new(AerCpuBackend, model.clone(), 256);
+    let stab_fan = TrajectoryBackend::new(StabilizerBackend::default(), model, 256);
+    let a = counts_on(&dense_fan, &c, 3000, 23);
+    let b = counts_on(&stab_fan, &c, 3000, 23);
+    assert_eq!(a.map, b.map, "inner engine changed the trajectory histogram");
+}
+
+// ---------------------------------------------------------------------
+// Perf-model sync: admission prices exactly what the tableau allocates
+// ---------------------------------------------------------------------
+
+#[test]
+fn perfmodel_tableau_bytes_matches_the_engine_allocation_model() {
+    for n in [1u32, 2, 3, 8, 63, 64, 65, 100, 127, 128, 129, 1000, 4096] {
+        assert_eq!(
+            memory::tableau_bytes(n),
+            Tableau::memory_bytes(n),
+            "perfmodel and tableau disagree at n={n}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Property tests: tableau algebra and classifier/engine consistency
+// ---------------------------------------------------------------------
+
+/// A random Clifford word as raw tableau updates: `(kind, a, boff)` with
+/// `b = (a + boff) % n` distinct from `a`.
+fn arb_clifford_word(n: u32, max_len: usize) -> impl Strategy<Value = Vec<(u8, u32, u32)>> {
+    proptest::collection::vec((0u8..9, 0..n, 1..n), 0..=max_len)
+}
+
+fn apply_word(t: &mut Tableau, n: u32, word: &[(u8, u32, u32)]) {
+    for &(kind, a, boff) in word {
+        let b = (a + boff) % n;
+        match kind {
+            0 => t.h(a),
+            1 => t.s(a),
+            2 => t.sdg(a),
+            3 => t.x_gate(a),
+            4 => t.y_gate(a),
+            5 => t.z_gate(a),
+            6 => t.cx(a, b),
+            7 => t.cz(a, b),
+            _ => t.swap(a, b),
+        }
+    }
+}
+
+const N: u32 = 7;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// The symplectic anticommutation invariant (destabilizer `i`
+    /// anticommutes with stabilizer `i`, commutes with every other row)
+    /// survives arbitrary Clifford words and arbitrary measurements.
+    #[test]
+    fn tableau_invariants_hold_under_any_clifford_word(
+        word in arb_clifford_word(N, 48),
+        measured in proptest::collection::vec((0..N, any::<bool>()), 0..4),
+    ) {
+        let mut t = Tableau::new(N as usize);
+        apply_word(&mut t, N, &word);
+        prop_assert_eq!(t.check_invariants(), None);
+        for (q, coin) in measured {
+            t.measure(q, || coin);
+            prop_assert_eq!(t.check_invariants(), None);
+        }
+    }
+
+    /// `H·H = 1` from any reachable tableau.
+    #[test]
+    fn h_is_self_inverse(word in arb_clifford_word(N, 32), q in 0..N) {
+        let mut t = Tableau::new(N as usize);
+        apply_word(&mut t, N, &word);
+        let before = t.clone();
+        t.h(q);
+        t.h(q);
+        prop_assert_eq!(t, before);
+    }
+
+    /// `S⁴ = 1` and `S·S† = 1` from any reachable tableau.
+    #[test]
+    fn s_has_order_four(word in arb_clifford_word(N, 32), q in 0..N) {
+        let mut t = Tableau::new(N as usize);
+        apply_word(&mut t, N, &word);
+        let before = t.clone();
+        for _ in 0..4 {
+            t.s(q);
+        }
+        prop_assert_eq!(&t, &before);
+        t.s(q);
+        t.sdg(q);
+        prop_assert_eq!(t, before);
+    }
+
+    /// `CX·CX = 1` from any reachable tableau.
+    #[test]
+    fn cx_is_self_inverse(word in arb_clifford_word(N, 32), a in 0..N, boff in 1..N) {
+        let b = (a + boff) % N;
+        let mut t = Tableau::new(N as usize);
+        apply_word(&mut t, N, &word);
+        let before = t.clone();
+        t.cx(a, b);
+        t.cx(a, b);
+        prop_assert_eq!(t, before);
+    }
+
+    /// Measuring a qubit twice gives the same value, and the second
+    /// measurement is always deterministic (the state has collapsed).
+    #[test]
+    fn measurement_is_idempotent(
+        word in arb_clifford_word(N, 48),
+        q in 0..N,
+        coin in any::<bool>(),
+    ) {
+        let mut t = Tableau::new(N as usize);
+        apply_word(&mut t, N, &word);
+        let first = t.measure(q, || coin);
+        let second = t.measure(q, || unreachable!("collapsed qubit re-rolled"));
+        prop_assert!(second.deterministic);
+        prop_assert_eq!(second.value, first.value);
+    }
+
+    /// The classifier and the engine agree on what is Clifford: every
+    /// circuit the classifier passes must lower onto the tableau, and
+    /// every T gate the classifier counts must make the engine reject.
+    #[test]
+    fn classifier_and_engine_agree_on_cliffordness(
+        word in arb_clifford_word(4, 24),
+        t_gates in 0usize..3,
+    ) {
+        let mut c = Circuit::new(4);
+        for &(kind, a, boff) in &word {
+            let b = (a + boff) % 4;
+            match kind {
+                0 => c.h(a),
+                1 => c.s(a),
+                2 => c.sdg(a),
+                3 => c.x(a),
+                4 => c.y(a),
+                5 => c.z(a),
+                6 => c.cx(a, b),
+                7 => c.cz(a, b),
+                _ => c.swap(a, b),
+            };
+        }
+        for k in 0..t_gates {
+            c.t(k as u32);
+        }
+        let summary = classify(&c);
+        prop_assert_eq!(summary.t_count, t_gates);
+        let out: Result<RunOutput<f64>, SimError> =
+            StabilizerBackend::default().run(&c, &RunOptions::default());
+        if summary.is_clifford() {
+            prop_assert!(out.is_ok(), "classifier-approved circuit rejected: {:?}", out.err());
+        } else {
+            prop_assert!(
+                matches!(out, Err(SimError::UnsupportedGate(_))),
+                "engine accepted a circuit with {} T gates",
+                t_gates
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// End-to-end: admission routing under a virtual clock
+// ---------------------------------------------------------------------
+
+/// Drain a virtually-clocked service (same helper as `tests/simtest.rs`):
+/// advance to successive sleeper deadlines until nothing is in flight,
+/// bounded in real time so a scheduling bug fails instead of hanging.
+fn drain(service: &Service, clock: &VirtualClock) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !service.is_idle() {
+        assert!(Instant::now() < deadline, "service failed to quiesce in 30s real time");
+        if clock.advance_to_next_sleeper().is_none() {
+            std::thread::sleep(Duration::from_micros(100));
+        } else {
+            std::thread::yield_now();
+        }
+    }
+}
+
+#[test]
+fn hundred_qubit_clifford_job_completes_end_to_end_under_virtual_time() {
+    // 100 dense qubits would need 2^100 amplitudes; the tableau needs a
+    // few kilobytes. Auto selection must admit, route to the stabilizer
+    // engine, and complete — all on the simulated clock.
+    let clock = Arc::new(VirtualClock::new());
+    let service = Service::start(ServeConfig {
+        workers: 2,
+        selection: SelectionPolicy::Auto,
+        clock: clock.clone(),
+        ..Default::default()
+    });
+    let shots = 512;
+    let id = service
+        .submit(JobSpec::new(ghz(100, 64)).shots(shots).seed(29))
+        .job_id()
+        .expect("100-qubit Clifford job must be admitted under Auto selection");
+    drain(&service, &clock);
+    let outcome = service.try_outcome(id).expect("job reached a terminal state");
+    let JobOutcome::Completed(result) = outcome else {
+        panic!("100-qubit GHZ did not complete: {outcome:?}");
+    };
+    let counts = result.counts.expect("measured job yields counts");
+    assert_eq!(counts.total(), shots);
+    for &key in counts.map.keys() {
+        assert!(key == 0 || key == u64::MAX, "non-GHZ outcome {key:#x} on the 64-qubit prefix");
+    }
+    service.shutdown();
+}
+
+#[test]
+fn noisy_job_completes_through_the_trajectory_fan_under_virtual_time() {
+    let clock = Arc::new(VirtualClock::new());
+    let service = Service::start(ServeConfig {
+        workers: 1,
+        clock: clock.clone(),
+        ..Default::default()
+    });
+    let model = NoiseModel::single(NoiseChannel::Depolarizing { p: 0.05 });
+    let id = service
+        .submit(JobSpec::new(ghz(5, 5)).shots(800).seed(31).with_noise(model, 32))
+        .job_id()
+        .expect("noisy job admitted");
+    drain(&service, &clock);
+    let outcome = service.try_outcome(id).expect("terminal state");
+    let result = outcome.result().expect("noisy job completed");
+    assert_eq!(result.counts.as_ref().expect("counts").total(), 800);
+    service.shutdown();
+}
+
+#[test]
+fn infeasible_job_reports_a_verdict_for_every_considered_backend() {
+    let clock = Arc::new(VirtualClock::new());
+    let service = Service::start(ServeConfig {
+        workers: 1,
+        selection: SelectionPolicy::Auto,
+        clock: clock.clone(),
+        ..Default::default()
+    });
+    // 40 dense qubits overflow the modelled device; the single T gate
+    // rules out the stabilizer engine. Both verdicts must come back.
+    let mut c = Circuit::new(40);
+    c.h(0).t(0).cx(0, 1);
+    c.measure(0);
+    match service.submit(JobSpec::new(c)) {
+        Admission::RejectedInfeasible { considered, device_bytes, .. } => {
+            assert_eq!(considered.len(), 2, "expected dense + stabilizer verdicts");
+            assert!(considered.iter().all(|v| !v.feasible));
+            assert!(
+                considered.iter().any(|v| v.reason.contains("Clifford")),
+                "stabilizer verdict must explain the Clifford failure: {considered:?}"
+            );
+            let dense = considered
+                .iter()
+                .find(|v| v.engine == qgear_serve::Engine::Dense)
+                .expect("dense verdict present");
+            assert!(dense.required_bytes > device_bytes, "dense verdict must be a memory failure");
+        }
+        other => panic!("expected RejectedInfeasible, got {other:?}"),
+    }
+    service.shutdown();
+}

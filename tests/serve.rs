@@ -13,8 +13,8 @@
 use proptest::prelude::*;
 use qgear_ir::Circuit;
 use qgear_serve::{
-    Admission, AdmissionQueue, CircuitKey, JobId, JobOutcome, JobSpec, Priority, QueuedJob,
-    ServeConfig, Service,
+    Admission, AdmissionQueue, CircuitKey, Engine, JobId, JobOutcome, JobSpec, Priority,
+    QueuedJob, ServeConfig, Service,
 };
 use qgear_telemetry::names;
 use std::collections::{HashMap, HashSet};
@@ -41,6 +41,7 @@ fn queued(id: u64, tenant: u8, priority: u8) -> QueuedJob {
         submitted_at: Duration::ZERO,
         seq: 0,
         attempts_made: 0,
+        engine: Engine::Dense,
     }
 }
 
@@ -258,8 +259,12 @@ fn control_plane_outcomes_are_explicit() {
 
     // Infeasible: a 40-qubit fp64 state needs 17.6 TB, not 40 GB.
     match service.submit(JobSpec::new(Circuit::new(40))) {
-        Admission::RejectedInfeasible { required_bytes, device_bytes } => {
+        Admission::RejectedInfeasible { required_bytes, device_bytes, considered } => {
             assert!(required_bytes > device_bytes);
+            assert!(
+                considered.iter().all(|v| !v.feasible),
+                "every considered backend must carry an infeasibility reason: {considered:?}"
+            );
         }
         other => panic!("expected RejectedInfeasible, got {other:?}"),
     }

@@ -276,3 +276,76 @@ fn json_sink_roundtrips_against_documented_schema() {
 
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Backend-selection and trajectory-fan telemetry: one admitted job per
+/// engine increments its `admission.backend_chosen.<engine>` counter, a
+/// noisy job opens a `trajectory_batch` span and accounts its
+/// trajectories, the simtest accounting oracle accepts the snapshot,
+/// and every new name survives the JSON export round trip.
+#[test]
+fn backend_selection_and_trajectory_metrics_flow_into_the_json_export() {
+    use qgear_serve::{JobSpec, SelectionPolicy, ServeConfig, Service};
+    use qgear_statevec::{NoiseChannel, NoiseModel};
+    use qgear_workloads::clifford::ghz;
+    let _l = LOCK.lock().unwrap();
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+    let service = Service::start(ServeConfig {
+        workers: 1,
+        selection: SelectionPolicy::Auto,
+        ..Default::default()
+    });
+    // A Clifford job routes to the stabilizer engine under Auto...
+    let stab = service.submit(JobSpec::new(ghz(20, 20)).shots(100).seed(1)).job_id().unwrap();
+    // ...a T-gate circuit stays dense...
+    let mut general = qgear_ir::Circuit::new(3);
+    general.h(0).t(0).cx(0, 1).measure_all();
+    let dense = service.submit(JobSpec::new(general).shots(50).seed(2)).job_id().unwrap();
+    // ...and a noisy Clifford job fans trajectories over the tableau.
+    let model = NoiseModel::single(NoiseChannel::BitFlip { p: 0.05 });
+    let noisy = service
+        .submit(JobSpec::new(ghz(4, 4)).shots(100).seed(3).with_noise(model, 8))
+        .job_id()
+        .unwrap();
+    for id in [stab, dense, noisy] {
+        assert!(service.wait(id).expect("outcome").is_completed());
+    }
+    service.shutdown();
+    qgear_telemetry::disable();
+    let snap = qgear_telemetry::snapshot();
+    qgear_telemetry::reset();
+
+    assert_eq!(snap.counter(&names::admission_backend_chosen("stabilizer")), 1);
+    assert_eq!(snap.counter(&names::admission_backend_chosen("dense")), 1);
+    assert_eq!(snap.counter(&names::admission_backend_chosen("trajectory_stabilizer")), 1);
+    let requested = snap.counter(names::TRAJECTORIES_REQUESTED);
+    let run = snap.counter(names::TRAJECTORIES_RUN);
+    assert_eq!(requested, 8, "the noisy job requested an 8-trajectory fan");
+    assert!(run >= 1 && run <= requested, "executed {run} of {requested} trajectories");
+    let paths: Vec<&str> = snap.spans.iter().map(|s| s.path.as_str()).collect();
+    assert!(
+        paths.iter().any(|p| p.ends_with(spans::TRAJECTORY_BATCH)),
+        "no trajectory_batch span in {paths:?}"
+    );
+    // The simtest accounting oracle accepts a well-formed snapshot.
+    assert_eq!(qgear_simtest::oracle::check_trajectory_accounting(&snap), Vec::<String>::new());
+
+    let dir = std::env::temp_dir().join(format!("qgear-telemetry-bk-{}", std::process::id()));
+    let sink = JsonSink::new(&dir);
+    let path = sink.export("backend selection", &snap).expect("export").expect("a file");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let counters = value["counters"].as_object().expect("counters object");
+    for key in [
+        names::TRAJECTORIES_REQUESTED.to_owned(),
+        names::TRAJECTORIES_RUN.to_owned(),
+        names::admission_backend_chosen("stabilizer"),
+        names::admission_backend_chosen("dense"),
+        names::admission_backend_chosen("trajectory_stabilizer"),
+    ] {
+        assert!(counters.iter().any(|(k, _)| k == &key), "counter {key} missing from export");
+    }
+    let (_, back) = TelemetrySnapshot::from_value(&value).expect("schema decode");
+    assert_eq!(back, snap, "export round trip preserves the backend metrics");
+    std::fs::remove_dir_all(&dir).ok();
+}
