@@ -39,6 +39,7 @@ pub mod parametric;
 pub mod qpy;
 pub mod reference;
 pub mod schedule;
+pub mod shape;
 pub mod transpile;
 
 pub use circuit::Circuit;
@@ -49,3 +50,4 @@ pub use fusion::{FusedBlock, FusedProgram, FusionError, KernelStructure};
 pub use gate::{Gate, GateKind};
 pub use parametric::{ParamCircuit, ParamValue};
 pub use schedule::{Sweep, SweepOptions, SweepSchedule};
+pub use shape::{shape_digest, ShapeDigest};

@@ -1,0 +1,141 @@
+//! Shape-aware batch coalescing: configuration, compatibility keys and
+//! the per-batch audit record.
+//!
+//! The serving layer amortizes dispatch overhead by grouping admitted
+//! Dense jobs whose canonical circuits share a *structural fingerprint*
+//! ([`qgear_ir::ShapeDigest`]: same gate kinds on the same operands in
+//! the same order, parameters free) and the same numeric precision.
+//! Members of such a group fuse to congruent kernel schedules, so one
+//! batched state-vector pass (`qgear_statevec::run_batched`) evolves all
+//! of them in lockstep — amplitudes laid batch-major so every kernel
+//! launch touches every member — while each member keeps its own
+//! parameter values, its own amplitudes, and its own domain-separated
+//! sampling seed.
+//!
+//! **Invariant — batching is invisible in results.** A member's
+//! amplitudes, counts, cache entries and outcome are bit-identical to
+//! what a solo dispatch of the same job would produce, regardless of
+//! batch size, which batch it landed in, member order, or worker count.
+//! The batch tier in `tests/serve.rs` and the batch-of-1 differential in
+//! `tests/differential.rs` enforce exactly this; the coalescing
+//! conservation oracle in `qgear-simtest` proves no job is lost or
+//! duplicated across flush races.
+
+use std::time::Duration;
+
+use qgear_num::scalar::Precision;
+
+/// Coalescer tuning, part of `ServeConfig`.
+///
+/// Batching is enabled when `max_size >= 2`, the backend is the
+/// simulated GPU, and segmented (checkpointed) execution is off —
+/// checkpoint generations are keyed per job and segment, which a joint
+/// batch pass cannot honor, so the two features are mutually exclusive
+/// by construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Largest batch the coalescer will form; `0` or `1` disables
+    /// batching entirely (every dispatch is solo).
+    pub max_size: usize,
+    /// Longest a batch leader waits for shape-compatible companions
+    /// before flushing, measured on the service clock from the moment
+    /// the leader is popped. The window is also clipped by every
+    /// member's deadline: a batch never waits past the instant any
+    /// member would expire.
+    pub window: Duration,
+}
+
+impl BatchConfig {
+    /// Batching disabled — the one-job-per-dispatch behavior every
+    /// pre-batching test was written against.
+    pub const fn disabled() -> Self {
+        BatchConfig { max_size: 1, window: Duration::ZERO }
+    }
+
+    /// True when this config can ever form a multi-member batch.
+    pub fn enabled(&self) -> bool {
+        self.max_size >= 2
+    }
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig::disabled()
+    }
+}
+
+/// Batch-compatibility key: two queued jobs may share a batch iff their
+/// keys are equal. Fusion and sweep widths are service-global config,
+/// so shape digest (which folds in qubit count) plus precision pins the
+/// whole kernel schedule family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BatchKey {
+    /// `qgear_ir::shape_digest` of the canonical circuit.
+    pub shape: u64,
+    /// Requested numeric precision.
+    pub precision: Precision,
+}
+
+/// How one batch member's dispatch resolved, recorded in the
+/// [`BatchRecord`] audit log that the simulation oracles consume.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchMemberDisposition {
+    /// Answered from the full-result cache during the pre-execution
+    /// probe; never entered the joint pass.
+    CacheHit,
+    /// Re-sampled from a cached marginal distribution; never entered
+    /// the joint pass.
+    StateCacheHit,
+    /// Evolved in the joint batched pass and published a fresh result.
+    Executed,
+    /// The joint pass was refused (member congruence drift, planner
+    /// strategy, memory bound); this member re-ran through the ordinary
+    /// solo path with full solo semantics.
+    SoloFallback,
+    /// Cancellation had been requested before the batch executed; the
+    /// member was masked out (published `Cancelled`) without aborting
+    /// its batch-mates.
+    MaskedCancelled,
+    /// The member's deadline had passed by dispatch; masked out
+    /// (published `Expired`) without aborting its batch-mates.
+    MaskedExpired,
+    /// A mid-batch worker death landed before this member's result was
+    /// published; the member was requeued individually with its
+    /// cumulative attempt ledger intact.
+    Requeued,
+}
+
+/// Audit record of one flushed batch, appended to the service's batch
+/// log in flush order. Occupancy is `members.len()`.
+#[derive(Debug, Clone)]
+pub struct BatchRecord {
+    /// `(job id, disposition)` per member, in batch (coalescing) order.
+    pub members: Vec<(u64, BatchMemberDisposition)>,
+    /// Service-clock instant the leader was popped (coalescing began).
+    pub formed_at: Duration,
+    /// Service-clock instant the batch flushed to execution.
+    pub flushed_at: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_config_never_batches() {
+        assert!(!BatchConfig::disabled().enabled());
+        assert!(!BatchConfig::default().enabled());
+        assert!(!BatchConfig { max_size: 0, window: Duration::from_millis(5) }.enabled());
+        assert!(BatchConfig { max_size: 2, window: Duration::ZERO }.enabled());
+    }
+
+    #[test]
+    fn batch_keys_separate_shape_and_precision() {
+        let a = BatchKey { shape: 7, precision: Precision::Fp64 };
+        let b = BatchKey { shape: 7, precision: Precision::Fp32 };
+        let c = BatchKey { shape: 8, precision: Precision::Fp64 };
+        assert_eq!(a, a);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -98,6 +98,20 @@ pub enum FaultKind {
         /// Zero-based per-job generation number to corrupt.
         generation: u32,
     },
+    /// The worker dies while publishing a *batch* containing the struck
+    /// member: results for `after_members` executing members (in batch
+    /// order) are published first, then the worker dies and every
+    /// not-yet-published executing member is requeued individually at
+    /// the front of its tenant queue with its cumulative attempt ledger
+    /// intact. When the struck dispatch runs solo (batching disabled, or
+    /// the member coalesced alone) this degrades to
+    /// [`FaultKind::WorkerDeath`] at the attempt boundary. Does not
+    /// consume a retry.
+    WorkerDeathMidBatch {
+        /// Executing members whose results are published before the
+        /// death lands (0 = the batch dies before publishing anything).
+        after_members: u32,
+    },
 }
 
 /// One scheduled fault: `kind` strikes `attempt` (0-based, cumulative

@@ -49,6 +49,7 @@
 //! service.shutdown();
 //! ```
 
+pub mod batch;
 pub mod cache;
 pub mod checkpoint_store;
 pub mod fault;
@@ -57,6 +58,7 @@ pub mod job;
 pub mod scheduler;
 pub mod service;
 
+pub use batch::{BatchConfig, BatchKey, BatchMemberDisposition, BatchRecord};
 pub use cache::{MarginalCache, ResultCache};
 pub use checkpoint_store::{CheckpointGeneration, CheckpointRecord, CheckpointStore};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultSchedule};

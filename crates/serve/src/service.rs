@@ -8,6 +8,7 @@
 //! lock. Shutdown is graceful: workers drain the queue before exiting,
 //! so every admitted job reaches an outcome.
 
+use crate::batch::{BatchConfig, BatchKey, BatchMemberDisposition, BatchRecord};
 use crate::cache::{CachedMarginal, CachedResult, MarginalCache, ResultCache};
 use crate::checkpoint_store::{CheckpointRecord, CheckpointStore};
 use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
@@ -17,7 +18,7 @@ use crate::scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};
 use qgear_ir::fusion::DEFAULT_FUSION_WIDTH;
 use qgear_ir::schedule::DEFAULT_SWEEP_WIDTH;
 use qgear_ir::transpile::decompose_to_native;
-use qgear_ir::{classify, clifford_projection, Circuit};
+use qgear_ir::{classify, clifford_projection, shape_digest, Circuit};
 use qgear_num::scalar::Precision;
 use qgear_num::Scalar;
 use qgear_perfmodel::memory::{state_bytes, tableau_bytes};
@@ -28,8 +29,8 @@ use qgear_statevec::sampling::SamplingConfig;
 use qgear_statevec::segment::SegmentedRun;
 use qgear_statevec::CheckpointScalar;
 use qgear_statevec::{
-    AerCpuBackend, Counts, ExecStats, GpuDevice, RunOptions, SimError, Simulator,
-    TrajectoryBackend,
+    run_batched, AerCpuBackend, BatchMemberOutput, Counts, ExecStats, GpuDevice, RunOptions,
+    SimError, Simulator, TrajectoryBackend,
 };
 use qgear_telemetry::clock::{Clock, SharedClock, WallClock};
 use qgear_telemetry::names::{self, spans};
@@ -139,6 +140,10 @@ pub struct ServeConfig {
     /// How admission chooses among execution engines (dense state
     /// vector, stabilizer tableau, trajectory fans).
     pub selection: SelectionPolicy,
+    /// Shape-aware batch coalescing (defaults to disabled). Effective
+    /// only on the GPU backend with segmented execution off; see
+    /// [`BatchConfig`] for why the two are mutually exclusive.
+    pub batch: BatchConfig,
 }
 
 impl Default for ServeConfig {
@@ -160,6 +165,7 @@ impl Default for ServeConfig {
             backoff_slice: Duration::from_millis(1),
             clock: WallClock::shared(),
             selection: SelectionPolicy::default(),
+            batch: BatchConfig::disabled(),
         }
     }
 }
@@ -181,6 +187,9 @@ struct State {
     /// Ordered record of every checkpoint write/verify/resume decision,
     /// for the simtest oracles and operators' post-mortems.
     checkpoint_log: Vec<CheckpointRecord>,
+    /// One record per flushed batch (member ids + dispositions), in
+    /// flush order — the coalescing-conservation oracle's evidence.
+    batch_log: Vec<BatchRecord>,
     next_id: u64,
     in_flight: usize,
     shutdown: bool,
@@ -216,6 +225,7 @@ impl Service {
                 dispatch_log: Vec::new(),
                 checkpoints: CheckpointStore::new(cfg.checkpoint_generations),
                 checkpoint_log: Vec::new(),
+                batch_log: Vec::new(),
                 next_id: 0,
                 in_flight: 0,
                 shutdown: false,
@@ -288,6 +298,7 @@ impl Service {
         }
         let id = JobId(st.next_id);
         st.next_id += 1;
+        let shape = shape_digest(&canonical);
         let job = QueuedJob {
             id,
             spec,
@@ -298,6 +309,7 @@ impl Service {
             seq: 0,
             attempts_made: 0,
             engine,
+            shape,
         };
         st.queue.push(job).expect("queue not full under lock");
         counter_inc(names::SERVE_JOBS_SUBMITTED);
@@ -409,6 +421,20 @@ impl Service {
             .clone()
     }
 
+    /// The batch audit log so far — one record per flushed batch in
+    /// flush order, each listing its members' ids and dispositions.
+    /// Empty when batching is disabled. The simtest coalescing
+    /// conservation oracle replays this to prove every admitted job
+    /// landed in exactly one flush and none were lost or duplicated.
+    pub fn batch_log(&self) -> Vec<BatchRecord> {
+        self.shared
+            .state
+            .lock()
+            .expect("serve state poisoned")
+            .batch_log
+            .clone()
+    }
+
     /// Stop admitting, drain the queue, and join the workers. Idempotent;
     /// also invoked by `Drop`.
     pub fn shutdown(&self) {
@@ -469,6 +495,12 @@ fn worker_loop(shared: &Shared) {
                 st = shared.jobs_cv.wait(st).expect("serve state poisoned");
             }
         };
+        if batching_enabled(&shared.cfg) && batch_eligible(&shared.cfg, &job) {
+            let formed_at = shared.cfg.clock.now();
+            let members = coalesce(shared, job, formed_at);
+            serve_batch(shared, members, formed_at);
+            continue;
+        }
         match serve_one(shared, &job) {
             ServeStep::Outcome(outcome) => {
                 let now = shared.cfg.clock.now();
@@ -649,6 +681,7 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
                     FaultKind::Transient
                         | FaultKind::WorkerDeath
                         | FaultKind::WorkerDeathMidRun { .. }
+                        | FaultKind::WorkerDeathMidBatch { .. }
                 )
             })
             .or_else(|| {
@@ -676,6 +709,13 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
                 // Without segmented execution there are no segment
                 // boundaries to die at: degrade to a plain worker death
                 // at the attempt boundary (documented on the variant).
+                return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
+            }
+            Some(FaultKind::WorkerDeathMidBatch { .. }) => {
+                // The struck dispatch is running solo (batching disabled,
+                // or the member was ineligible): degrade to a plain
+                // worker death at the attempt boundary, as documented on
+                // the variant.
                 return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
             }
             Some(FaultKind::Transient) => {
@@ -762,6 +802,399 @@ fn run_options(cfg: &ServeConfig, job: &QueuedJob) -> RunOptions {
 /// cursor is built over its fused/sweep schedule).
 fn segmented_enabled(cfg: &ServeConfig) -> bool {
     cfg.checkpoint_interval > 0 && matches!(cfg.backend, BackendKind::Gpu(_))
+}
+
+/// Whether the coalescer may form batches at all: opted in via
+/// [`ServeConfig::batch`], GPU backend only (the joint pass is the fused
+/// GPU engine's), and never together with segmented execution — the
+/// checkpoint cursor is per job and per segment, which a joint batch
+/// pass cannot honor.
+fn batching_enabled(cfg: &ServeConfig) -> bool {
+    cfg.batch.enabled()
+        && cfg.checkpoint_interval == 0
+        && matches!(cfg.backend, BackendKind::Gpu(_))
+}
+
+/// Whether this dispatch may enter a batch: the dense engine, with no
+/// fault scheduled at its current attempt coordinates that only the solo
+/// retry loop can replay (transient strikes back off and retry; solo
+/// worker deaths requeue from inside the attempt loop).
+/// [`FaultKind::WorkerDeathMidBatch`] is the batch fault and stays
+/// eligible — the batch publisher consumes it.
+fn batch_eligible(cfg: &ServeConfig, job: &QueuedJob) -> bool {
+    if job.engine != Engine::Dense {
+        return false;
+    }
+    if cfg.fault.strikes(job.id.0, job.attempts_made) {
+        return false;
+    }
+    !cfg.schedule.events_for(job.id.0, job.attempts_made).any(|kind| {
+        matches!(
+            kind,
+            FaultKind::Transient | FaultKind::WorkerDeath | FaultKind::WorkerDeathMidRun { .. }
+        )
+    })
+}
+
+/// Pull shape-compatible, batch-eligible jobs out of the admission queue
+/// behind `leader` until the batch fills, the queue drains, shutdown
+/// begins, or the coalescing window closes. The window opens when the
+/// leader is popped and is clipped by every member's deadline instant,
+/// so coalescing never waits a member into expiry — a deadline that
+/// would land inside the window flushes the batch early instead.
+/// Each pulled mate gets its dispatch record and in-flight slot under
+/// the same lock that popped it, exactly like a solo dispatch.
+fn coalesce(shared: &Shared, leader: QueuedJob, formed_at: Duration) -> Vec<QueuedJob> {
+    let clock = shared.cfg.clock.as_ref();
+    let key = BatchKey { shape: leader.shape.0, precision: leader.spec.precision };
+    let mut end = formed_at.saturating_add(shared.cfg.batch.window);
+    if let Some(d) = leader.spec.deadline {
+        end = end.min(leader.submitted_at.saturating_add(d));
+    }
+    let mut members = vec![leader];
+    loop {
+        {
+            let mut st = shared.state.lock().expect("serve state poisoned");
+            while members.len() < shared.cfg.batch.max_size {
+                let mate = st.queue.pop_matching(|j| {
+                    j.shape.0 == key.shape
+                        && j.spec.precision == key.precision
+                        && batch_eligible(&shared.cfg, j)
+                });
+                let Some(mate) = mate else { break };
+                st.dispatch_log.push(DispatchRecord {
+                    id: mate.id,
+                    tenant: mate.spec.tenant.clone(),
+                    priority: mate.spec.priority,
+                    seq: mate.seq,
+                });
+                st.in_flight += 1;
+                histogram_record(names::SERVE_QUEUE_DEPTH, st.queue.len() as f64);
+                if let Some(d) = mate.spec.deadline {
+                    end = end.min(mate.submitted_at.saturating_add(d));
+                }
+                members.push(mate);
+            }
+            if members.len() >= shared.cfg.batch.max_size || st.queue.is_empty() || st.shutdown {
+                break;
+            }
+        }
+        let now = clock.now();
+        if now >= end {
+            break;
+        }
+        // Wait in cancel-check-sized slices like the backoff path, so a
+        // virtual clock can step through the window deterministically.
+        let slice = shared.cfg.backoff_slice.max(Duration::from_nanos(1));
+        clock.sleep_until(now.saturating_add(slice).min(end));
+    }
+    members
+}
+
+/// Publish a terminal outcome for one dispatched job — the batch path's
+/// twin of the worker loop's `Outcome` arm, byte-for-byte the same
+/// bookkeeping.
+fn publish_outcome(shared: &Shared, id: JobId, outcome: JobOutcome) {
+    let now = shared.cfg.clock.now();
+    let mut st = shared.state.lock().expect("serve state poisoned");
+    st.outcomes.insert(id.0, outcome);
+    st.outcome_at.insert(id.0, now);
+    st.cancel_requests.remove(&id.0);
+    st.checkpoints.clear(id.0);
+    st.in_flight -= 1;
+    drop(st);
+    shared.done_cv.notify_all();
+}
+
+/// Run one flushed batch to per-member terminal outcomes (or requeues).
+///
+/// Every member gets the same prologue a solo dispatch gets — cancel
+/// mask, deadline check, result-cache and marginal probes — then the
+/// survivors evolve in one joint batched pass and sample per member with
+/// their own seeds. A member masked out (cancelled, expired, answered
+/// from cache) never aborts its batch-mates. If the joint pass refuses
+/// the batch (congruence drift between same-shape members, planner
+/// strategy, memory bound), every surviving member re-runs through the
+/// ordinary solo path — trivially bit-identical, just unamortized.
+fn serve_batch(shared: &Shared, members: Vec<QueuedJob>, formed_at: Duration) {
+    let clock = shared.cfg.clock.as_ref();
+    let flushed_at = clock.now();
+    if members.len() >= 2 {
+        counter_inc(names::SERVE_BATCHES_FORMED);
+    }
+    histogram_record(names::SERVE_BATCH_OCCUPANCY, members.len() as f64);
+    histogram_record(
+        names::SERVE_BATCH_COALESCE_WAIT_MS,
+        flushed_at.saturating_sub(formed_at).as_secs_f64() * 1e3,
+    );
+
+    let mut dispositions: Vec<(u64, BatchMemberDisposition)> = Vec::with_capacity(members.len());
+    let mut executing: Vec<(QueuedJob, Duration)> = Vec::new();
+    for job in members {
+        let queue_wait = clock.now().saturating_sub(job.submitted_at);
+        match batch_precheck(shared, &job, queue_wait) {
+            Some(disposition) => dispositions.push((job.id.0, disposition)),
+            None => executing.push((job, queue_wait)),
+        }
+    }
+
+    if !executing.is_empty() {
+        let BackendKind::Gpu(device) = &shared.cfg.backend else {
+            unreachable!("batching is gated on the GPU backend");
+        };
+        let precision = executing[0].0.spec.precision;
+        let refused = match precision {
+            Precision::Fp32 => execute_batch::<f32>(shared, device, executing, &mut dispositions),
+            Precision::Fp64 => execute_batch::<f64>(shared, device, executing, &mut dispositions),
+        };
+        if let Some(rejected) = refused {
+            for (mut job, _) in rejected {
+                dispositions.push((job.id.0, BatchMemberDisposition::SoloFallback));
+                match serve_one(shared, &job) {
+                    ServeStep::Outcome(outcome) => publish_outcome(shared, job.id, outcome),
+                    ServeStep::WorkerDied { attempts_consumed } => {
+                        counter_inc(names::SERVE_WORKER_DEATHS);
+                        counter_inc(names::SERVE_REQUEUES);
+                        job.attempts_made = attempts_consumed;
+                        let mut st = shared.state.lock().expect("serve state poisoned");
+                        st.queue.requeue_front(job);
+                        st.in_flight -= 1;
+                        drop(st);
+                        shared.jobs_cv.notify_one();
+                    }
+                }
+            }
+        }
+    }
+
+    let mut st = shared.state.lock().expect("serve state poisoned");
+    st.batch_log.push(BatchRecord { members: dispositions, formed_at, flushed_at });
+}
+
+/// The solo prologue applied to one batch member at flush time. Returns
+/// the member's disposition when it resolved without executing (outcome
+/// already published), or `None` when it must enter the joint pass.
+/// Members that resolve here open their own `serve_job` span so span
+/// accounting stays one span per dispatched member.
+fn batch_precheck(
+    shared: &Shared,
+    job: &QueuedJob,
+    queue_wait: Duration,
+) -> Option<BatchMemberDisposition> {
+    let clock = shared.cfg.clock.as_ref();
+    histogram_record(names::SERVE_QUEUE_WAIT_MS, queue_wait.as_secs_f64() * 1e3);
+
+    // A cancel that landed before the flush: mask the member out.
+    if cancel_requested(shared, job.id) {
+        let _job_span = span!(spans::SERVE_JOB);
+        counter_inc(names::SERVE_JOBS_CANCELLED);
+        publish_outcome(shared, job.id, JobOutcome::Cancelled);
+        return Some(BatchMemberDisposition::MaskedCancelled);
+    }
+
+    // Deadline semantics match solo dispatch exactly: a wait of
+    // *exactly* the deadline still runs (the coalescer flushes at that
+    // boundary rather than past it).
+    if let Some(deadline) = job.spec.deadline {
+        if queue_wait > deadline {
+            let _job_span = span!(spans::SERVE_JOB);
+            counter_inc(names::SERVE_JOBS_EXPIRED);
+            publish_outcome(shared, job.id, JobOutcome::Expired);
+            return Some(BatchMemberDisposition::MaskedExpired);
+        }
+    }
+
+    let cached = {
+        let mut st = shared.state.lock().expect("serve state poisoned");
+        if shared.cfg.schedule.corrupts_cache(job.id.0) && st.cache.invalidate(job.key) {
+            counter_inc(names::SERVE_CACHE_CORRUPTIONS);
+            None
+        } else {
+            st.cache.get(job.key)
+        }
+    };
+    if let Some(hit) = cached {
+        let _job_span = span!(spans::SERVE_JOB);
+        let service_time = clock.now().saturating_sub(job.submitted_at);
+        record_completion(&job.spec, service_time);
+        publish_outcome(
+            shared,
+            job.id,
+            JobOutcome::Completed(Box::new(JobResult {
+                counts: hit.counts,
+                stats: hit.stats,
+                from_cache: true,
+                from_state_cache: false,
+                attempts: 0,
+                queue_wait,
+                service_time,
+            })),
+        );
+        return Some(BatchMemberDisposition::CacheHit);
+    }
+
+    // Members are Dense by eligibility, so the marginal probe applies
+    // unconditionally, mirroring `serve_one`.
+    let marginal = {
+        let st = shared.state.lock().expect("serve state poisoned");
+        st.marginals.get(job.state_key)
+    };
+    if let Some(hit) = marginal {
+        let _job_span = span!(spans::SERVE_JOB);
+        let sample_span = span!(spans::SAMPLE);
+        let cfg = SamplingConfig {
+            shots: job.spec.shots,
+            seed: job.spec.seed,
+            batch_shots: job.spec.shot_batch,
+        };
+        let counts = sample_from_probs(&hit.probs, &hit.measured, &cfg);
+        drop(sample_span);
+        let mut stats = hit.stats.clone();
+        stats.elapsed = Duration::ZERO; // no simulation happened for *this* job
+        {
+            let mut st = shared.state.lock().expect("serve state poisoned");
+            st.cache.insert(job.key, CachedResult { counts: counts.clone(), stats: stats.clone() });
+        }
+        let service_time = clock.now().saturating_sub(job.submitted_at);
+        record_completion(&job.spec, service_time);
+        publish_outcome(
+            shared,
+            job.id,
+            JobOutcome::Completed(Box::new(JobResult {
+                counts,
+                stats,
+                from_cache: false,
+                from_state_cache: true,
+                attempts: 0,
+                queue_wait,
+                service_time,
+            })),
+        );
+        return Some(BatchMemberDisposition::StateCacheHit);
+    }
+
+    None
+}
+
+/// Evolve the surviving members in one joint batched pass and publish
+/// per-member results. Returns the members untouched when the joint
+/// pass refuses the batch (the caller falls back to solo dispatch);
+/// `None` means every member was published or requeued.
+///
+/// A scheduled [`FaultKind::WorkerDeathMidBatch`] on any executing
+/// member arms a death after `after_members` results have been
+/// published (batch order): every remaining member is requeued
+/// individually with its cumulative attempt ledger advanced past the
+/// dying dispatch, exactly like a solo worker death.
+fn execute_batch<T: Scalar>(
+    shared: &Shared,
+    device: &GpuDevice,
+    members: Vec<(QueuedJob, Duration)>,
+    dispositions: &mut Vec<(u64, BatchMemberDisposition)>,
+) -> Option<Vec<(QueuedJob, Duration)>> {
+    let cfg = &shared.cfg;
+    let clock = cfg.clock.as_ref();
+    // Evolution options mirror the solo `evolve_and_sample` prologue:
+    // same fusion/sweep knobs, sampling deferred to the per-member loop.
+    let evolve_opts = RunOptions {
+        shots: 0,
+        keep_state: true,
+        fusion_width: cfg.fusion_width,
+        sweep_width: cfg.sweep_width,
+        memory_limit: Some(cfg.backend.memory_bytes()),
+        ..RunOptions::default()
+    };
+    let circuits: Vec<&Circuit> = members.iter().map(|(j, _)| &j.canonical).collect();
+    let outputs: Vec<BatchMemberOutput<T>> = match run_batched(device, &circuits, &evolve_opts) {
+        Ok(outputs) => outputs,
+        Err(_) => return Some(members),
+    };
+
+    // Mid-batch death: the first member (batch order) with a scheduled
+    // `WorkerDeathMidBatch` at its current attempt coordinates arms it.
+    let death = members.iter().find_map(|(job, _)| {
+        cfg.schedule.events_for(job.id.0, job.attempts_made).find_map(|kind| match kind {
+            FaultKind::WorkerDeathMidBatch { after_members } => Some(after_members),
+            _ => None,
+        })
+    });
+
+    let mut published: u32 = 0;
+    let mut requeue: Vec<QueuedJob> = Vec::new();
+    for ((job, queue_wait), out) in members.into_iter().zip(outputs) {
+        if death.is_some_and(|after| published >= after) {
+            // The dying dispatch still opens its `serve_job` span — the
+            // member *was* dispatched; span accounting counts it.
+            let _job_span = span!(spans::SERVE_JOB);
+            dispositions.push((job.id.0, BatchMemberDisposition::Requeued));
+            requeue.push(job);
+            continue;
+        }
+        let _job_span = span!(spans::SERVE_JOB);
+        let _attempt_span = span!(spans::SERVE_ATTEMPT);
+        let attempts = job.attempts_made + 1;
+        let mut stats = out.stats;
+        let (_, measured) = job.canonical.split_measurements();
+        let (counts, marginal) = if measured.is_empty() {
+            (None, None)
+        } else {
+            let sample_start = clock.now();
+            let sample_span = span!(spans::SAMPLE);
+            let probs = Arc::new(marginal_probs(&out.state, &measured));
+            let sampling = SamplingConfig {
+                shots: job.spec.shots,
+                seed: job.spec.seed,
+                batch_shots: job.spec.shot_batch,
+            };
+            let counts = sample_from_probs(&probs, &measured, &sampling);
+            drop(sample_span);
+            stats.sampling_elapsed += clock.now().saturating_sub(sample_start);
+            let marginal =
+                CachedMarginal { probs, measured: Arc::new(measured), stats: stats.clone() };
+            (counts, Some(marginal))
+        };
+        {
+            let mut st = shared.state.lock().expect("serve state poisoned");
+            st.cache
+                .insert(job.key, CachedResult { counts: counts.clone(), stats: stats.clone() });
+            if let Some(m) = marginal {
+                st.marginals.insert(job.state_key, m);
+            }
+        }
+        let service_time = clock.now().saturating_sub(job.submitted_at);
+        record_completion(&job.spec, service_time);
+        publish_outcome(
+            shared,
+            job.id,
+            JobOutcome::Completed(Box::new(JobResult {
+                counts,
+                stats,
+                from_cache: false,
+                from_state_cache: false,
+                attempts,
+                queue_wait,
+                service_time,
+            })),
+        );
+        dispositions.push((job.id.0, BatchMemberDisposition::Executed));
+        published += 1;
+    }
+
+    if death.is_some() {
+        // One death, however many members it stranded (possibly zero).
+        counter_inc(names::SERVE_WORKER_DEATHS);
+        let mut st = shared.state.lock().expect("serve state poisoned");
+        // requeue_front in reverse keeps the members' relative order.
+        for mut job in requeue.into_iter().rev() {
+            counter_inc(names::SERVE_REQUEUES);
+            job.attempts_made += 1;
+            st.queue.requeue_front(job);
+            st.in_flight -= 1;
+        }
+        drop(st);
+        shared.jobs_cv.notify_all();
+    }
+    None
 }
 
 /// The admission decision: which engine runs the job, and the circuit it
@@ -1293,6 +1726,62 @@ mod tests {
             "nothing corrupt may ever be resumed from: {log:?}"
         );
         service.shutdown();
+    }
+
+    #[test]
+    fn batched_service_matches_solo_results_bit_for_bit() {
+        // Six same-shape jobs with distinct rotation angles. However the
+        // coalescer groups them (races decide occupancy under the wall
+        // clock), every member's counts must equal the batching-disabled
+        // service's, and the batch log must conserve jobs: each id in at
+        // most one flush, no duplicates.
+        let circuits: Vec<Circuit> = (0..6)
+            .map(|i| {
+                let mut c = Circuit::new(3);
+                c.h(0).ry(0.2 + 0.31 * f64::from(i), 1).cx(0, 1).cx(1, 2).measure_all();
+                c
+            })
+            .collect();
+
+        let batched = Service::start(ServeConfig {
+            workers: 2,
+            batch: BatchConfig { max_size: 8, window: Duration::from_millis(2) },
+            cache_capacity: 0,
+            state_cache_capacity: 0,
+            ..Default::default()
+        });
+        let ids: Vec<JobId> = circuits
+            .iter()
+            .map(|c| batched.submit(JobSpec::new(c.clone()).shots(200).seed(7)).job_id().unwrap())
+            .collect();
+        let batched_counts: Vec<_> = ids
+            .iter()
+            .map(|&id| batched.wait(id).unwrap().result().unwrap().counts.clone())
+            .collect();
+        let log = batched.batch_log();
+        let mut seen = std::collections::HashSet::new();
+        for record in &log {
+            for &(id, _) in &record.members {
+                assert!(seen.insert(id), "job {id} appears in two flushes: {log:?}");
+            }
+        }
+        batched.shutdown();
+
+        let solo = Service::start(ServeConfig {
+            workers: 1,
+            cache_capacity: 0,
+            state_cache_capacity: 0,
+            ..Default::default()
+        });
+        for (c, batched_counts) in circuits.iter().zip(&batched_counts) {
+            let id = solo.submit(JobSpec::new(c.clone()).shots(200).seed(7)).job_id().unwrap();
+            let solo_counts = solo.wait(id).unwrap().result().unwrap().counts.clone();
+            assert_eq!(
+                &solo_counts, batched_counts,
+                "batched member must be bit-identical to its solo run"
+            );
+        }
+        solo.shutdown();
     }
 
     #[test]

@@ -25,8 +25,8 @@ use crate::scenario::{JobDef, Op, Scenario, TENANTS};
 use crate::trace::{counts_hash, ns, OutcomeSummary, Trace, TraceEvent};
 use qgear_ir::transpile::decompose_to_native;
 use qgear_serve::{
-    Admission, CheckpointRecord, FaultKind, FaultPlan, FaultSchedule, JobId, JobOutcome, JobSpec,
-    ServeConfig, ServeError, Service,
+    Admission, BatchConfig, BatchRecord, CheckpointRecord, FaultKind, FaultPlan, FaultSchedule,
+    JobId, JobOutcome, JobSpec, ServeConfig, ServeError, Service,
 };
 use qgear_statevec::{GpuDevice, RunOptions, RunOutput, Simulator};
 use std::collections::{BTreeMap, HashMap};
@@ -93,6 +93,9 @@ pub struct SimReport {
     /// The service's checkpoint activity log (writes, verify failures,
     /// resumes, cold restarts), in worker order.
     pub checkpoint_log: Vec<CheckpointRecord>,
+    /// The service's batch audit log (one record per coalesced flush),
+    /// empty when the scenario ran without batching.
+    pub batch_log: Vec<BatchRecord>,
     /// Whether the release phase hit its real-time budget.
     pub timed_out: bool,
     /// Oracle violations (empty ⇔ the run was sound).
@@ -146,13 +149,26 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
     // Fusion window 1 with sweeping off makes the schedule one step per
     // gate, so even the small scenario circuits span several segments —
     // mid-run deaths and checkpoint generations are actually exercised.
+    //
+    // When the scenario opts into batching, segmented (checkpointed)
+    // execution is turned off — the service keeps the two mutually
+    // exclusive — and the coalescer window runs on the same virtual
+    // clock, so flush instants are as deterministic as everything else.
+    let batch = match scenario.batch {
+        Some(p) => BatchConfig {
+            max_size: p.max_size,
+            window: Duration::from_micros(p.window_us),
+        },
+        None => BatchConfig::disabled(),
+    };
     let service = Service::start(ServeConfig {
         workers: 1,
         queue_capacity: 1024,
         fusion_width: HARNESS_FUSION_WIDTH,
         sweep_width: HARNESS_SWEEP_WIDTH,
-        checkpoint_interval: 1,
+        checkpoint_interval: if batch.enabled() { 0 } else { 1 },
         checkpoint_generations: 3,
+        batch,
         fault: FaultPlan::with_rate(scenario.fault_rate, scenario.seed),
         schedule,
         retry_backoff: pin,
@@ -249,6 +265,7 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
     let mut outcome_times = BTreeMap::new();
     let mut dispatch_counts = BTreeMap::new();
     let mut checkpoint_log = Vec::new();
+    let mut batch_log = Vec::new();
     let mut clean_hashes = BTreeMap::new();
     if timed_out {
         // The worker may be parked on virtual time forever; joining it
@@ -270,6 +287,7 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
             *dispatch_counts.entry(record.id.0).or_insert(0usize) += 1;
         }
         checkpoint_log = service.checkpoint_log();
+        batch_log = service.batch_log();
 
         // Fault-free mirror of every scenario job, memoized per def
         // (duplicated defs are common by construction).
@@ -292,6 +310,7 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         dispatch_counts: &dispatch_counts,
         trace: &trace,
         checkpoint_log: &checkpoint_log,
+        batch_log: &batch_log,
         clean_hashes: &clean_hashes,
         cancel_latency_bound: pin,
     }));
@@ -304,6 +323,7 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         dispatch_counts,
         accepted,
         checkpoint_log,
+        batch_log,
         timed_out,
         violations,
     }
@@ -335,5 +355,30 @@ mod tests {
         assert!(a.is_ok(), "violations: {:?}", a.violations);
         assert_eq!(a.trace.render(), b.trace.render());
         assert_eq!(a.trace_hash(), b.trace_hash());
+    }
+
+    #[test]
+    fn batched_scenario_coalesces_and_holds_every_oracle() {
+        // Four same-shape submits land while the worker is pinned, so
+        // once released the leader finds three compatible companions
+        // immediately: one multi-member flush, oracles still clean.
+        let mut scenario = Scenario::empty(1).batched(4, 500);
+        for _ in 0..4 {
+            scenario = scenario.op(Op::Submit(JobDef::bell()));
+        }
+        scenario = scenario.op(Op::Advance(Duration::from_micros(50)));
+        let report = run_scenario(&scenario);
+        assert!(report.is_ok(), "violations: {:?}", report.violations);
+        assert!(
+            report.batch_log.iter().any(|r| r.members.len() >= 2),
+            "expected a coalesced flush, got {:?}",
+            report.batch_log
+        );
+        for id in 1..=4 {
+            assert!(matches!(
+                report.outcomes.get(&id),
+                Some(OutcomeSummary::Completed { .. })
+            ));
+        }
     }
 }

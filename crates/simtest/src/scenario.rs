@@ -125,6 +125,17 @@ pub enum Op {
     },
 }
 
+/// Batch-coalescing knobs a scenario may switch on (in [`Scenario`]'s
+/// `batch` field). `None` keeps the legacy one-job-per-dispatch
+/// behavior byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchParams {
+    /// Largest batch the coalescer may form (≥ 2 to matter).
+    pub max_size: usize,
+    /// Coalescing window in virtual microseconds.
+    pub window_us: u64,
+}
+
 /// A complete, replayable failure scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -138,12 +149,22 @@ pub struct Scenario {
     /// Rate for the background [`qgear_serve::FaultPlan`] (seeded by
     /// `seed`); 0 disables it.
     pub fault_rate: f64,
+    /// Batch coalescing configuration; `None` (the legacy default) runs
+    /// one job per dispatch. The harness disables segmented execution
+    /// when this is set (the service refuses the combination anyway).
+    pub batch: Option<BatchParams>,
 }
 
 impl Scenario {
     /// An empty scenario to build on.
     pub fn empty(seed: u64) -> Self {
-        Scenario { seed, ops: Vec::new(), events: Vec::new(), fault_rate: 0.0 }
+        Scenario { seed, ops: Vec::new(), events: Vec::new(), fault_rate: 0.0, batch: None }
+    }
+
+    /// Builder: switch on batch coalescing.
+    pub fn batched(mut self, max_size: usize, window_us: u64) -> Self {
+        self.batch = Some(BatchParams { max_size, window_us });
+        self
     }
 
     /// Builder: append an op.
@@ -254,7 +275,33 @@ impl Scenario {
             }
         }
         let fault_rate = if rng.chance(1, 4) { 0.3 } else { 0.0 };
-        Scenario { seed, ops, events, fault_rate }
+        Scenario { seed, ops, events, fault_rate, batch: None }
+    }
+
+    /// Generate a random *batched* scenario: [`Scenario::generate`]'s
+    /// job/op mix, plus batch coalescing switched on and the fault
+    /// script extended with mid-batch worker deaths. Deterministic in
+    /// `seed`, and a distinct function from `generate` so the legacy
+    /// seed corpus keeps its meaning.
+    pub fn generate_batched(seed: u64) -> Self {
+        let mut scenario = Scenario::generate(seed);
+        let mut rng = SimRng::new(seed ^ 0xBA7C_4ED0_5EED_0001);
+        let jobs = scenario.job_count() as u64;
+        scenario.batch = Some(BatchParams {
+            max_size: 2 + rng.below(7) as usize,
+            window_us: 50 + rng.below(2000),
+        });
+        // 1–2 mid-batch deaths aimed at random jobs' first dispatches.
+        for _ in 0..1 + rng.below(2) {
+            scenario.events.push(FaultEvent {
+                job: rng.below(jobs),
+                attempt: rng.below(2) as u32,
+                kind: FaultKind::WorkerDeathMidBatch {
+                    after_members: rng.below(3) as u32,
+                },
+            });
+        }
+        scenario
     }
 }
 

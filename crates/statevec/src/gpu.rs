@@ -463,7 +463,7 @@ impl GpuDevice {
 /// One kernel's precomputed application plan inside a sweep tile: the
 /// matrix (or diagonal) in execution precision plus its qubit positions
 /// remapped into tile-slot space.
-enum KernelPlan<T: Scalar> {
+pub(crate) enum KernelPlan<T: Scalar> {
     /// Pure phase pattern: element-wise multiply, no data movement.
     Diag {
         /// Diagonal entries in execution precision.
@@ -511,7 +511,7 @@ impl<T: Scalar> KernelPlan<T> {
     /// cross-block matrix entries are below the `mixing_mask` tolerance
     /// (1e-12), so the factored product matches the dense one to well
     /// under the engines' agreement tolerance.
-    fn factored(b: &FusedBlock, mixing: &[bool], masks: &[usize]) -> Self {
+    pub(crate) fn factored(b: &FusedBlock, mixing: &[bool], masks: &[usize]) -> Self {
         let k = b.qubits.len();
         let dim = 1usize << k;
         let mixed_bits: Vec<usize> = (0..k).filter(|&j| mixing[j]).collect();
@@ -565,7 +565,7 @@ impl<T: Scalar> KernelPlan<T> {
     /// Apply this kernel to a gathered tile, in place. `Diag` and `Dense`
     /// arithmetic is bit-identical to the full-state paths in
     /// `apply_block`; `Factored` agrees to the factorization tolerance.
-    fn apply(&self, scratch: &mut [Complex<T>], tile: usize) {
+    pub(crate) fn apply(&self, scratch: &mut [Complex<T>], tile: usize) {
         match self {
             KernelPlan::Diag { d, masks } => {
                 for (i, amp) in scratch.iter_mut().enumerate() {
@@ -654,7 +654,7 @@ impl<T: Scalar> KernelPlan<T> {
 /// Raw shared pointer wrapper used to hand disjoint slices of the state to
 /// rayon tasks. All writes go to group-disjoint indices (see
 /// [`GpuDevice::apply_block`]), so no two tasks alias.
-struct SharedState<T>(*mut Complex<T>);
+pub(crate) struct SharedState<T>(pub(crate) *mut Complex<T>);
 unsafe impl<T> Send for SharedState<T> {}
 unsafe impl<T> Sync for SharedState<T> {}
 
@@ -662,14 +662,14 @@ impl<T: Scalar> SharedState<T> {
     /// SAFETY: caller guarantees `i` is in bounds and no concurrent task
     /// writes the same index.
     #[inline(always)]
-    unsafe fn read(&self, i: usize) -> Complex<T> {
+    pub(crate) unsafe fn read(&self, i: usize) -> Complex<T> {
         *self.0.add(i)
     }
 
     /// SAFETY: caller guarantees `i` is in bounds and uniquely owned by the
     /// calling task for the duration of the kernel.
     #[inline(always)]
-    unsafe fn write(&self, i: usize, v: Complex<T>) {
+    pub(crate) unsafe fn write(&self, i: usize, v: Complex<T>) {
         *self.0.add(i) = v;
     }
 }

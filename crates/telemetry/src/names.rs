@@ -110,9 +110,21 @@ pub const SERVE_CACHE_CORRUPTIONS: &str = "serve.cache_corruptions";
 /// requeues the victim job at the front of its tenant queue.
 pub const SERVE_WORKER_DEATHS: &str = "serve.worker_deaths";
 
-/// Jobs requeued after a worker death (conservation evidence: deaths
-/// and requeues must match).
+/// Jobs requeued after a worker death (conservation evidence: one
+/// requeue per death on the solo path, one per surviving batch member
+/// when a death lands mid-batch).
 pub const SERVE_REQUEUES: &str = "serve.requeues";
+
+/// Batches flushed to a worker by the shape-aware coalescer
+/// (`qgear-serve`); a solo dispatch does not count.
+pub const SERVE_BATCHES_FORMED: &str = "serve.batch.formed";
+
+/// Histogram of members per flushed batch (coalescer occupancy).
+pub const SERVE_BATCH_OCCUPANCY: &str = "serve.batch.occupancy";
+
+/// Histogram of time a batch leader spent coalescing (pop → flush),
+/// milliseconds of service-clock time.
+pub const SERVE_BATCH_COALESCE_WAIT_MS: &str = "serve.batch.coalesce_wait_ms";
 
 /// In-flight jobs cancelled while waiting out a retry backoff.
 pub const SERVE_CANCELLED_IN_BACKOFF: &str = "serve.cancelled_in_backoff";

@@ -35,6 +35,13 @@ cargo run --release -p qgear-bench --bin hotpath -- --smoke --enforce-planned
 echo "==> bench_backends smoke (stabilizer scaling + trajectory throughput)"
 cargo run --release -p qgear-bench --bin bench_backends -- --smoke
 
+# Batch coalescing smoke: solo vs batched on the same job stream, with
+# bitwise-identical per-job counts asserted across modes and a ≥2×
+# modeled-throughput floor enforced by the binary itself; emits
+# BENCH_serve_batch_smoke.json (docs/SERVING.md).
+echo "==> bench_serve_batch smoke (coalescing throughput + cross-mode bit identity)"
+cargo run --release -p qgear-bench --bin bench_serve_batch -- --smoke
+
 # Deterministic simulation matrix: the simtest suite re-runs under four
 # fixed scenario seeds so the oracle properties — including the
 # checkpoint-recovery acceptance scenario (die mid-run, newest

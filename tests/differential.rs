@@ -688,3 +688,78 @@ fn serve_counts_match_direct_evolve_and_sample() {
     let direct = sample_from_probs(&probs, &measured, &cfg).expect("counts");
     assert_eq!(served.map, direct.map, "served counts must replay bit-identically");
 }
+
+/// Batch-of-1 differential: a job served through the batched dispatch
+/// path — coalescing enabled, batch occupancy one — produces counts
+/// bit-identical to (a) the same service with batching disabled and
+/// (b) directly evolving and sampling the canonical circuit with the
+/// same knobs. The joint pass itself is held to the same standard: a
+/// single-member `run_batched` evolves amplitudes bit-identical to the
+/// solo engine. Batching must be a pure dispatch decision, invisible in
+/// every result bit.
+#[test]
+fn batch_of_one_is_bit_identical_to_solo_serving_and_direct_execution() {
+    use qgear_serve::{BatchConfig, BatchMemberDisposition};
+    use std::time::Duration;
+
+    // Rotation angles keep the circuit off the Clifford/stabilizer path
+    // so admission selects the dense engine the coalescer batches.
+    let mut circ = Circuit::new(5);
+    for q in 0..5 {
+        circ.h(q).ry(0.23 + 0.31 * f64::from(q), q);
+    }
+    for q in 0..4 {
+        circ.cx(q, q + 1);
+    }
+    circ.measure_all();
+    let spec = || JobSpec::new(circ.clone()).shots(1024).seed(99).shot_batch(32);
+
+    // Through the batched dispatch path, alone in its batch.
+    let batched_service = Service::start(ServeConfig {
+        workers: 1,
+        checkpoint_interval: 0,
+        batch: BatchConfig { max_size: 4, window: Duration::from_micros(200) },
+        ..Default::default()
+    });
+    let id = batched_service.submit(spec()).job_id().expect("accepted");
+    let batched = batched_service.wait(id).expect("completes");
+    let batched = batched.result().expect("success").counts.clone().expect("counts");
+    batched_service.shutdown();
+    let log = batched_service.batch_log();
+    assert_eq!(log.len(), 1, "one dispatch, one batch record");
+    assert_eq!(log[0].members.len(), 1, "the job rode alone");
+    assert_eq!(log[0].members[0].1, BatchMemberDisposition::Executed);
+
+    // Through the pre-batching solo path.
+    let solo_service = Service::start(ServeConfig { workers: 1, ..Default::default() });
+    let id = solo_service.submit(spec()).job_id().expect("accepted");
+    let solo = solo_service.wait(id).expect("completes");
+    let solo = solo.result().expect("success").counts.clone().expect("counts");
+    solo_service.shutdown();
+    assert!(solo_service.batch_log().is_empty(), "batching disabled logs nothing");
+    assert_eq!(batched.map, solo.map, "batch-of-1 counts must match solo serving");
+
+    // Directly: single-member joint pass, then the shared sampling
+    // pipeline. Amplitudes first — the stronger claim.
+    let canonical =
+        if circ.is_native() { circ.clone() } else { transpile::decompose_to_native(&circ).0 };
+    let evolve = RunOptions { shots: 0, keep_state: true, ..Default::default() };
+    let joint = qgear_statevec::run_batched::<f64>(
+        &GpuDevice::a100_40gb(),
+        &[&canonical],
+        &evolve,
+    )
+    .expect("single-member batch");
+    let direct: RunOutput<f64> =
+        GpuDevice::a100_40gb().run(&canonical, &evolve).expect("gpu run");
+    let direct_state = direct.state.expect("state");
+    for (a, b) in joint[0].state.amplitudes().iter().zip(direct_state.amplitudes()) {
+        assert_eq!(a.re.to_bits(), b.re.to_bits(), "joint pass amplitude drift");
+        assert_eq!(a.im.to_bits(), b.im.to_bits());
+    }
+    let (_, measured) = canonical.split_measurements();
+    let probs = marginal_probs(&joint[0].state, &measured);
+    let cfg = SamplingConfig { shots: 1024, seed: 99, batch_shots: 32 };
+    let from_joint = sample_from_probs(&probs, &measured, &cfg).expect("counts");
+    assert_eq!(batched.map, from_joint.map, "served batch-of-1 must replay the joint pass");
+}

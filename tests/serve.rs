@@ -13,9 +13,10 @@
 use proptest::prelude::*;
 use qgear_ir::Circuit;
 use qgear_serve::{
-    Admission, AdmissionQueue, CircuitKey, Engine, JobId, JobOutcome, JobSpec, Priority,
-    QueuedJob, ServeConfig, Service,
+    Admission, AdmissionQueue, BatchConfig, BatchMemberDisposition, BatchRecord, CircuitKey,
+    Engine, JobId, JobOutcome, JobSpec, Priority, QueuedJob, ServeConfig, Service,
 };
+use qgear_statevec::Counts;
 use qgear_telemetry::names;
 use std::collections::{HashMap, HashSet};
 use std::time::Duration;
@@ -30,6 +31,7 @@ fn priority_of(p: u8) -> Priority {
 
 fn queued(id: u64, tenant: u8, priority: u8) -> QueuedJob {
     let circuit = Circuit::new(1);
+    let shape = qgear_ir::shape_digest(&circuit);
     QueuedJob {
         id: JobId(id),
         spec: JobSpec::new(circuit.clone())
@@ -42,6 +44,7 @@ fn queued(id: u64, tenant: u8, priority: u8) -> QueuedJob {
         seq: 0,
         attempts_made: 0,
         engine: Engine::Dense,
+        shape,
     }
 }
 
@@ -285,4 +288,228 @@ fn control_plane_outcomes_are_explicit() {
         service.submit(JobSpec::new(c)),
         Admission::ShuttingDown
     ));
+}
+
+// ---------------------------------------------------------------------------
+// Batch-invariance tier: batching is invisible in results.
+//
+// A member's counts must be bit-identical to a solo dispatch of the same
+// spec regardless of which batch it landed in, batch size, member order,
+// and worker thread count. The tests below run the same job set through
+// a solo reference service and through batched services with varied
+// coalescing caps, submission orders and worker pools, then compare
+// per-member counts exactly and check the batch log conserves jobs.
+// ---------------------------------------------------------------------------
+
+/// The shared sweep ansatz, parameterised per job: same shape digest for
+/// every `(qubits, layers)` pair, distinct angles.
+fn ladder(qubits: u32, layers: u32, phase: f64) -> Circuit {
+    let mut c = Circuit::new(qubits);
+    for l in 0..layers {
+        for q in 0..qubits {
+            c.h(q).ry(phase + 0.31 * f64::from(l) + 0.07 * f64::from(q), q);
+        }
+        for q in 0..qubits - 1 {
+            c.cx(q, q + 1);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// A structurally different non-Clifford family (stays on the Dense
+/// engine) so mixed queues hold more than one shape.
+fn twister(qubits: u32, phase: f64) -> Circuit {
+    let mut c = Circuit::new(qubits);
+    for q in 0..qubits {
+        c.ry(phase + 0.13 * f64::from(q), q);
+    }
+    for q in 0..qubits {
+        c.cx(q, (q + 1) % qubits);
+    }
+    for q in 0..qubits {
+        c.rz(0.5 * phase + 0.11 * f64::from(q), q);
+    }
+    c.measure_all();
+    c
+}
+
+/// Submit `specs` in `order`, wait for every job, return counts indexed
+/// by the job's position in `specs` plus the complete batch log (read
+/// after shutdown, which joins the workers, so the final record —
+/// appended after its members' outcomes publish — is always present).
+fn run_jobs(
+    specs: &[JobSpec],
+    order: &[usize],
+    workers: usize,
+    batch: BatchConfig,
+) -> (Vec<Counts>, Vec<BatchRecord>) {
+    let service = Service::start(ServeConfig {
+        workers,
+        queue_capacity: specs.len() + 8,
+        // Caches off so every member actually executes; cache hits have
+        // their own invariance coverage in the tier above.
+        cache_capacity: 0,
+        state_cache_capacity: 0,
+        batch,
+        ..Default::default()
+    });
+    let mut ids: Vec<Option<JobId>> = vec![None; specs.len()];
+    for &i in order {
+        ids[i] = Some(
+            service
+                .submit(specs[i].clone())
+                .job_id()
+                .expect("invariance jobs are admissible"),
+        );
+    }
+    let mut counts = Vec::with_capacity(specs.len());
+    for (i, id) in ids.iter().enumerate() {
+        match service.wait(id.expect("every spec submitted")) {
+            Some(JobOutcome::Completed(r)) => {
+                counts.push(r.counts.expect("measured circuit yields counts"));
+            }
+            other => panic!("job {i} did not complete: {other:?}"),
+        }
+    }
+    service.shutdown();
+    let log = service.batch_log();
+    (counts, log)
+}
+
+/// The batch log must account for every submitted job exactly once, and
+/// (fault-free, caches off) every member must have actually run.
+fn assert_log_conserves(log: &[BatchRecord], jobs: usize) {
+    let mut seen = HashSet::new();
+    for record in log {
+        assert!(!record.members.is_empty(), "empty batch record flushed");
+        assert!(record.flushed_at >= record.formed_at);
+        for &(id, disposition) in &record.members {
+            assert!(seen.insert(id), "job {id} appears in two batch records");
+            assert!(
+                matches!(
+                    disposition,
+                    BatchMemberDisposition::Executed | BatchMemberDisposition::SoloFallback
+                ),
+                "fault-free cache-free member resolved {disposition:?}"
+            );
+        }
+    }
+    assert_eq!(seen.len(), jobs, "batch log must cover every job exactly once");
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` (no external RNG in
+/// the shim workspace; an LCG is plenty for order scrambling).
+fn permuted(n: usize, seed: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut s = seed | 1;
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = ((s >> 33) as usize) % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Fixed-workload statement of the invariance contract: one mixed-shape
+/// job set, one solo reference, four batched configurations spanning
+/// batch size, member order and worker count. Every configuration must
+/// reproduce the reference counts bit-for-bit.
+#[test]
+fn member_counts_are_invariant_to_batch_size_order_and_worker_count() {
+    let jobs = 12usize;
+    let specs: Vec<JobSpec> = (0..jobs)
+        .map(|i| {
+            let circuit = if i % 2 == 0 {
+                ladder(4, 2, 0.11 * i as f64)
+            } else {
+                twister(3, 0.29 * i as f64)
+            };
+            JobSpec::new(circuit)
+                .shots(192)
+                .seed(0x17A5 + i as u64)
+                .tenant(tenant_name((i % 3) as u8))
+        })
+        .collect();
+
+    let forward: Vec<usize> = (0..jobs).collect();
+    let reversed: Vec<usize> = (0..jobs).rev().collect();
+    let evens_then_odds: Vec<usize> =
+        (0..jobs).step_by(2).chain((1..jobs).step_by(2)).collect();
+
+    let (reference, solo_log) = run_jobs(&specs, &forward, 1, BatchConfig::disabled());
+    assert!(solo_log.is_empty(), "disabled batching must not log batches");
+
+    let window = Duration::from_millis(5);
+    let variants: [(&str, &[usize], usize, usize); 4] = [
+        ("1 worker, cap 4", &forward, 1, 4),
+        ("4 workers, cap 8", &forward, 4, 8),
+        ("2 workers, cap 3, reversed order", &reversed, 2, 3),
+        ("3 workers, cap 12, shapes segregated", &evens_then_odds, 3, 12),
+    ];
+    let mut coalesced_anywhere = false;
+    for (label, order, workers, max_size) in variants {
+        let (counts, log) =
+            run_jobs(&specs, order, workers, BatchConfig { max_size, window });
+        for (i, (got, want)) in counts.iter().zip(&reference).enumerate() {
+            assert_eq!(got, want, "{label}: job {i} counts differ from solo reference");
+        }
+        assert_log_conserves(&log, jobs);
+        coalesced_anywhere |= log.iter().any(|r| r.members.len() >= 2);
+    }
+    assert!(
+        coalesced_anywhere,
+        "at least one configuration must have formed a multi-member batch"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Property form over random shape mixes (case count scales with
+    /// `QGEAR_PROPTEST_CASES`): arbitrary interleavings of three shape
+    /// families with random angles, shots, seeds, submission order,
+    /// worker count and coalescing cap all reproduce the solo reference
+    /// counts bit-for-bit, and the batch log conserves jobs.
+    #[test]
+    fn batched_counts_match_solo_for_random_shape_mixes(
+        mix in proptest::collection::vec(
+            (0u8..3, 0.0..std::f64::consts::TAU, 6u32..9, any::<u64>()),
+            3..10,
+        ),
+        workers in 1usize..5,
+        max_size in 2usize..7,
+        shuffle in any::<u64>(),
+    ) {
+        let specs: Vec<JobSpec> = mix
+            .iter()
+            .enumerate()
+            .map(|(i, &(family, phase, shots_pow, seed))| {
+                let circuit = match family {
+                    0 => ladder(3, 2, phase),
+                    1 => ladder(4, 1, phase),
+                    _ => twister(3, phase),
+                };
+                JobSpec::new(circuit)
+                    .shots(1 << shots_pow)
+                    .seed(seed)
+                    .tenant(tenant_name((i % 3) as u8))
+            })
+            .collect();
+
+        let forward: Vec<usize> = (0..specs.len()).collect();
+        let (reference, _) = run_jobs(&specs, &forward, 1, BatchConfig::disabled());
+
+        let order = permuted(specs.len(), shuffle);
+        let (counts, log) = run_jobs(
+            &specs,
+            &order,
+            workers,
+            BatchConfig { max_size, window: Duration::from_micros(500) },
+        );
+        for (i, (got, want)) in counts.iter().zip(&reference).enumerate() {
+            prop_assert_eq!(got, want, "job {} counts differ from solo reference", i);
+        }
+        assert_log_conserves(&log, specs.len());
+    }
 }

@@ -17,8 +17,8 @@
 use qgear_cluster::ClusterEngine;
 use qgear_ir::Circuit;
 use qgear_serve::{
-    CheckpointRecord, FaultKind, FaultPlan, FaultSchedule, JobOutcome, JobSpec, ServeConfig,
-    ServeError, Service,
+    BatchConfig, BatchMemberDisposition, CheckpointRecord, FaultKind, FaultPlan, FaultSchedule,
+    JobOutcome, JobSpec, ServeConfig, ServeError, Service,
 };
 use qgear_simtest::{
     replay_command, run_scenario, seed_from_env, shrink, JobDef, Op, OutcomeSummary, Scenario,
@@ -312,6 +312,241 @@ fn truncated_or_corrupted_hdf5_bytes_are_rejected() {
     let mid = flipped.len() / 2;
     flipped[mid] ^= 0x40;
     assert!(H5File::from_bytes(&flipped).is_err(), "bit flip must fail the checksum");
+}
+
+// ---------------------------------------------------------------------
+// Batch coalescing under simulation
+// ---------------------------------------------------------------------
+
+/// Satellite regression for the coalescing/deadline interaction: a
+/// batch leader whose deadline would expire *inside* the coalescing
+/// window must flush early, at exactly the expiry instant — and a queue
+/// wait of exactly the deadline still runs (the boundary belongs to the
+/// job, same as solo dispatch). A shape-incompatible straggler keeps
+/// the queue non-empty so the coalescer genuinely waits (an empty queue
+/// flushes immediately on queue-drain and never opens the window).
+#[test]
+fn a_deadline_inside_the_coalescing_window_flushes_the_batch_early() {
+    let _l = lock();
+    const PIN: Duration = Duration::from_micros(500);
+    let window = Duration::from_micros(400);
+    let slack = Duration::from_micros(100); // deadline headroom past the pop
+    let clock = Arc::new(VirtualClock::new());
+    let service = Service::start(ServeConfig {
+        workers: 1,
+        batch: BatchConfig { max_size: 4, window },
+        schedule: FaultSchedule::none().with_event(0, 0, FaultKind::Transient),
+        retry_backoff: PIN,
+        // One park per wait (the slice exceeds both PIN and the window),
+        // so every sleeper deadline below is exact.
+        backoff_slice: Duration::from_millis(1),
+        clock: clock.clone(),
+        ..Default::default()
+    });
+
+    // Blocker (job 0): the transient strike parks the worker in backoff
+    // until t = PIN, so both victims queue before any dispatch.
+    let blocker = service.submit(JobSpec::new(bell()).tenant("pin")).job_id().unwrap();
+    assert!(clock.wait_for_sleepers(1, Duration::from_secs(10)), "worker never parked");
+
+    // The leader-to-be: popped at t = PIN, its deadline lands mid-window
+    // at PIN + 100 µs < PIN + 400 µs. Distinct shape from the bell
+    // blocker so neither cache answers it.
+    let mut leader_circuit = Circuit::new(2);
+    leader_circuit.h(0).ry(0.7, 0).cx(0, 1).measure_all();
+    let victim = service
+        .submit(JobSpec::new(leader_circuit).deadline(PIN + slack))
+        .job_id()
+        .unwrap();
+    // Shape-incompatible straggler: never coalesces with the leader,
+    // keeps the queue non-empty while the window is open.
+    let mut other = Circuit::new(2);
+    other.h(0).ry(0.4, 1).cx(0, 1).measure_all();
+    let straggler = service.submit(JobSpec::new(other)).job_id().unwrap();
+
+    // Release the blocker; the worker completes it, pops the victim as
+    // batch leader at t = PIN and parks waiting for shape-mates.
+    assert_eq!(clock.advance_to_next_sleeper(), Some(PIN));
+    // The park must be clipped to the member's expiry instant
+    // (PIN + 100 µs), not the window end (PIN + 400 µs) and not the
+    // 1 ms backoff slice: the sleeper deadline proves which. The woken
+    // blocker sleeper may stay registered until its thread resumes, so
+    // poll past any deadline ≤ PIN (advancing onto a stale entry is a
+    // no-op — time never moves backward).
+    let bound = Instant::now() + Duration::from_secs(10);
+    let parked_at = loop {
+        assert!(Instant::now() < bound, "the leader never parked in the coalescing window");
+        match clock.advance_to_next_sleeper() {
+            Some(deadline) if deadline > PIN => break deadline,
+            _ => std::thread::yield_now(),
+        }
+    };
+    assert_eq!(
+        parked_at,
+        PIN + slack,
+        "coalescing wait must be clipped to the deadline, not the window"
+    );
+    drain(&service, &clock);
+
+    assert!(service.try_outcome(blocker).unwrap().is_completed());
+    let outcome = service.try_outcome(victim).unwrap();
+    assert!(
+        outcome.is_completed(),
+        "a flush at the expiry boundary must still run the job, got {outcome:?}"
+    );
+    assert_eq!(
+        service.outcome_time(victim).unwrap(),
+        PIN + slack,
+        "the member runs at exactly the clipped flush instant"
+    );
+    assert!(service.try_outcome(straggler).unwrap().is_completed());
+    service.shutdown();
+
+    let log = service.batch_log();
+    let lead = log
+        .iter()
+        .find(|r| r.members.iter().any(|&(id, _)| id == victim.0))
+        .expect("the leader's flush is logged");
+    assert_eq!(lead.formed_at, PIN, "the window opened at the leader's pop");
+    assert_eq!(lead.flushed_at, PIN + slack, "flushed at the clip, not the window end");
+    assert_eq!(lead.members, vec![(victim.0, BatchMemberDisposition::Executed)]);
+}
+
+/// Mid-batch worker death: the doomed joint pass requeues every
+/// stranded member *individually* with the dying dispatch charged to
+/// its attempt ledger, and the retries complete — each job shows
+/// exactly one `Requeued` and one `Executed` batch appearance, two
+/// dispatches, and a completion on attempt 2.
+#[test]
+fn mid_batch_worker_death_requeues_survivors_with_the_cumulative_ledger() {
+    let _l = lock();
+    let mut scenario = Scenario::empty(0xDEAD_BA7C).batched(4, 400);
+    for seed in 0..3u64 {
+        // Same shape family (one coalescing bucket), distinct sampling
+        // seeds (no result-cache short-circuit).
+        scenario = scenario.op(Op::Submit(JobDef { shape: 1, qubits: 3, seed, ..JobDef::bell() }));
+    }
+    scenario = scenario
+        .op(Op::Advance(Duration::from_micros(50)))
+        .event(0, 0, FaultKind::WorkerDeathMidBatch { after_members: 0 });
+    let report = run_scenario(&scenario);
+    assert!(report.is_ok(), "violations: {:?}", report.violations);
+
+    // Scenario jobs 0..3 are admission ids 1..=3 (the harness blocker
+    // is 0). Tally each job's batch appearances across the whole log.
+    for id in 1..=3u64 {
+        let (mut requeued, mut executed) = (0, 0);
+        for record in &report.batch_log {
+            for &(member, disposition) in &record.members {
+                if member != id {
+                    continue;
+                }
+                match disposition {
+                    BatchMemberDisposition::Requeued => requeued += 1,
+                    BatchMemberDisposition::Executed => executed += 1,
+                    other => panic!("job {id}: unexpected disposition {other:?}"),
+                }
+            }
+        }
+        assert_eq!(requeued, 1, "job {id} must be requeued by the dying joint pass");
+        assert_eq!(executed, 1, "job {id} must execute exactly once after the requeue");
+        assert_eq!(
+            report.dispatch_counts.get(&id),
+            Some(&2),
+            "job {id}: the doomed dispatch plus the retry"
+        );
+        match report.outcomes.get(&id) {
+            Some(OutcomeSummary::Completed { attempts: 2, .. }) => {}
+            other => panic!(
+                "job {id}: the dying dispatch must stay on the ledger (attempts 2), got {other:?}"
+            ),
+        }
+    }
+}
+
+/// Random batched scenarios — shape-mixed job sets with coalescing on
+/// and mid-batch worker deaths in the fault script — hold every oracle,
+/// including coalescing conservation and the batch attempt ledger.
+/// Six derived seeds, each replayable via `QGEAR_SIMTEST_SEED`.
+#[test]
+fn random_batched_scenarios_hold_every_oracle() {
+    let _l = lock();
+    let base = seed_from_env(0xBA7C_5EED);
+    let mut coalesced = 0usize;
+    for i in 0..6u64 {
+        let seed = base.wrapping_add(i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let scenario = Scenario::generate_batched(seed);
+        let report = run_scenario(&scenario);
+        assert!(
+            report.is_ok(),
+            "oracle violations for seed {seed:#x}: {violations:#?}\nreplay: {cmd}",
+            violations = report.violations,
+            cmd = replay_command(seed, "random_batched_scenarios_hold_every_oracle"),
+        );
+        coalesced += usize::from(report.batch_log.iter().any(|r| !r.members.is_empty()));
+    }
+    assert!(
+        coalesced >= 1,
+        "at least one generated scenario must exercise the batch path (vacuity guard)"
+    );
+}
+
+/// The shrinker understands the batch knobs: a failure that reproduces
+/// without coalescing sheds them (pass 5), while a failure that *needs*
+/// the joint pass — a mid-batch requeue disposition — keeps both the
+/// batch config and the `WorkerDeathMidBatch` event in the minimal
+/// reproduction.
+#[test]
+fn the_shrinker_sheds_batching_only_when_it_is_irrelevant() {
+    let _l = lock();
+
+    // Irrelevant: a zero-deadline expiry fires with or without
+    // coalescing, so the minimal repro is the legacy configuration.
+    let poison = JobDef { deadline_us: Some(0), seed: 77, ..JobDef::bell() };
+    let scenario = Scenario::empty(0xB5EED)
+        .batched(4, 300)
+        .op(Op::Submit(JobDef::bell()))
+        .op(Op::Submit(poison))
+        .op(Op::Advance(Duration::from_micros(200)));
+    let expires = |s: &Scenario| {
+        run_scenario(s).outcomes.values().any(|o| matches!(o, OutcomeSummary::Expired))
+    };
+    assert!(expires(&scenario), "the planted expiry must trigger pre-shrink");
+    let (minimal, _) = shrink(&scenario, expires);
+    assert!(expires(&minimal));
+    assert!(
+        minimal.batch.is_none(),
+        "batching is irrelevant to the expiry and must be shed: {minimal:?}"
+    );
+
+    // Essential: the Requeued disposition only exists in the batch
+    // path, so the batch knobs and the mid-batch death survive.
+    let mut batched = Scenario::empty(0xB5EED).batched(4, 300);
+    for seed in 0..2u64 {
+        batched = batched.op(Op::Submit(JobDef { shape: 1, qubits: 3, seed, ..JobDef::bell() }));
+    }
+    batched = batched.event(0, 0, FaultKind::WorkerDeathMidBatch { after_members: 0 });
+    let requeues = |s: &Scenario| {
+        run_scenario(s)
+            .batch_log
+            .iter()
+            .flat_map(|r| &r.members)
+            .any(|&(_, d)| d == BatchMemberDisposition::Requeued)
+    };
+    assert!(requeues(&batched), "the planted mid-batch death must trigger pre-shrink");
+    let (minimal, _) = shrink(&batched, requeues);
+    assert!(requeues(&minimal));
+    assert!(
+        minimal.batch.is_some(),
+        "the requeue disposition needs coalescing; batch knobs must survive: {minimal:?}"
+    );
+    assert!(
+        minimal
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::WorkerDeathMidBatch { .. })),
+        "the mid-batch death is load-bearing and must survive shrinking: {minimal:?}"
+    );
 }
 
 // ---------------------------------------------------------------------
