@@ -1,0 +1,199 @@
+//! Perf-regression baseline comparison for the hot-path bench.
+//!
+//! `BENCH_hotpath_baseline.json` at the repo root pins the smoke-grid
+//! wall-clocks of the `hotpath` bin. CI (`scripts/check.sh`) reruns the
+//! smoke grid with `--enforce-baseline` and fails the build when any
+//! (workload, size, mode) cell comes back slower than the committed
+//! baseline by more than [`RELATIVE_TOLERANCE`] plus the
+//! [`ABSOLUTE_FLOOR_SECONDS`] jitter floor — so a hot-path change that
+//! costs more than ~10% on any measured cell cannot land silently.
+//!
+//! Intentional perf changes rewrite the baseline with
+//! `QGEAR_BENCH_REBASELINE=1` (see `docs/PERFORMANCE.md`); the comparison
+//! itself is a pure function over the two point sets so the gate's
+//! arithmetic is unit-tested without running the bench.
+
+use serde::{Deserialize, Serialize};
+
+/// One pinned wall-clock cell of the baseline grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BaselinePoint {
+    pub workload: String,
+    pub num_qubits: u32,
+    pub mode: String,
+    /// Best-of-reps wall-clock, seconds.
+    pub seconds: f64,
+}
+
+/// The `BENCH_hotpath_baseline.json` document.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BaselineDoc {
+    pub bench: String,
+    /// Grid the baseline was measured on (`smoke` in CI); comparing
+    /// across grids is a configuration error, not a perf signal.
+    pub grid: String,
+    pub points: Vec<BaselinePoint>,
+}
+
+/// A fresh cell may be up to 10% slower than its baseline...
+pub const RELATIVE_TOLERANCE: f64 = 1.10;
+
+/// ...plus this absolute floor, which absorbs scheduler jitter on the
+/// millisecond-scale smoke cells (same floor the planned-mode gate
+/// uses).
+pub const ABSOLUTE_FLOOR_SECONDS: f64 = 0.010;
+
+/// Slowest acceptable fresh time for a cell with baseline `base`.
+pub fn allowed_seconds(base: f64) -> f64 {
+    base * RELATIVE_TOLERANCE + ABSOLUTE_FLOOR_SECONDS
+}
+
+/// One cell that regressed past the tolerance.
+#[derive(Debug, Clone, Serialize)]
+pub struct Regression {
+    pub workload: String,
+    pub num_qubits: u32,
+    pub mode: String,
+    pub baseline_seconds: f64,
+    pub fresh_seconds: f64,
+    /// `fresh_seconds / baseline_seconds`.
+    pub ratio: f64,
+}
+
+/// Outcome of diffing a fresh run against the committed baseline.
+#[derive(Debug, Default)]
+pub struct Comparison {
+    /// Cells present in both point sets.
+    pub compared: usize,
+    /// Cells slower than [`allowed_seconds`] of their baseline.
+    pub regressions: Vec<Regression>,
+    /// Baseline cells with no fresh measurement (a disappeared cell is
+    /// suspicious — likely a workload/grid drift — so it fails the gate
+    /// alongside outright slowdowns).
+    pub missing: Vec<String>,
+}
+
+impl Comparison {
+    /// True when every baseline cell was measured and none regressed.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Diff `fresh` against `base`, cell by cell. Pure function: the bench
+/// bin feeds it measured samples, the unit tests feed it literals.
+pub fn compare(base: &[BaselinePoint], fresh: &[BaselinePoint]) -> Comparison {
+    let mut out = Comparison::default();
+    for b in base {
+        let hit = fresh.iter().find(|f| {
+            f.workload == b.workload && f.num_qubits == b.num_qubits && f.mode == b.mode
+        });
+        let Some(f) = hit else {
+            out.missing.push(format!("{} n={} {}", b.workload, b.num_qubits, b.mode));
+            continue;
+        };
+        out.compared += 1;
+        if f.seconds > allowed_seconds(b.seconds) {
+            out.regressions.push(Regression {
+                workload: b.workload.clone(),
+                num_qubits: b.num_qubits,
+                mode: b.mode.clone(),
+                baseline_seconds: b.seconds,
+                fresh_seconds: f.seconds,
+                ratio: f.seconds / b.seconds,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(workload: &str, n: u32, mode: &str, seconds: f64) -> BaselinePoint {
+        BaselinePoint {
+            workload: workload.to_owned(),
+            num_qubits: n,
+            mode: mode.to_owned(),
+            seconds,
+        }
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = vec![point("qft", 10, "sweep", 0.020), point("qft", 12, "sweep", 0.080)];
+        let cmp = compare(&base, &base.clone());
+        assert!(cmp.passed());
+        assert_eq!(cmp.compared, 2);
+    }
+
+    #[test]
+    fn within_tolerance_passes_over_tolerance_fails() {
+        let base = vec![point("qcrank", 12, "fused", 0.200)];
+        // 10% slower + just under the floor: allowed.
+        let ok = vec![point("qcrank", 12, "fused", 0.200 * 1.10 + 0.009)];
+        assert!(compare(&base, &ok).passed());
+        // Past the combined tolerance: regression.
+        let bad = vec![point("qcrank", 12, "fused", 0.200 * 1.10 + 0.011)];
+        let cmp = compare(&base, &bad);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!(!cmp.passed());
+        let r = &cmp.regressions[0];
+        assert_eq!(r.workload, "qcrank");
+        assert!(r.ratio > 1.10);
+    }
+
+    #[test]
+    fn absolute_floor_absorbs_noise_on_tiny_cells() {
+        // A 3x blowup on a 2 ms cell is still under the 10 ms jitter
+        // floor — sub-centisecond cells can't produce a reliable signal.
+        let base = vec![point("qft", 10, "unfused", 0.002)];
+        let fresh = vec![point("qft", 10, "unfused", 0.006)];
+        assert!(compare(&base, &fresh).passed());
+    }
+
+    #[test]
+    fn doubled_time_on_a_real_cell_is_caught() {
+        let base = vec![point("random", 12, "sweep", 0.150)];
+        let fresh = vec![point("random", 12, "sweep", 0.300)];
+        let cmp = compare(&base, &fresh);
+        assert_eq!(cmp.regressions.len(), 1);
+        assert!((cmp.regressions[0].ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_cells_fail_the_gate_and_extra_fresh_cells_are_ignored() {
+        let base = vec![point("qft", 10, "sweep", 0.020), point("qft", 12, "sweep", 0.080)];
+        let fresh = vec![
+            point("qft", 10, "sweep", 0.019),
+            // n=12 disappeared; an unrelated new cell appeared.
+            point("random", 10, "sweep", 0.010),
+        ];
+        let cmp = compare(&base, &fresh);
+        assert_eq!(cmp.compared, 1);
+        assert!(cmp.regressions.is_empty());
+        assert_eq!(cmp.missing, vec!["qft n=12 sweep".to_owned()]);
+        assert!(!cmp.passed());
+    }
+
+    #[test]
+    fn faster_is_always_fine() {
+        let base = vec![point("qcrank", 12, "sweep", 0.500)];
+        let fresh = vec![point("qcrank", 12, "sweep", 0.050)];
+        assert!(compare(&base, &fresh).passed());
+    }
+
+    #[test]
+    fn baseline_doc_roundtrips_through_json() {
+        let doc = BaselineDoc {
+            bench: "hotpath".to_owned(),
+            grid: "smoke".to_owned(),
+            points: vec![point("qft", 10, "sweep", 0.0215)],
+        };
+        let json = serde_json::to_string(&doc).expect("serialize");
+        let back: BaselineDoc = serde_json::from_str(&json).expect("parse");
+        assert_eq!(back.grid, "smoke");
+        assert_eq!(back.points, doc.points);
+    }
+}

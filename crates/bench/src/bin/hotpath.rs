@@ -30,7 +30,17 @@
 //! `--enforce-planned` exits nonzero if the planned series is slower
 //! than the best fixed mode on any cell (CI's planner regression gate,
 //! run by `scripts/check.sh` on the smoke grid).
+//!
+//! `--enforce-baseline` diffs the fresh run against the committed
+//! `BENCH_hotpath_baseline.json` and exits nonzero when any cell is
+//! slower than baseline × 1.10 + 10 ms (see [`qgear_bench::baseline`]).
+//! After an intentional perf change, rerun with `QGEAR_BENCH_REBASELINE=1`
+//! to rewrite the baseline from the fresh numbers. The test-only
+//! `QGEAR_BENCH_SYNTHETIC_SLOWDOWN=<factor>` env var inflates every
+//! measured wall-clock by `<factor>`, which is how CI proves the gate
+//! actually fires on a regression.
 
+use qgear_bench::baseline::{self, BaselineDoc, BaselinePoint};
 use qgear_bench::report::{human_time, Report};
 use qgear_statevec::{AerCpuBackend, GpuDevice, RunOptions, RunOutput, Simulator};
 use qgear_workloads::qcrank::{QcrankCodec, QcrankConfig};
@@ -144,12 +154,18 @@ fn run_mode(circ: &qgear_ir::Circuit, mode: &str, reps: u32) -> Sample {
         stats = Some(out.stats);
     }
     let stats = stats.expect("at least one rep");
+    // Test-only hook: inflate the measured wall-clock so CI can prove
+    // the --enforce-baseline gate trips on a synthetic regression.
+    let slowdown: f64 = std::env::var("QGEAR_BENCH_SYNTHETIC_SLOWDOWN")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
     Sample {
         workload: String::new(),
         num_qubits: circ.num_qubits(),
         mode: mode.to_owned(),
         gates: circ.len(),
-        seconds: best,
+        seconds: best * slowdown,
         kernels_launched: stats.kernels_launched,
         sweeps_executed: stats.sweeps_executed,
         bytes_touched: stats.bytes_touched,
@@ -374,5 +390,81 @@ fn main() {
             std::process::exit(1);
         }
         println!("planned-mode gate passed: never slower than the best fixed mode");
+    }
+
+    // Perf-regression gate against the committed baseline. Skipped cells
+    // (NaN seconds) never enter the point set, so the unfused cost cap
+    // can't masquerade as a regression.
+    let baseline_path = root.join("BENCH_hotpath_baseline.json");
+    let fresh_points: Vec<BaselinePoint> = summary
+        .samples
+        .iter()
+        .filter(|s| !s.seconds.is_nan())
+        .map(|s| BaselinePoint {
+            workload: s.workload.clone(),
+            num_qubits: s.num_qubits,
+            mode: s.mode.clone(),
+            seconds: s.seconds,
+        })
+        .collect();
+    if std::env::var("QGEAR_BENCH_REBASELINE").is_ok_and(|v| v == "1") {
+        let doc = BaselineDoc {
+            bench: "hotpath".to_owned(),
+            grid: grid.to_owned(),
+            points: fresh_points,
+        };
+        let json = serde_json::to_value(&doc).expect("baseline serializes");
+        std::fs::write(&baseline_path, format!("{json}\n")).expect("write baseline");
+        println!("→ baseline rewritten at {}", baseline_path.display());
+    } else if args.iter().any(|a| a == "--enforce-baseline") {
+        let text = std::fs::read_to_string(&baseline_path).unwrap_or_else(|e| {
+            eprintln!(
+                "baseline gate: cannot read {} ({e}); run with QGEAR_BENCH_REBASELINE=1 to create it",
+                baseline_path.display()
+            );
+            std::process::exit(1);
+        });
+        let doc: BaselineDoc = serde_json::from_str(&text).expect("parse baseline");
+        if doc.grid != grid {
+            eprintln!(
+                "baseline gate: baseline was measured on the `{}` grid but this run used `{grid}`; \
+                 rerun on the matching grid (CI uses --smoke)",
+                doc.grid
+            );
+            std::process::exit(1);
+        }
+        let cmp = baseline::compare(&doc.points, &fresh_points);
+        for m in &cmp.missing {
+            eprintln!("baseline gate: cell {m} is in the baseline but was not measured");
+        }
+        for r in &cmp.regressions {
+            eprintln!(
+                "baseline gate: {} n={} {} regressed: {:.4}s vs baseline {:.4}s ({:.2}x, allowed {:.4}s)",
+                r.workload,
+                r.num_qubits,
+                r.mode,
+                r.fresh_seconds,
+                r.baseline_seconds,
+                r.ratio,
+                baseline::allowed_seconds(r.baseline_seconds)
+            );
+        }
+        if !cmp.passed() {
+            eprintln!(
+                "baseline gate FAILED ({} regressed, {} missing of {} baseline cells); \
+                 if this slowdown is intentional, rerun with QGEAR_BENCH_REBASELINE=1 \
+                 and commit the new BENCH_hotpath_baseline.json",
+                cmp.regressions.len(),
+                cmp.missing.len(),
+                cmp.compared + cmp.missing.len()
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "baseline gate passed: {} cells within {:.0}% + {} ms of the committed baseline",
+            cmp.compared,
+            (baseline::RELATIVE_TOLERANCE - 1.0) * 100.0,
+            (baseline::ABSOLUTE_FLOOR_SECONDS * 1000.0) as u64
+        );
     }
 }

@@ -26,16 +26,20 @@
 //! assert!(h.is_unitary(1e-15));
 //! ```
 
+pub mod aligned;
 pub mod approx;
 pub mod complex;
 pub mod gates;
 pub mod matrix;
 pub mod scalar;
+pub mod simd;
 
+pub use aligned::{AlignedVec, CACHE_LINE_BYTES};
 pub use approx::{approx_eq, approx_eq_c, approx_eq_slice};
 pub use complex::Complex;
 pub use matrix::{Mat2, Mat4};
 pub use scalar::Scalar;
+pub use simd::{C32x8, C64x4, CLanes};
 
 /// Complex number in the default double precision used by reference code.
 pub type C64 = Complex<f64>;

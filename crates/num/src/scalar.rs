@@ -52,6 +52,16 @@ pub trait Scalar:
     const BYTES: usize;
     /// Human-readable precision label matching the paper's tables.
     const PRECISION_NAME: &'static str;
+    /// Complex amplitudes processed per SIMD lane vector (4 for `fp64`,
+    /// 8 for `fp32`); equals `<Self::Lanes as CLanes<Self>>::LANES`.
+    const LANES: usize;
+
+    /// The complex SIMD lane vector for this precision
+    /// ([`C64x4`](crate::simd::C64x4) / [`C32x8`](crate::simd::C32x8)).
+    /// Kernels in `qgear-statevec` use it to process `LANES` amplitudes per
+    /// step with bitwise-identical results to the scalar path (see
+    /// [`crate::simd`]).
+    type Lanes: crate::simd::CLanes<Self>;
 
     /// Lossy conversion from `f64` (identity for `f64`).
     fn from_f64(v: f64) -> Self;
@@ -80,7 +90,7 @@ pub trait Scalar:
 }
 
 macro_rules! impl_scalar {
-    ($t:ty, $bytes:expr, $name:expr) => {
+    ($t:ty, $bytes:expr, $name:expr, $lanes:ty, $nlanes:expr) => {
         impl Scalar for $t {
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
@@ -89,6 +99,9 @@ macro_rules! impl_scalar {
             const PI: Self = std::f64::consts::PI as $t;
             const BYTES: usize = $bytes;
             const PRECISION_NAME: &'static str = $name;
+            const LANES: usize = $nlanes;
+
+            type Lanes = $lanes;
 
             #[inline(always)]
             fn from_f64(v: f64) -> Self {
@@ -142,8 +155,8 @@ macro_rules! impl_scalar {
     };
 }
 
-impl_scalar!(f32, 4, "fp32");
-impl_scalar!(f64, 8, "fp64");
+impl_scalar!(f32, 4, "fp32", crate::simd::C32x8, 8);
+impl_scalar!(f64, 8, "fp64", crate::simd::C64x4, 4);
 
 /// Simulation precision selector, mirroring the CUDA-Q target option.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]

@@ -1,0 +1,108 @@
+//! Reusable aligned scratch arena for the sweep executors.
+//!
+//! The sweep hot path needs a tile-sized scratch buffer per worker to
+//! gather/apply/scatter amplitude tiles. Allocating one per sweep (the old
+//! `for_each_init(|| vec![...])` pattern) churns the allocator on every
+//! pass and every batch member. The arena keeps returned buffers in a
+//! thread-local pool keyed by element type and length, so a segment, the
+//! next segment, and every member of a batched run all reuse the same
+//! cache-line-aligned allocation.
+//!
+//! Buffers are zero-initialized on first allocation only; callers must
+//! write every slot they read (both sweep executors gather the full tile
+//! before applying kernels, so this holds by construction). Pool hits and
+//! misses are observable as the `scratch.reuse` / `scratch.alloc`
+//! telemetry counters.
+//!
+//! The pool never hands out a buffer that is already checked out on the
+//! same thread (it is *popped* from the pool for the duration of the
+//! closure), and pooled buffers are separate heap allocations — they can
+//! never alias live amplitude storage. `tests/differential.rs` pins both
+//! properties down.
+
+use qgear_num::{AlignedVec, Complex, Scalar};
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Stack of idle buffers per (element type, length) shape.
+type ShapePools = HashMap<(TypeId, usize), Vec<Box<dyn Any>>>;
+
+thread_local! {
+    /// Per-thread pool: (element type, length) → stack of idle buffers.
+    static POOL: RefCell<ShapePools> = RefCell::new(HashMap::new());
+}
+
+/// Run `f` with a cache-line-aligned scratch buffer of `len` complex
+/// values, reusing a pooled buffer when one is available.
+///
+/// The buffer's contents are whatever the previous user left there (zeros
+/// on first allocation) — callers must fully overwrite before reading.
+/// Nested calls are fine: each request pops its own buffer, so no two
+/// live borrows ever share storage.
+pub fn with_scratch<T: Scalar, R>(len: usize, f: impl FnOnce(&mut [Complex<T>]) -> R) -> R {
+    let key = (TypeId::of::<Complex<T>>(), len);
+    let pooled = POOL.with(|pool| pool.borrow_mut().get_mut(&key).and_then(Vec::pop));
+    let mut buf: Box<AlignedVec<Complex<T>>> = match pooled {
+        Some(any) => {
+            qgear_telemetry::counter_inc(qgear_telemetry::names::SCRATCH_REUSE);
+            any.downcast().expect("pool entries are keyed by TypeId")
+        }
+        None => {
+            qgear_telemetry::counter_inc(qgear_telemetry::names::SCRATCH_ALLOC);
+            Box::new(AlignedVec::from_elem(Complex::ZERO, len))
+        }
+    };
+    let out = f(buf.as_mut_slice());
+    POOL.with(|pool| pool.borrow_mut().entry(key).or_default().push(buf));
+    out
+}
+
+/// Drop every pooled buffer on the calling thread (test hook; the pool is
+/// otherwise bounded by the distinct tile sizes a thread touches).
+pub fn clear_thread_pool() {
+    POOL.with(|pool| pool.borrow_mut().clear());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qgear_num::{C64, CACHE_LINE_BYTES};
+
+    #[test]
+    fn scratch_is_aligned_and_reused() {
+        clear_thread_pool();
+        let first = with_scratch::<f64, _>(256, |s| {
+            assert_eq!(s.len(), 256);
+            assert_eq!(s.as_ptr() as usize % CACHE_LINE_BYTES, 0);
+            s[0] = C64::ONE;
+            s.as_ptr() as usize
+        });
+        // Same size class on the same thread: the exact buffer comes back,
+        // contents intact (callers overwrite before reading).
+        let second = with_scratch::<f64, _>(256, |s| {
+            assert_eq!(s[0], C64::ONE);
+            s.as_ptr() as usize
+        });
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn nested_requests_never_alias() {
+        clear_thread_pool();
+        with_scratch::<f64, _>(64, |outer| {
+            let outer_range = outer.as_ptr() as usize..outer.as_ptr() as usize + 64 * 16;
+            with_scratch::<f64, _>(64, |inner| {
+                assert!(!outer_range.contains(&(inner.as_ptr() as usize)));
+            });
+        });
+    }
+
+    #[test]
+    fn distinct_precisions_get_distinct_buffers() {
+        clear_thread_pool();
+        let p64 = with_scratch::<f64, _>(32, |s| s.as_ptr() as usize);
+        let p32 = with_scratch::<f32, _>(32, |s| s.as_ptr() as usize);
+        assert_ne!(p64, p32);
+    }
+}

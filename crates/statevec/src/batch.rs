@@ -30,6 +30,7 @@
 //! and returns [`BatchError::Incongruent`]; callers fall back to solo
 //! dispatch for such batches, keeping the contract unconditional.
 
+use crate::arena;
 use crate::backend::{ExecStats, RunOptions, SimError};
 use crate::gpu::{GpuDevice, KernelPlan, SharedState};
 use crate::planner::ExecStrategy;
@@ -77,14 +78,16 @@ impl std::error::Error for BatchError {}
 pub struct BatchStateVector<T: Scalar> {
     num_qubits: u32,
     batch: usize,
-    amps: Vec<Complex<T>>,
+    amps: qgear_num::AlignedVec<Complex<T>>,
 }
 
 impl<T: Scalar> BatchStateVector<T> {
-    /// `batch` copies of `|0…0⟩` over `n` qubits.
+    /// `batch` copies of `|0…0⟩` over `n` qubits, in cache-line-aligned
+    /// storage like the solo [`StateVector`].
     pub fn zero(num_qubits: u32, batch: usize) -> Self {
         assert!(num_qubits < usize::BITS, "qubit count overflows the address space");
-        let mut amps = vec![Complex::ZERO; (1usize << num_qubits) * batch];
+        let mut amps =
+            qgear_num::AlignedVec::from_elem(Complex::ZERO, (1usize << num_qubits) * batch);
         for amp in amps.iter_mut().take(batch) {
             *amp = Complex::ONE;
         }
@@ -108,7 +111,7 @@ impl<T: Scalar> BatchStateVector<T> {
 
     /// The raw batch-major amplitude array.
     pub fn amplitudes(&self) -> &[Complex<T>] {
-        &self.amps
+        self.amps.as_slice()
     }
 
     /// Extract one member's state as a standalone [`StateVector`].
@@ -353,7 +356,7 @@ fn apply_block_batched<T: Scalar>(state: &mut BatchStateVector<T>, blocks: &[&Fu
     let masks: Vec<usize> = leader.qubits.iter().map(|&q| 1usize << q).collect();
     let groups = state.member_len() >> k;
 
-    let shared = SharedState(state.amps.as_mut_ptr());
+    let shared = SharedState(state.amps.as_mut_slice().as_mut_ptr());
     let shared = &shared;
     let member_plans = &member_plans;
     let masks = &masks;
@@ -453,7 +456,7 @@ fn apply_sweep_batched<T: Scalar>(
                     .collect()
             })
             .collect();
-        state.amps.par_iter_mut().enumerate().for_each(|(slot, amp)| {
+        state.amps.as_mut_slice().par_iter_mut().enumerate().for_each(|(slot, amp)| {
             let (i, m) = (slot / batch, slot % batch);
             for (d, masks) in &member_plans[m] {
                 let mut local = 0usize;
@@ -486,10 +489,11 @@ fn apply_sweep_batched<T: Scalar>(
                     let b = &program.blocks[ki];
                     let masks: Vec<usize> = b.qubits.iter().map(|&q| 1usize << pos(q)).collect();
                     if let Some(diag) = b.unitary.diagonal(1e-15) {
-                        return KernelPlan::Diag {
-                            d: diag.iter().map(|c| c.cast()).collect(),
-                            masks,
-                        };
+                        return KernelPlan::diag(
+                            diag.iter().map(|c| c.cast()).collect(),
+                            &masks,
+                            1usize << sweep.qubits.len(),
+                        );
                     }
                     let k = b.qubits.len();
                     let mixing = b.mixing_mask();
@@ -497,14 +501,10 @@ fn apply_sweep_batched<T: Scalar>(
                     if !exact && mu < k {
                         return KernelPlan::factored(b, &mixing, &masks);
                     }
-                    let mut sorted_local: Vec<usize> = b.qubits.iter().map(|&q| pos(q)).collect();
-                    sorted_local.sort_unstable();
-                    KernelPlan::Dense {
-                        m: b.unitary.elements().iter().map(|c| c.cast()).collect(),
-                        masks,
-                        sorted_local,
-                        dim: 1usize << k,
-                    }
+                    KernelPlan::dense(
+                        b.unitary.elements().iter().map(|c| c.cast()).collect(),
+                        &masks,
+                    )
                 })
                 .collect()
         })
@@ -518,14 +518,13 @@ fn apply_sweep_batched<T: Scalar>(
     }
 
     let groups = state.member_len() >> u;
-    let shared = SharedState(state.amps.as_mut_ptr());
+    let shared = SharedState(state.amps.as_mut_slice().as_mut_ptr());
     let shared = &shared;
     let member_plans = &member_plans;
     let offs = &offs;
     let union_qubits = &sweep.qubits;
-    (0..groups).into_par_iter().for_each_init(
-        || vec![Complex::<T>::ZERO; tile],
-        move |scratch, g| {
+    (0..groups).into_par_iter().for_each(move |g| {
+        arena::with_scratch::<T, _>(tile, |scratch| {
             let mut base = g;
             for &q in union_qubits {
                 let low = base & ((1usize << q) - 1);
@@ -546,8 +545,8 @@ fn apply_sweep_batched<T: Scalar>(
                     unsafe { shared.write((base | off) * batch + m, scratch[slot]) };
                 }
             }
-        },
-    );
+        });
+    });
 }
 
 #[cfg(test)]

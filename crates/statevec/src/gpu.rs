@@ -10,13 +10,21 @@
 //! Execution is bit-identical to sequential application of the same fused
 //! kernels (each amplitude group is computed independently), so the
 //! oracle tests compare against `qgear-ir`'s reference simulator directly.
+//! The inner loops additionally run in explicit SIMD lane form
+//! (`f64x4`/`f32x8`, see [`crate::simd`]) whenever a kernel's group
+//! layout allows it; the lane kernels replicate the scalar complex
+//! arithmetic operation-for-operation, so this too preserves bit
+//! identity — `tests/differential.rs` pins it down by diffing whole runs
+//! with SIMD forced off.
 //!
 //! The device also models the *structure* of a GPU — SM count, warp size,
 //! per-kernel launch accounting — because the performance model in
 //! `qgear-perfmodel` converts those counters into projected A100 timings.
 
+use crate::arena;
 use crate::backend::{check_capacity, sample_measured, ExecStats, RunOptions, RunOutput, SimError, Simulator};
 use crate::planner::{self, ExecStrategy};
+use crate::simd::{self, DiagTable};
 use crate::state::StateVector;
 use qgear_ir::fusion::{self, FusedBlock, KernelStructure};
 use qgear_ir::schedule::{self, Sweep};
@@ -97,19 +105,19 @@ impl GpuDevice {
         debug_assert!(dim <= 64);
         // Diagonal fast path: fused phase ladders (QFT's cr1 chains, rz
         // runs) need no gather/scatter — one element-wise sweep, exactly
-        // like a cuQuantum diagonal kernel.
+        // like a cuQuantum diagonal kernel. The precomputed DiagTable
+        // replaces the per-amplitude mask-test loop with a table lookup
+        // and multiplies `T::LANES` amplitudes per step.
         if let Some(diag) = block.unitary.diagonal(1e-15) {
             let d: Vec<Complex<T>> = diag.iter().map(|c| c.cast()).collect();
             let masks: Vec<usize> = block.qubits.iter().map(|&q| 1usize << q).collect();
-            state.par_iter_mut().enumerate().for_each(|(i, amp)| {
-                let mut local = 0usize;
-                for (j, &mask) in masks.iter().enumerate() {
-                    if i & mask != 0 {
-                        local |= 1 << j;
-                    }
-                }
-                *amp *= d[local];
-            });
+            let table = DiagTable::build(d, &masks, state.len());
+            simd::record_dispatch::<T>(simd::simd_enabled() && table.chunk() >= T::LANES);
+            let chunk = table.chunk();
+            state
+                .par_chunks_mut(chunk)
+                .enumerate()
+                .for_each(|(ci, cs)| table.apply(cs, ci * chunk));
             return;
         }
         // Kernel matrix in execution precision.
@@ -117,34 +125,54 @@ impl GpuDevice {
         // Sorted bit positions for group-index expansion.
         let mut sorted = block.qubits.clone();
         sorted.sort_unstable();
-        // Masks in local-bit order (block.qubits[j] ↔ local bit j).
+        // Masks in local-bit order (block.qubits[j] ↔ local bit j) and the
+        // per-local-index address offsets they induce (hoisted out of the
+        // per-group gather loop).
         let masks: Vec<usize> = block.qubits.iter().map(|&q| 1usize << q).collect();
+        let offs = simd::local_offsets(&masks);
         let groups = state.len() >> k;
+        let sorted_bits: Vec<usize> = sorted.iter().map(|&q| q as usize).collect();
+        let vector = simd::simd_enabled() && simd::lanes_ok::<T>(&sorted_bits, groups);
+        simd::record_dispatch::<T>(vector);
 
         let shared = SharedState(state.as_mut_ptr());
         let shared = &shared;
+        let offs = &offs;
+        let sorted = &sorted;
+        if vector {
+            // Lane path: with every block qubit at or above the lane
+            // width, `T::LANES` consecutive groups sit at consecutive
+            // addresses — one lane vector per matrix column, same
+            // accumulation order as the scalar loop, bitwise identical.
+            let msplat = simd::splat_all::<T>(&m);
+            let msplat = &msplat;
+            (0..groups / T::LANES).into_par_iter().for_each(move |gb| {
+                let mut base = gb * T::LANES;
+                for &q in sorted {
+                    let low = base & ((1usize << q) - 1);
+                    base = ((base >> q) << (q + 1)) | low;
+                }
+                // SAFETY: distinct groups expand to disjoint index sets
+                // (zero bits reinserted at every block qubit position), so
+                // lane blocks never alias each other.
+                unsafe { simd::dense_block_lanes::<T>(shared.0, base, msplat, dim, offs) };
+            });
+            return;
+        }
         (0..groups).into_par_iter().for_each(move |g| {
             // Expand the group index around the block's qubit bits.
             let mut base = g;
-            for &q in &sorted {
+            for &q in sorted {
                 let low = base & ((1usize << q) - 1);
                 base = ((base >> q) << (q + 1)) | low;
             }
             // Gather.
             let mut scratch = [Complex::<T>::ZERO; 64];
-            let mut idx = [0usize; 64];
             for local in 0..dim {
-                let mut i = base;
-                for (j, &mask) in masks.iter().enumerate() {
-                    if local & (1 << j) != 0 {
-                        i |= mask;
-                    }
-                }
-                idx[local] = i;
                 // SAFETY: every index derived from a distinct group `g` is
                 // distinct: `base` reinserts zero bits at the block qubit
                 // positions, so two groups never share any gathered index.
-                scratch[local] = unsafe { shared.read(i) };
+                scratch[local] = unsafe { shared.read(base | offs[local]) };
             }
             // Multiply + scatter.
             for (local, row) in m.chunks_exact(dim).enumerate() {
@@ -153,7 +181,7 @@ impl GpuDevice {
                     acc = row[c].mul_add(scratch[c], acc);
                 }
                 // SAFETY: same disjointness argument as the gather.
-                unsafe { shared.write(idx[local], acc) };
+                unsafe { shared.write(base | offs[local], acc) };
             }
         });
     }
@@ -189,9 +217,14 @@ impl GpuDevice {
     }
 
     /// Permutation kernel: the fused block's matrix has exactly one
-    /// nonzero per column (X/CX/SWAP ladders, optionally with phases), so
-    /// applying it is an index shuffle plus one complex multiply per
-    /// amplitude — no `2^k`-wide mul-add accumulation.
+    /// nonzero per column (X/CX/SWAP ladders, optionally with phases).
+    /// Where the structure dispatch sends `Dense` blocks through the
+    /// `2^k`-wide mul-add accumulation (scalar or SIMD-lane form, see
+    /// [`crate::simd`]), a permutation block reduces to an index shuffle
+    /// plus one complex multiply per amplitude; the lane path performs
+    /// that shuffle on `T::LANES` amplitude groups per step when every
+    /// block qubit clears the lane width, and falls back to the scalar
+    /// shuffle otherwise.
     fn apply_block_permutation<T: Scalar>(
         state: &mut [Complex<T>],
         block: &FusedBlock,
@@ -211,14 +244,34 @@ impl GpuDevice {
         let mut sorted = block.qubits.clone();
         sorted.sort_unstable();
         let masks: Vec<usize> = block.qubits.iter().map(|&q| 1usize << q).collect();
+        let offs = simd::local_offsets(&masks);
         let groups = state.len() >> k;
+        let sorted_bits: Vec<usize> = sorted.iter().map(|&q| q as usize).collect();
+        let vector = simd::simd_enabled() && simd::lanes_ok::<T>(&sorted_bits, groups);
+        simd::record_dispatch::<T>(vector);
 
         let shared = SharedState(state.as_mut_ptr());
         let shared = &shared;
         let rows = &rows;
-        let phases = &phases;
-        let masks = &masks;
+        let offs = &offs;
         let sorted = &sorted;
+        if vector {
+            let phase_splat = simd::splat_all::<T>(&phases);
+            let phase_splat = &phase_splat;
+            (0..groups / T::LANES).into_par_iter().for_each(move |gb| {
+                let mut base = gb * T::LANES;
+                for &q in sorted {
+                    let low = base & ((1usize << q) - 1);
+                    base = ((base >> q) << (q + 1)) | low;
+                }
+                // SAFETY: group-disjoint lane blocks, as in `apply_block`.
+                unsafe {
+                    simd::perm_block_lanes::<T>(shared.0, base, phase_splat, rows, dim, offs)
+                };
+            });
+            return;
+        }
+        let phases = &phases;
         (0..groups).into_par_iter().for_each(move |g| {
             let mut base = g;
             for &q in sorted {
@@ -226,21 +279,13 @@ impl GpuDevice {
                 base = ((base >> q) << (q + 1)) | low;
             }
             let mut scratch = [Complex::<T>::ZERO; 64];
-            let mut idx = [0usize; 64];
             for local in 0..dim {
-                let mut i = base;
-                for (j, &mask) in masks.iter().enumerate() {
-                    if local & (1 << j) != 0 {
-                        i |= mask;
-                    }
-                }
-                idx[local] = i;
                 // SAFETY: group-disjoint indices, as in `apply_block`.
-                scratch[local] = unsafe { shared.read(i) };
+                scratch[local] = unsafe { shared.read(base | offs[local]) };
             }
             for c in 0..dim {
                 // SAFETY: same disjointness argument as the gather.
-                unsafe { shared.write(idx[rows[c]], phases[c] * scratch[c]) };
+                unsafe { shared.write(base | offs[rows[c]], phases[c] * scratch[c]) };
             }
         });
     }
@@ -263,7 +308,7 @@ impl GpuDevice {
         // Global bit masks (the factorization is mask-space agnostic: it
         // works identically on tile slots and global indices).
         let masks: Vec<usize> = block.qubits.iter().map(|&q| 1usize << q).collect();
-        let KernelPlan::Factored { subs, mixed_masks, sorted_mixed, diag_extract, mdim } =
+        let KernelPlan::Factored { subs, subs_splat, offs, sorted_mixed, diag_extract, min_extract_bit, mdim } =
             KernelPlan::<T>::factored(block, mixing, &masks)
         else {
             unreachable!("factored() always builds KernelPlan::Factored")
@@ -271,13 +316,44 @@ impl GpuDevice {
         let mu = sorted_mixed.len();
         debug_assert!(mdim <= 64);
         let groups = state.len() >> mu;
+        // Lane path needs both the mixed bits (address contiguity of
+        // consecutive groups) and the extract bits (a lane-uniform
+        // sub-unitary index) to clear the lane width.
+        let vector = simd::simd_enabled()
+            && simd::lanes_ok::<T>(&sorted_mixed, groups)
+            && min_extract_bit >= simd::lane_log2::<T>();
+        simd::record_dispatch::<T>(vector);
 
         let shared = SharedState(state.as_mut_ptr());
         let shared = &shared;
         let subs = &subs;
-        let mixed_masks = &mixed_masks;
+        let subs_splat = &subs_splat;
+        let offs = &offs;
         let sorted_mixed = &sorted_mixed;
         let diag_extract = &diag_extract;
+        if vector {
+            (0..groups / T::LANES).into_par_iter().for_each(move |gb| {
+                let mut base = gb * T::LANES;
+                for &p in sorted_mixed {
+                    let low = base & ((1usize << p) - 1);
+                    base = ((base >> p) << (p + 1)) | low;
+                }
+                // Every extract bit clears the lane width, so the whole
+                // lane block shares one sub-unitary.
+                let mut d = 0usize;
+                for &(mask, weight) in diag_extract {
+                    if base & mask != 0 {
+                        d |= weight;
+                    }
+                }
+                // SAFETY: group-disjoint lane blocks — zero bits are
+                // reinserted at every mixed position, as in `apply_block`.
+                unsafe {
+                    simd::dense_block_lanes::<T>(shared.0, base, &subs_splat[d], mdim, offs)
+                };
+            });
+            return;
+        }
         (0..groups).into_par_iter().for_each(move |g| {
             // Expand the group index around the mixed bits; the base then
             // carries every assignment of the unmixed bits.
@@ -294,19 +370,11 @@ impl GpuDevice {
             }
             let sub = &subs[d];
             let mut scratch = [Complex::<T>::ZERO; 64];
-            let mut idx = [0usize; 64];
             for a in 0..mdim {
-                let mut i = base;
-                for (j, &mask) in mixed_masks.iter().enumerate() {
-                    if a & (1 << j) != 0 {
-                        i |= mask;
-                    }
-                }
-                idx[a] = i;
                 // SAFETY: groups expand to disjoint index sets (zero bits
                 // reinserted at every mixed position), so tasks never
                 // alias — same argument as `apply_block`.
-                scratch[a] = unsafe { shared.read(i) };
+                scratch[a] = unsafe { shared.read(base | offs[a]) };
             }
             for (r, row) in sub.chunks_exact(mdim).enumerate() {
                 let mut acc = Complex::<T>::ZERO;
@@ -314,7 +382,7 @@ impl GpuDevice {
                     acc = row[c].mul_add(scratch[c], acc);
                 }
                 // SAFETY: same disjointness argument as the gather.
-                unsafe { shared.write(idx[r], acc) };
+                unsafe { shared.write(base | offs[r], acc) };
             }
         });
     }
@@ -358,29 +426,28 @@ impl GpuDevice {
             2 * state.len() as u128,
         );
         // All-diagonal sweeps need no gather/scatter at any width: one
-        // element-wise pass applies every phase pattern in order.
+        // element-wise pass applies every phase pattern in order. Each
+        // kernel gets its own DiagTable; applying the tables kernel-major
+        // per chunk keeps every amplitude's multiplies in sweep order, so
+        // the pass stays bit-identical to sequential application.
         if sweep.diagonal {
-            let plans: Vec<(Vec<Complex<T>>, Vec<usize>)> = sweep
+            let tables: Vec<DiagTable<T>> = sweep
                 .kernels
                 .iter()
                 .map(|&ki| {
                     let b = &blocks[ki];
                     let diag = b.unitary.diagonal(1e-15).expect("diagonal sweep member");
-                    (
-                        diag.iter().map(|c| c.cast()).collect(),
-                        b.qubits.iter().map(|&q| 1usize << q).collect(),
-                    )
+                    let masks: Vec<usize> = b.qubits.iter().map(|&q| 1usize << q).collect();
+                    DiagTable::build(diag.iter().map(|c| c.cast()).collect(), &masks, state.len())
                 })
                 .collect();
-            state.par_iter_mut().enumerate().for_each(|(i, amp)| {
-                for (d, masks) in &plans {
-                    let mut local = 0usize;
-                    for (j, &mask) in masks.iter().enumerate() {
-                        if i & mask != 0 {
-                            local |= 1 << j;
-                        }
-                    }
-                    *amp *= d[local];
+            let chunk = tables.first().map_or(state.len(), |t| t.chunk());
+            for t in &tables {
+                simd::record_dispatch::<T>(simd::simd_enabled() && t.chunk() >= T::LANES);
+            }
+            state.par_chunks_mut(chunk).enumerate().for_each(|(ci, cs)| {
+                for t in &tables {
+                    t.apply(cs, ci * chunk);
                 }
             });
             return;
@@ -398,7 +465,7 @@ impl GpuDevice {
                 let b = &blocks[ki];
                 let masks: Vec<usize> = b.qubits.iter().map(|&q| 1usize << pos(q)).collect();
                 if let Some(diag) = b.unitary.diagonal(1e-15) {
-                    return KernelPlan::Diag { d: diag.iter().map(|c| c.cast()).collect(), masks };
+                    return KernelPlan::diag(diag.iter().map(|c| c.cast()).collect(), &masks, tile);
                 }
                 let k = b.qubits.len();
                 let mixing = b.mixing_mask();
@@ -406,16 +473,33 @@ impl GpuDevice {
                 if !exact && mu < k {
                     return KernelPlan::factored(b, &mixing, &masks);
                 }
-                let mut sorted_local: Vec<usize> = b.qubits.iter().map(|&q| pos(q)).collect();
-                sorted_local.sort_unstable();
-                KernelPlan::Dense {
-                    m: b.unitary.elements().iter().map(|c| c.cast()).collect(),
-                    masks,
-                    sorted_local,
-                    dim: 1usize << k,
-                }
+                KernelPlan::dense(b.unitary.elements().iter().map(|c| c.cast()).collect(), &masks)
             })
             .collect();
+        for plan in &plans {
+            simd::record_dispatch::<T>(plan.lane_eligible(tile));
+        }
+        let groups = state.len() >> u;
+
+        // Zero-copy fast path: when the sweep's union support is exactly
+        // the low `u` qubits, slot `j` of tile `g` *is* amplitude
+        // `g·2^u + j` — the tile is a contiguous slice of the state, so
+        // the kernels run in place and the gather/scatter round-trip
+        // through scratch disappears.
+        if sweep.qubits.iter().enumerate().all(|(j, &q)| q as usize == j) {
+            qgear_telemetry::counter_add(
+                qgear_telemetry::names::SWEEP_ZERO_COPY_TILES,
+                groups as u128,
+            );
+            let plans = &plans;
+            state.par_chunks_mut(tile).for_each(|tile_slice| {
+                for plan in plans {
+                    plan.apply(tile_slice, tile);
+                }
+            });
+            return;
+        }
+
         // Tile-slot → global-offset table: slot bit `j` lives at global
         // bit `sweep.qubits[j]`. Built once per sweep, shared read-only.
         let mut offs = vec![0usize; tile];
@@ -426,15 +510,16 @@ impl GpuDevice {
             }
         }
 
-        let groups = state.len() >> u;
         let shared = SharedState(state.as_mut_ptr());
         let shared = &shared;
         let plans = &plans;
         let offs = &offs;
         let union_qubits = &sweep.qubits;
-        (0..groups).into_par_iter().for_each_init(
-            || vec![Complex::<T>::ZERO; tile],
-            move |scratch, g| {
+        (0..groups).into_par_iter().for_each(move |g| {
+            // Tile scratch comes from the per-thread arena: one aligned
+            // buffer per worker is reused across every tile, sweep,
+            // segment, and batch member of this size (scratch.reuse).
+            arena::with_scratch::<T, _>(tile, |scratch| {
                 // Expand the tile index around the union's qubit bits.
                 let mut base = g;
                 for &q in union_qubits {
@@ -455,28 +540,32 @@ impl GpuDevice {
                 for (slot, &off) in offs.iter().enumerate() {
                     unsafe { shared.write(base | off, scratch[slot]) };
                 }
-            },
-        );
+            });
+        });
     }
 }
 
 /// One kernel's precomputed application plan inside a sweep tile: the
 /// matrix (or diagonal) in execution precision plus its qubit positions
-/// remapped into tile-slot space.
+/// remapped into tile-slot space. Everything derivable once per kernel —
+/// local-index address offsets, lane-splatted matrix entries, diagonal
+/// lookup tables — is computed at build time and shared read-only across
+/// every tile, worker, and batch member.
 pub(crate) enum KernelPlan<T: Scalar> {
     /// Pure phase pattern: element-wise multiply, no data movement.
     Diag {
-        /// Diagonal entries in execution precision.
-        d: Vec<Complex<T>>,
-        /// Tile-slot masks, one per kernel-local bit.
-        masks: Vec<usize>,
+        /// Precomputed chunked lookup table (see [`DiagTable`]).
+        table: DiagTable<T>,
     },
     /// Dense kernel: gather/apply/scatter over tile sub-groups.
     Dense {
-        /// Row-major kernel matrix in execution precision.
+        /// Row-major kernel matrix in execution precision (scalar path).
         m: Vec<Complex<T>>,
-        /// Tile-slot masks in kernel-local bit order.
-        masks: Vec<usize>,
+        /// The same matrix with every entry pre-broadcast to a lane
+        /// vector (lane path).
+        msplat: Vec<<T as Scalar>::Lanes>,
+        /// Address offset of each kernel-local index inside a tile.
+        offs: Vec<usize>,
         /// Tile-slot positions of the kernel's qubits, ascending (for
         /// sub-group index expansion).
         sorted_local: Vec<usize>,
@@ -491,20 +580,46 @@ pub(crate) enum KernelPlan<T: Scalar> {
         /// Sub-unitaries, row-major `2^μ × 2^μ`, indexed by the unmixed
         /// bits packed in kernel-local order.
         subs: Vec<Vec<Complex<T>>>,
-        /// Tile-slot masks of the mixed bits, kernel-local order.
-        mixed_masks: Vec<usize>,
+        /// Lane-splatted sub-unitaries (lane path).
+        subs_splat: Vec<Vec<<T as Scalar>::Lanes>>,
+        /// Address offset of each mixed-bit local index.
+        offs: Vec<usize>,
         /// Tile-slot positions of the mixed bits, ascending (sub-group
         /// index expansion).
         sorted_mixed: Vec<usize>,
         /// `(tile-slot mask, packed weight)` pairs extracting the
         /// sub-unitary index from a sub-group base slot.
         diag_extract: Vec<(usize, usize)>,
+        /// Lowest bit position among the extract masks (`usize::MAX` when
+        /// there are none): the lane path needs it to clear the lane
+        /// width so one sub-unitary serves the whole lane block.
+        min_extract_bit: usize,
         /// Sub-unitary dimension `2^μ`.
         mdim: usize,
     },
 }
 
 impl<T: Scalar> KernelPlan<T> {
+    /// Diagonal kernel plan over spans of `span` amplitudes/slots.
+    pub(crate) fn diag(d: Vec<Complex<T>>, masks: &[usize], span: usize) -> Self {
+        KernelPlan::Diag { table: DiagTable::build(d, masks, span) }
+    }
+
+    /// Dense kernel plan. `masks[j]` is the tile-slot mask of
+    /// kernel-local bit `j`; the matrix is row-major `2^k × 2^k`.
+    pub(crate) fn dense(m: Vec<Complex<T>>, masks: &[usize]) -> Self {
+        let mut sorted_local: Vec<usize> =
+            masks.iter().map(|&mask| mask.trailing_zeros() as usize).collect();
+        sorted_local.sort_unstable();
+        KernelPlan::Dense {
+            msplat: simd::splat_all::<T>(&m),
+            offs: simd::local_offsets(masks),
+            dim: 1usize << masks.len(),
+            m,
+            sorted_local,
+        }
+    }
+
     /// Build the block-diagonal factorization of a kernel that mixes only
     /// some of its qubits. `mixing` is the kernel-local mixing mask and
     /// `masks[j]` the tile-slot mask of kernel-local bit `j`. The dropped
@@ -549,67 +664,120 @@ impl<T: Scalar> KernelPlan<T> {
         let mut sorted_mixed: Vec<usize> =
             mixed_bits.iter().map(|&j| masks[j].trailing_zeros() as usize).collect();
         sorted_mixed.sort_unstable();
+        let mixed_masks: Vec<usize> = mixed_bits.iter().map(|&j| masks[j]).collect();
+        let diag_extract: Vec<(usize, usize)> = diag_bits
+            .iter()
+            .enumerate()
+            .map(|(t, &j)| (masks[j], 1usize << t))
+            .collect();
         KernelPlan::Factored {
-            subs,
-            mixed_masks: mixed_bits.iter().map(|&j| masks[j]).collect(),
-            sorted_mixed,
-            diag_extract: diag_bits
+            subs_splat: subs.iter().map(|sub| simd::splat_all::<T>(sub)).collect(),
+            offs: simd::local_offsets(&mixed_masks),
+            min_extract_bit: diag_extract
                 .iter()
-                .enumerate()
-                .map(|(t, &j)| (masks[j], 1usize << t))
-                .collect(),
+                .map(|&(mask, _)| mask.trailing_zeros() as usize)
+                .min()
+                .unwrap_or(usize::MAX),
+            subs,
+            sorted_mixed,
+            diag_extract,
             mdim,
+        }
+    }
+
+    /// True when [`KernelPlan::apply`] over a `tile`-slot span will take
+    /// the SIMD lane path under the current toggle state (telemetry
+    /// dispatch accounting).
+    pub(crate) fn lane_eligible(&self, tile: usize) -> bool {
+        if !simd::simd_enabled() {
+            return false;
+        }
+        match self {
+            KernelPlan::Diag { table } => table.chunk() >= T::LANES,
+            KernelPlan::Dense { sorted_local, .. } => {
+                simd::lanes_ok::<T>(sorted_local, tile >> sorted_local.len())
+            }
+            KernelPlan::Factored { sorted_mixed, min_extract_bit, .. } => {
+                simd::lanes_ok::<T>(sorted_mixed, tile >> sorted_mixed.len())
+                    && *min_extract_bit >= simd::lane_log2::<T>()
+            }
         }
     }
 
     /// Apply this kernel to a gathered tile, in place. `Diag` and `Dense`
     /// arithmetic is bit-identical to the full-state paths in
-    /// `apply_block`; `Factored` agrees to the factorization tolerance.
+    /// `apply_block` (on both the scalar and lane paths, which are
+    /// themselves bitwise identical); `Factored` agrees to the
+    /// factorization tolerance.
     pub(crate) fn apply(&self, scratch: &mut [Complex<T>], tile: usize) {
+        let vector = self.lane_eligible(tile);
         match self {
-            KernelPlan::Diag { d, masks } => {
-                for (i, amp) in scratch.iter_mut().enumerate() {
-                    let mut local = 0usize;
-                    for (j, &mask) in masks.iter().enumerate() {
-                        if i & mask != 0 {
-                            local |= 1 << j;
-                        }
-                    }
-                    *amp *= d[local];
-                }
-            }
-            KernelPlan::Dense { m, masks, sorted_local, dim } => {
+            KernelPlan::Diag { table } => table.apply(scratch, 0),
+            KernelPlan::Dense { m, msplat, offs, sorted_local, dim } => {
                 let dim = *dim;
-                for sg in 0..tile >> sorted_local.len() {
+                let sub_groups = tile >> sorted_local.len();
+                if vector {
+                    let ptr = scratch.as_mut_ptr();
+                    for sgb in 0..sub_groups / T::LANES {
+                        let mut sbase = sgb * T::LANES;
+                        for &p in sorted_local {
+                            let low = sbase & ((1usize << p) - 1);
+                            sbase = ((sbase >> p) << (p + 1)) | low;
+                        }
+                        // SAFETY: every touched slot `sbase | offs[c] + l`
+                        // lies inside this exclusively borrowed tile, and
+                        // sub-groups are disjoint.
+                        unsafe { simd::dense_block_lanes::<T>(ptr, sbase, msplat, dim, offs) };
+                    }
+                    return;
+                }
+                for sg in 0..sub_groups {
                     let mut sbase = sg;
                     for &p in sorted_local {
                         let low = sbase & ((1usize << p) - 1);
                         sbase = ((sbase >> p) << (p + 1)) | low;
                     }
                     let mut tmp = [Complex::<T>::ZERO; 64];
-                    let mut idx = [0usize; 64];
                     for local in 0..dim {
-                        let mut i = sbase;
-                        for (j, &mask) in masks.iter().enumerate() {
-                            if local & (1 << j) != 0 {
-                                i |= mask;
-                            }
-                        }
-                        idx[local] = i;
-                        tmp[local] = scratch[i];
+                        tmp[local] = scratch[sbase | offs[local]];
                     }
                     for (local, row) in m.chunks_exact(dim).enumerate() {
                         let mut acc = Complex::<T>::ZERO;
                         for c in 0..dim {
                             acc = row[c].mul_add(tmp[c], acc);
                         }
-                        scratch[idx[local]] = acc;
+                        scratch[sbase | offs[local]] = acc;
                     }
                 }
             }
-            KernelPlan::Factored { subs, mixed_masks, sorted_mixed, diag_extract, mdim } => {
+            KernelPlan::Factored {
+                subs, subs_splat, offs, sorted_mixed, diag_extract, mdim, ..
+            } => {
                 let mdim = *mdim;
-                for sg in 0..tile >> sorted_mixed.len() {
+                let sub_groups = tile >> sorted_mixed.len();
+                if vector {
+                    let ptr = scratch.as_mut_ptr();
+                    for sgb in 0..sub_groups / T::LANES {
+                        let mut base = sgb * T::LANES;
+                        for &p in sorted_mixed {
+                            let low = base & ((1usize << p) - 1);
+                            base = ((base >> p) << (p + 1)) | low;
+                        }
+                        let mut d = 0usize;
+                        for &(mask, weight) in diag_extract {
+                            if base & mask != 0 {
+                                d |= weight;
+                            }
+                        }
+                        // SAFETY: as in the Dense lane arm — in-tile,
+                        // disjoint sub-groups, exclusive borrow.
+                        unsafe {
+                            simd::dense_block_lanes::<T>(ptr, base, &subs_splat[d], mdim, offs)
+                        };
+                    }
+                    return;
+                }
+                for sg in 0..sub_groups {
                     // Expand the sub-group index around the mixed slots;
                     // the base ranges over every assignment of the other
                     // tile slots, including this kernel's unmixed bits.
@@ -627,23 +795,15 @@ impl<T: Scalar> KernelPlan<T> {
                     }
                     let sub = &subs[d];
                     let mut tmp = [Complex::<T>::ZERO; 64];
-                    let mut idx = [0usize; 64];
                     for a in 0..mdim {
-                        let mut i = base;
-                        for (j, &mask) in mixed_masks.iter().enumerate() {
-                            if a & (1 << j) != 0 {
-                                i |= mask;
-                            }
-                        }
-                        idx[a] = i;
-                        tmp[a] = scratch[i];
+                        tmp[a] = scratch[base | offs[a]];
                     }
                     for (r, row) in sub.chunks_exact(mdim).enumerate() {
                         let mut acc = Complex::<T>::ZERO;
                         for c in 0..mdim {
                             acc = row[c].mul_add(tmp[c], acc);
                         }
-                        scratch[idx[r]] = acc;
+                        scratch[base | offs[r]] = acc;
                     }
                 }
             }

@@ -50,6 +50,7 @@
 //! ```
 
 pub mod aer;
+pub mod arena;
 pub mod backend;
 pub mod batch;
 pub mod checkpoint;
@@ -58,6 +59,7 @@ pub mod noise;
 pub mod planner;
 pub mod sampling;
 pub mod segment;
+pub mod simd;
 pub mod state;
 
 pub use aer::AerCpuBackend;
@@ -75,4 +77,5 @@ pub use noise::{NoiseChannel, NoiseModel, TrajectoryBackend};
 pub use planner::{plan, ExecStrategy, ExecutionPlan, PlannerCosts, SegmentMode};
 pub use sampling::SamplingConfig;
 pub use segment::SegmentedRun;
+pub use simd::{set_simd_enabled, simd_enabled};
 pub use state::StateVector;

@@ -132,17 +132,23 @@ impl Default for PlannerCosts {
 
 impl PlannerCosts {
     /// Constants fitted to the 1-core reference VM from the measured
-    /// hot-path grid: fused `random@16` (122 dense width-5 kernels,
-    /// 3.27 s) pins `madds_per_sec` ≈ 8e7; unfused `random@16` (960
-    /// gates, 0.53 s) pins `gate_amps_per_sec` ≈ 1.2e8; sweep bytes
-    /// deltas pin the streaming bandwidth.
+    /// hot-path grid, **after** the SIMD/FMA kernel overhaul (native
+    /// codegen plus explicit lane kernels lifted every inner loop ~7–15×,
+    /// so the pre-SIMD constants would misprice all three modes): fused
+    /// `random@16` (122 dense width-5 kernels, 0.38 s) pins
+    /// `madds_per_sec` ≈ 7e8; unfused `random@16` (960 gates, 0.065 s)
+    /// pins `gate_amps_per_sec` ≈ 1e9; the chunked diagonal-table kernels
+    /// behind the qft-fused series pin `cmuls_per_sec` ≈ 2.5e9; sweep
+    /// deltas across the grid pin the effective streaming bandwidth; and
+    /// unfused `random@10` (600 gates, 0.6 ms total) bounds the per-gate
+    /// dispatch overhead at well under a microsecond.
     pub fn host_reference() -> Self {
         PlannerCosts {
-            bytes_per_sec: 4.0e9,
-            madds_per_sec: 8.0e7,
-            cmuls_per_sec: 2.5e8,
-            gate_amps_per_sec: 1.2e8,
-            launch_seconds: 5.0e-6,
+            bytes_per_sec: 1.6e10,
+            madds_per_sec: 7.0e8,
+            cmuls_per_sec: 2.5e9,
+            gate_amps_per_sec: 1.0e9,
+            launch_seconds: 5.0e-7,
             force_mode: None,
         }
     }

@@ -1,12 +1,17 @@
 //! State-vector storage and basic linear-algebra queries.
 
-use qgear_num::{Complex, Scalar};
+use qgear_num::{AlignedVec, Complex, Scalar};
 
 /// A `2^n`-amplitude quantum state (Eq. 1), generic over precision.
+///
+/// Amplitudes live in cache-line-aligned storage ([`AlignedVec`]): the base
+/// address is always 64-byte aligned, so the SIMD lane kernels in
+/// [`crate::gpu`] stream over the array without ever straddling a cache
+/// line at the start of a lane vector.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StateVector<T: Scalar> {
     num_qubits: u32,
-    amps: Vec<Complex<T>>,
+    amps: AlignedVec<Complex<T>>,
 }
 
 impl<T: Scalar> StateVector<T> {
@@ -14,16 +19,17 @@ impl<T: Scalar> StateVector<T> {
     /// responsible for memory-capacity checks (see `RunOptions`).
     pub fn zero(num_qubits: u32) -> Self {
         assert!(num_qubits < usize::BITS, "qubit count overflows the address space");
-        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
+        let mut amps = AlignedVec::from_elem(Complex::ZERO, 1usize << num_qubits);
         amps[0] = Complex::ONE;
         StateVector { num_qubits, amps }
     }
 
-    /// Wrap existing amplitudes (length must be a power of two).
+    /// Copy existing amplitudes into aligned storage (length must be a
+    /// power of two).
     pub fn from_amplitudes(amps: Vec<Complex<T>>) -> Self {
         assert!(amps.len().is_power_of_two(), "amplitude count must be 2^n");
         let num_qubits = amps.len().trailing_zeros();
-        StateVector { num_qubits, amps }
+        StateVector { num_qubits, amps: AlignedVec::from_slice(&amps) }
     }
 
     /// Register width.
@@ -41,19 +47,19 @@ impl<T: Scalar> StateVector<T> {
         self.amps.is_empty()
     }
 
-    /// Immutable amplitude access.
+    /// Immutable amplitude access. The base pointer is 64-byte aligned.
     pub fn amplitudes(&self) -> &[Complex<T>] {
-        &self.amps
+        self.amps.as_slice()
     }
 
     /// Mutable amplitude access (engines' working surface).
     pub fn amplitudes_mut(&mut self) -> &mut [Complex<T>] {
-        &mut self.amps
+        self.amps.as_mut_slice()
     }
 
-    /// Consume into the raw amplitude vector.
+    /// Copy out into a plain amplitude vector.
     pub fn into_amplitudes(self) -> Vec<Complex<T>> {
-        self.amps
+        self.amps.to_vec()
     }
 
     /// Memory footprint in bytes (2 reals per amplitude).
@@ -71,7 +77,7 @@ impl<T: Scalar> StateVector<T> {
         let n = self.norm_sqr().sqrt();
         if n > T::ZERO {
             let inv = T::ONE / n;
-            for a in &mut self.amps {
+            for a in self.amps.iter_mut() {
                 *a = a.scale(inv);
             }
         }
@@ -132,10 +138,8 @@ impl<T: Scalar> StateVector<T> {
 
     /// Convert precision (e.g. compare an fp32 run against the fp64 oracle).
     pub fn cast<U: Scalar>(&self) -> StateVector<U> {
-        StateVector {
-            num_qubits: self.num_qubits,
-            amps: self.amps.iter().map(|a| a.cast()).collect(),
-        }
+        let amps: Vec<Complex<U>> = self.amps.iter().map(|a| a.cast()).collect();
+        StateVector { num_qubits: self.num_qubits, amps: AlignedVec::from_slice(&amps) }
     }
 }
 

@@ -183,6 +183,40 @@ pub const TRAJECTORIES_REQUESTED: &str = "trajectory.requested";
 /// least one shot).
 pub const TRAJECTORIES_RUN: &str = "trajectory.runs";
 
+/// Kernel launches that ran on the SIMD lane path in fp64 (4 complex
+/// amplitudes per `f64x4` lane vector).
+pub const KERNEL_SIMD_F64X4: &str = "kernel.simd.f64x4";
+
+/// Kernel launches that ran on the SIMD lane path in fp32 (8 complex
+/// amplitudes per `f32x8` lane vector).
+pub const KERNEL_SIMD_F32X8: &str = "kernel.simd.f32x8";
+
+/// Kernel launches that fell back to the scalar reference path — SIMD
+/// disabled, lane-incompatible qubit layout (a target bit below the lane
+/// width), or a state too small to fill one lane vector.
+pub const KERNEL_SIMD_SCALAR: &str = "kernel.simd.scalar";
+
+/// Scratch-arena requests served by reusing a pooled buffer (no
+/// allocation). High reuse across segments/sweeps/batch members is the
+/// point of the arena.
+pub const SCRATCH_REUSE: &str = "scratch.reuse";
+
+/// Scratch-arena requests that had to allocate a fresh aligned buffer
+/// (first use of a size class on a thread).
+pub const SCRATCH_ALLOC: &str = "scratch.alloc";
+
+/// Sweep tiles executed zero-copy: the sweep's union support was the
+/// contiguous low qubits, so the tile *is* a contiguous state slice and
+/// the gather/scatter round-trip through scratch is skipped entirely.
+pub const SWEEP_ZERO_COPY_TILES: &str = "sweep.tiles.zero_copy";
+
+/// Per-lane-width counter name for kernel SIMD dispatch, e.g.
+/// `kernel.simd.f64x4` (see the `KERNEL_SIMD_*` constants for the fixed
+/// forms the exporter schema tests pin down).
+pub fn kernel_simd(lane: &str) -> String {
+    format!("kernel.simd.{lane}")
+}
+
 /// Per-structure-class counter name for kernels dispatched by the
 /// structured fused path, e.g. `planner.kernel.permutation`.
 pub fn planner_kernel(structure: &str) -> String {

@@ -176,6 +176,75 @@ impl ParRange {
     }
 }
 
+/// Parallel iterator over mutable chunks of a slice (rayon's
+/// `par_chunks_mut`). Every chunk has `size` elements except possibly
+/// the last; chunk `i` starts at element `i * size`.
+pub struct ParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair each chunk with its chunk index.
+    pub fn enumerate(self) -> EnumerateParChunksMut<'a, T> {
+        EnumerateParChunksMut { slice: self.slice, size: self.size }
+    }
+
+    /// Visit every chunk.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync + Send,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel iterator over mutable chunks.
+pub struct EnumerateParChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> EnumerateParChunksMut<'_, T> {
+    /// Visit every `(chunk_index, chunk)` pair.
+    ///
+    /// Like [`ParRange::for_each_init`], this fans out even for small
+    /// chunk counts: callers hand whole cache-blocked tiles to each
+    /// task, so per-chunk work dwarfs thread-spawn overhead.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync + Send,
+    {
+        let size = self.size.max(1);
+        let n_chunks = self.slice.len().div_ceil(size);
+        let workers = worker_count(n_chunks);
+        if n_chunks <= 1 || workers <= 1 {
+            for (i, chunk) in self.slice.chunks_mut(size).enumerate() {
+                f((i, chunk));
+            }
+            return;
+        }
+        let per_worker = n_chunks.div_ceil(workers);
+        std::thread::scope(|s| {
+            let f = &f;
+            let mut rest = self.slice;
+            let mut next_chunk = 0usize;
+            while !rest.is_empty() {
+                let take = (per_worker * size).min(rest.len());
+                let (head, tail) = rest.split_at_mut(take);
+                let first = next_chunk;
+                s.spawn(move || {
+                    for (off, chunk) in head.chunks_mut(size).enumerate() {
+                        f((first + off, chunk));
+                    }
+                });
+                next_chunk += per_worker;
+                rest = tail;
+            }
+        });
+    }
+}
+
 /// Conversion into a parallel iterator (rayon's `IntoParallelIterator`).
 pub trait IntoParallelIterator {
     /// The parallel iterator type.
@@ -195,17 +264,29 @@ impl IntoParallelIterator for Range<usize> {
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over mutable references.
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+
+    /// Parallel iterator over mutable chunks of `size` elements (the
+    /// last chunk may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
         ParIterMut { slice: self }
     }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { slice: self, size }
+    }
 }
 
 impl<T: Send> ParallelSliceMut<T> for Vec<T> {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
         ParIterMut { slice: self.as_mut_slice() }
+    }
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { slice: self.as_mut_slice(), size }
     }
 }
 
@@ -257,6 +338,21 @@ mod tests {
             assert_eq!(hits.load(Ordering::Relaxed), len, "len {len}");
             if len > 0 {
                 assert!(inits.load(Ordering::Relaxed) <= len.min(16));
+            }
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once_with_correct_index() {
+        for (len, size) in [(0usize, 4usize), (1, 4), (7, 4), (4096, 64), (100_001, 333)] {
+            let mut v = vec![usize::MAX; len];
+            v.par_chunks_mut(size).enumerate().for_each(|(ci, chunk)| {
+                for (off, x) in chunk.iter_mut().enumerate() {
+                    *x = ci * size + off;
+                }
+            });
+            for (i, &x) in v.iter().enumerate() {
+                assert_eq!(i, x, "len {len} size {size}");
             }
         }
     }

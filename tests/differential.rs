@@ -24,6 +24,20 @@
 //! at every planned segment boundary, and the structure-dispatched
 //! kernels (diagonal/permutation/controlled) match the dense kernel on
 //! random gates of each structure class.
+//!
+//! # SIMD differential tier
+//!
+//! Every kernel also has a lane-vectorized implementation
+//! (`qgear_statevec::simd`), toggled by the process-global
+//! `set_simd_enabled` switch. The lane kernels replicate the scalar
+//! complex arithmetic operation-for-operation, so the contract is
+//! **fp64 AND fp32 bitwise identity** — strictly stronger than the
+//! ≤4-ULP bar a tolerance-based tier would set; no ULP allowance is
+//! needed anywhere. The tier diffs SIMD-on vs SIMD-off executions of
+//! whole runs (fused, sweep, planned, batched, checkpoint-resume) and of
+//! individual structure-class kernels, including remainder/tail shapes
+//! (states too small to fill one lane vector, kernels whose target bits
+//! sit below the lane width) where the scalar fallback must engage.
 
 use proptest::prelude::*;
 use qgear_cluster::ClusterEngine;
@@ -37,8 +51,10 @@ use qgear_statevec::{
     decode_checkpoint, encode_checkpoint, AerCpuBackend, CheckpointScalar, ExecStrategy, GpuDevice,
     PlannerCosts, RunOptions, RunOutput, SamplingConfig, SegmentMode, SegmentedRun, Simulator,
 };
+use qgear_statevec::{set_simd_enabled, simd_enabled};
 use qgear_workloads::qft::{qft_circuit, QftOptions};
 use qgear_workloads::random::{generate_random_gate_list, RandomCircuitSpec};
+use std::sync::Mutex;
 
 /// Strategy: an arbitrary circuit over 2..=`max_qubits` qubits drawn
 /// from the full user-facing gate set (transpiled to native before use).
@@ -762,4 +778,384 @@ fn batch_of_one_is_bit_identical_to_solo_serving_and_direct_execution() {
     let cfg = SamplingConfig { shots: 1024, seed: 99, batch_shots: 32 };
     let from_joint = sample_from_probs(&probs, &measured, &cfg).expect("counts");
     assert_eq!(batched.map, from_joint.map, "served batch-of-1 must replay the joint pass");
+}
+
+// ─────────────────────── SIMD differential tier ───────────────────────
+
+/// Serializes tests that flip the process-global SIMD toggle, so each
+/// comparison deterministically runs one side on the lane path and the
+/// other on the scalar path. (A race would not corrupt results — the two
+/// paths are bitwise identical — but it would silently weaken coverage.)
+static SIMD_LOCK: Mutex<()> = Mutex::new(());
+
+/// Run `f` with the SIMD toggle pinned to `on`, restoring it after.
+fn with_simd<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    let prev = simd_enabled();
+    set_simd_enabled(on);
+    let out = f();
+    set_simd_enabled(prev);
+    out
+}
+
+fn assert_bits_eq_f64(a: &[Complex<f64>], b: &[Complex<f64>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: re divergence at amp {i}");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: im divergence at amp {i}");
+    }
+}
+
+fn assert_bits_eq_f32(a: &[Complex<f32>], b: &[Complex<f32>], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.re.to_bits(), y.re.to_bits(), "{what}: re divergence at amp {i}");
+        assert_eq!(x.im.to_bits(), y.im.to_bits(), "{what}: im divergence at amp {i}");
+    }
+}
+
+/// Fuse `circ` and diff every block's SIMD-on vs SIMD-off application —
+/// dense kernel and structure-dispatched kernel, fp64 and fp32 — bitwise
+/// on a rich state. High-qubit blocks take the lane path; low-qubit and
+/// narrow blocks exercise the scalar remainder fallback.
+fn assert_simd_toggle_invisible_on_blocks(circ: &Circuit, seed: u64) {
+    let _g = SIMD_LOCK.lock().unwrap();
+    let (native, _) = transpile::decompose_to_native(circ);
+    let (unitary, _) = native.split_measurements();
+    let program = fusion::try_fuse(&unitary, 5).expect("fusable");
+    let base64 = rich_state(native.num_qubits(), seed);
+    let base32: Vec<Complex<f32>> =
+        base64.iter().map(|c| Complex::new(c.re as f32, c.im as f32)).collect();
+    for block in &program.blocks {
+        let structure = block.structure();
+        let what = format!("{} block on {:?}", structure.name(), block.qubits);
+
+        let (mut on, mut off) = (base64.clone(), base64.clone());
+        with_simd(true, || GpuDevice::apply_block(&mut on, block));
+        with_simd(false, || GpuDevice::apply_block(&mut off, block));
+        assert_bits_eq_f64(&on, &off, &format!("{what} (dense fp64)"));
+
+        let (mut on, mut off) = (base64.clone(), base64.clone());
+        with_simd(true, || GpuDevice::apply_block_structured(&mut on, block, &structure));
+        with_simd(false, || GpuDevice::apply_block_structured(&mut off, block, &structure));
+        assert_bits_eq_f64(&on, &off, &format!("{what} (structured fp64)"));
+
+        let (mut on, mut off) = (base32.clone(), base32.clone());
+        with_simd(true, || GpuDevice::apply_block_structured(&mut on, block, &structure));
+        with_simd(false, || GpuDevice::apply_block_structured(&mut off, block, &structure));
+        assert_bits_eq_f32(&on, &off, &format!("{what} (structured fp32)"));
+    }
+}
+
+/// Move a circuit's gates onto the top qubits of a wider register, so
+/// every inserted group bit clears the lane width and the lane kernels
+/// are guaranteed to engage (f64x4 needs bits ≥ 2, f32x8 bits ≥ 3).
+fn lifted(circ: &Circuit, total: u32) -> Circuit {
+    let shift = total - circ.num_qubits();
+    let mut out = Circuit::new(total);
+    for gate in circ.gates() {
+        let mut g = *gate;
+        for q in g.qubits.iter_mut().take(g.kind.arity()) {
+            *q += shift;
+        }
+        out.push(g).expect("lifted gate stays in range");
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, .. ProptestConfig::default() })]
+
+    /// Whole-run toggle invariance on arbitrary circuits: fused, sweep,
+    /// and planned execution each produce bit-identical fp64 states with
+    /// SIMD on and off. Drawing up to 10 qubits mixes lane-eligible
+    /// kernels (high-qubit blocks) with scalar-fallback kernels
+    /// (low-qubit blocks, narrow states) in one run.
+    #[test]
+    fn simd_toggle_is_bitwise_invisible_on_any_circuit(circ in arb_circuit(10, 40)) {
+        let _g = SIMD_LOCK.lock().unwrap();
+        let (native, _) = transpile::decompose_to_native(&circ);
+        for (label, width, reorder) in [
+            ("fused", 0usize, false),
+            ("sweeps", schedule::DEFAULT_SWEEP_WIDTH, true),
+        ] {
+            let on = with_simd(true, || gpu_state(&native, width, reorder));
+            let off = with_simd(false, || gpu_state(&native, width, reorder));
+            assert_bits_eq_f64(&on, &off, label);
+        }
+        let planned = RunOptions { keep_state: true, ..RunOptions::planned() };
+        let on: RunOutput<f64> = with_simd(true, || {
+            GpuDevice::a100_40gb().run(&native, &planned).expect("planned")
+        });
+        let off: RunOutput<f64> = with_simd(false, || {
+            GpuDevice::a100_40gb().run(&native, &planned).expect("planned")
+        });
+        assert_bits_eq_f64(
+            on.state.expect("state").amplitudes(),
+            off.state.expect("state").amplitudes(),
+            "planned",
+        );
+    }
+
+    /// The same whole-run invariance at fp32, where the lane width is 8
+    /// and the remainder condition (target bits < 3) is easier to hit.
+    #[test]
+    fn simd_toggle_is_bitwise_invisible_at_fp32(circ in arb_circuit(9, 30)) {
+        let _g = SIMD_LOCK.lock().unwrap();
+        let (native, _) = transpile::decompose_to_native(&circ);
+        let opts = RunOptions { keep_state: true, ..Default::default() };
+        let on: RunOutput<f32> =
+            with_simd(true, || GpuDevice::a100_40gb().run(&native, &opts).expect("fp32"));
+        let off: RunOutput<f32> =
+            with_simd(false, || GpuDevice::a100_40gb().run(&native, &opts).expect("fp32"));
+        assert_bits_eq_f32(
+            on.state.expect("state").amplitudes(),
+            off.state.expect("state").amplitudes(),
+            "fp32 sweeps",
+        );
+    }
+
+    /// Per-block toggle invariance over diagonal gate pools (the
+    /// DiagTable kernel, which vectorizes even over low target bits).
+    #[test]
+    fn simd_diagonal_kernels_match_scalar_bitwise(
+        circ in diagonal_circuit(10, 24),
+        seed in 0u64..1_000,
+    ) {
+        assert_simd_toggle_invisible_on_blocks(&circ, seed);
+    }
+
+    /// Per-block toggle invariance over permutation gate pools (the
+    /// shuffle + single-multiply lane kernel).
+    #[test]
+    fn simd_permutation_kernels_match_scalar_bitwise(
+        circ in permutation_circuit(10, 24),
+        seed in 0u64..1_000,
+    ) {
+        assert_simd_toggle_invisible_on_blocks(&circ, seed);
+    }
+
+    /// Per-block toggle invariance over single-mixed-qubit pools (the
+    /// factored/controlled lane kernel with its lane-uniform sub-unitary
+    /// extraction).
+    #[test]
+    fn simd_controlled_kernels_match_scalar_bitwise(
+        circ in controlled_circuit(10, 24),
+        seed in 0u64..1_000,
+    ) {
+        assert_simd_toggle_invisible_on_blocks(&circ, seed);
+    }
+
+    /// Per-block toggle invariance over the full gate pool (dense
+    /// kernels, plus whatever narrower classes the draw produces).
+    #[test]
+    fn simd_dense_kernels_match_scalar_bitwise(
+        circ in arb_circuit(10, 24),
+        seed in 0u64..1_000,
+    ) {
+        assert_simd_toggle_invisible_on_blocks(&circ, seed);
+    }
+}
+
+/// Tail/remainder shapes, deterministically: states too small to fill
+/// one lane vector (n = 1, 2 at fp64; n ≤ 3 at fp32) and blocks whose
+/// target bits sit below the lane width must fall back to the scalar
+/// path and still agree bitwise under the toggle.
+#[test]
+fn simd_tail_shapes_fall_back_bitwise_identically() {
+    // Small registers: every group count 2^(n-k) < LANES.
+    for n in 1..=3u32 {
+        let mut c = Circuit::new(n);
+        c.h(0);
+        if n > 1 {
+            c.cx(0, 1).p(0.37, n - 1);
+        }
+        assert_simd_toggle_invisible_on_blocks(&c, 7 + u64::from(n));
+    }
+    // Low target bits on a wide register: enough groups, but inserted
+    // bits below the lane width keep dense/permutation kernels scalar —
+    // while the diagonal table still vectorizes over the same bits.
+    let mut low = Circuit::new(10);
+    low.h(0).ry(0.21, 1).cx(0, 1).p(0.53, 0).cr1(0.71, 0, 1).x(1).swap(0, 1);
+    assert_simd_toggle_invisible_on_blocks(&low, 41);
+}
+
+/// Lane-guaranteed coverage of all four structure classes: each pool is
+/// lifted onto the top qubits of a 12-qubit register, so every inserted
+/// bit clears both lane widths and the vector kernels demonstrably
+/// engage (not just trivially agree via the shared scalar path).
+#[test]
+fn simd_lane_path_engages_on_all_structure_classes() {
+    type PoolBuilder = fn(&mut Circuit);
+    let pools: [(&str, PoolBuilder); 4] = [
+        ("diagonal", |c| {
+            c.p(0.3, 0).cr1(0.7, 1, 2).t(1).rz(-0.9, 2);
+        }),
+        ("permutation", |c| {
+            c.x(0).cx(1, 2).swap(0, 2);
+        }),
+        ("controlled", |c| {
+            c.ry(0.4, 0).cx(1, 0).cr1(0.7, 2, 0);
+        }),
+        ("dense", |c| {
+            c.h(0).ry(0.3, 1).h(2).cx(0, 1).u(0.2, 0.1, -0.3, 2);
+        }),
+    ];
+    for (name, build) in pools {
+        let mut small = Circuit::new(3);
+        build(&mut small);
+        let wide = lifted(&small, 12);
+        assert_simd_toggle_invisible_on_blocks(&wide, 13);
+        let _ = name;
+    }
+}
+
+/// Batched execution under the toggle: every member of a joint pass is
+/// bitwise stable against SIMD on/off, which combined with
+/// `every_member_is_bit_identical_to_its_solo_run` keeps the batched
+/// path inside the same bit-identity contract as the solo engine.
+#[test]
+fn simd_toggle_is_bitwise_invisible_on_batched_runs() {
+    let _g = SIMD_LOCK.lock().unwrap();
+    let members: Vec<Circuit> = (0..3)
+        .map(|i| {
+            let mut c = Circuit::new(10);
+            for q in 0..10 {
+                c.h(q).ry(0.2 + 0.31 * f64::from(q) + 0.7 * f64::from(i), q);
+            }
+            for q in 0..9 {
+                c.cx(q, q + 1).p(0.11 * f64::from(q + 1), q + 1);
+            }
+            c
+        })
+        .collect();
+    let refs: Vec<&Circuit> = members.iter().collect();
+    let opts = RunOptions { keep_state: true, ..Default::default() };
+    let on = with_simd(true, || {
+        qgear_statevec::run_batched::<f64>(&GpuDevice::a100_40gb(), &refs, &opts).expect("batch")
+    });
+    let off = with_simd(false, || {
+        qgear_statevec::run_batched::<f64>(&GpuDevice::a100_40gb(), &refs, &opts).expect("batch")
+    });
+    for (m, (a, b)) in on.iter().zip(off.iter()).enumerate() {
+        assert_bits_eq_f64(
+            a.state.amplitudes(),
+            b.state.amplitudes(),
+            &format!("batched member {m}"),
+        );
+    }
+}
+
+/// The zero-copy sweep tile fast path: when a sweep's qubits are exactly
+/// the low `u` positions, tiles are contiguous state slices and the
+/// executor must skip the gather/scatter round-trip (observable via the
+/// `sweep.tiles.zero_copy` counter) while staying bit-identical to both
+/// plain fused execution and the scalar path.
+#[test]
+fn zero_copy_sweep_tiles_engage_and_stay_bit_identical() {
+    let _g = SIMD_LOCK.lock().unwrap();
+    // Gates over qubits 0..6 of an 8-qubit register: the sweep union is
+    // the contiguous prefix [0, 1, 2, 3, 4, 5], so tiles are in-place.
+    let mut c = Circuit::new(8);
+    for q in 0..6 {
+        c.h(q).ry(0.17 + 0.29 * f64::from(q), q);
+    }
+    for q in 0..5 {
+        c.cx(q, q + 1);
+    }
+    for q in 0..6 {
+        c.p(0.41 * f64::from(q + 1), q);
+    }
+    let opts = |w| RunOptions {
+        keep_state: true,
+        fusion_width: 2,
+        sweep_width: w,
+        sweep_reorder: false,
+        ..Default::default()
+    };
+
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+    let swept: RunOutput<f64> = GpuDevice::a100_40gb().run(&c, &opts(6)).expect("sweep");
+    qgear_telemetry::disable();
+    let snap = qgear_telemetry::snapshot();
+    qgear_telemetry::reset();
+    assert!(
+        snap.counter(qgear_telemetry::names::SWEEP_ZERO_COPY_TILES) > 0,
+        "contiguous-prefix sweep did not take the zero-copy tile path"
+    );
+
+    let fused: RunOutput<f64> = GpuDevice::a100_40gb().run(&c, &opts(0)).expect("fused");
+    assert_bits_eq_f64(
+        swept.state.as_ref().expect("state").amplitudes(),
+        fused.state.expect("state").amplitudes(),
+        "zero-copy sweep vs plain fused",
+    );
+    let scalar: RunOutput<f64> =
+        with_simd(false, || GpuDevice::a100_40gb().run(&c, &opts(6)).expect("sweep"));
+    assert_bits_eq_f64(
+        swept.state.expect("state").amplitudes(),
+        scalar.state.expect("state").amplitudes(),
+        "zero-copy sweep vs scalar path",
+    );
+}
+
+/// Checkpoint-resume into SIMD kernels: a 10-qubit run whose blocks sit
+/// high enough for the lane path, interrupted at every schedule
+/// boundary, resumes bit-identical to the straight-through run — and the
+/// straight-through run itself is toggle-invariant, closing the loop
+/// between the resume contract and the SIMD contract.
+#[test]
+fn resume_through_checkpoint_into_simd_kernels_is_bit_identical() {
+    let _g = SIMD_LOCK.lock().unwrap();
+    let mut circ = qft_circuit(10, &QftOptions::default());
+    circ.measure_all();
+    let opts = RunOptions {
+        shots: 256,
+        seed: 31,
+        fusion_width: 2,
+        sweep_width: 3,
+        keep_state: true,
+        ..Default::default()
+    };
+
+    let straight: RunOutput<f64> = GpuDevice::a100_40gb().run(&circ, &opts).expect("straight");
+    let straight_amps = straight.state.as_ref().expect("state").amplitudes();
+    let scalar: RunOutput<f64> =
+        with_simd(false, || GpuDevice::a100_40gb().run(&circ, &opts).expect("straight"));
+    assert_bits_eq_f64(
+        straight_amps,
+        scalar.state.expect("state").amplitudes(),
+        "straight run toggle invariance",
+    );
+
+    let steps = SegmentedRun::<f64>::new(&GpuDevice::a100_40gb(), &circ, &opts)
+        .expect("plan")
+        .steps_total();
+    assert!(steps >= 2, "schedule too short to interrupt meaningfully");
+    for k in 0..=steps {
+        let resumed = interrupted_at::<f64>(&circ, &opts, k);
+        assert_bits_eq_f64(
+            straight_amps,
+            resumed.state.as_ref().expect("state").amplitudes(),
+            &format!("resume at boundary {k}"),
+        );
+        assert_eq!(straight.counts.as_ref().unwrap().map, resumed.counts.unwrap().map);
+    }
+}
+
+/// Amplitude storage is cache-line aligned in both precisions, before
+/// and after a run — the invariant the aligned lane loads rely on.
+#[test]
+fn amplitude_storage_is_cache_line_aligned_in_both_precisions() {
+    use qgear_statevec::StateVector;
+    let align = |p: *const u8| p as usize % qgear_num::CACHE_LINE_BYTES;
+    assert_eq!(align(StateVector::<f64>::zero(10).amplitudes().as_ptr().cast()), 0);
+    assert_eq!(align(StateVector::<f32>::zero(10).amplitudes().as_ptr().cast()), 0);
+
+    let circ = qft_circuit(8, &QftOptions::default());
+    let opts = RunOptions { keep_state: true, ..Default::default() };
+    let out: RunOutput<f64> = GpuDevice::a100_40gb().run(&circ, &opts).expect("run");
+    assert_eq!(align(out.state.expect("state").amplitudes().as_ptr().cast()), 0);
+    let out: RunOutput<f32> = GpuDevice::a100_40gb().run(&circ, &opts).expect("run");
+    assert_eq!(align(out.state.expect("state").amplitudes().as_ptr().cast()), 0);
 }

@@ -349,3 +349,98 @@ fn backend_selection_and_trajectory_metrics_flow_into_the_json_export() {
     assert_eq!(back, snap, "export round trip preserves the backend metrics");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// SIMD-dispatch and scratch-arena telemetry: a sweep-scheduled run over
+/// lane-eligible kernels records lane dispatches (`kernel.simd.f64x4`),
+/// a scalar-forced run records only fallback dispatches
+/// (`kernel.simd.scalar`), scratch-arena traffic shows up as
+/// `scratch.alloc`/`scratch.reuse`, the zero-copy sweep fast path counts
+/// its tiles, and every new name survives the JSON export round trip —
+/// keeping the documented schema exhaustive.
+#[test]
+fn simd_and_scratch_metrics_flow_into_the_json_export() {
+    let _l = LOCK.lock().unwrap();
+
+    // A 10-qubit QFT under narrow fusion: blocks land on high qubits
+    // (lane path) and low qubits (scalar fallback), and multi-kernel
+    // sweeps exercise the scratch arena.
+    let opts = RunOptions { fusion_width: 2, sweep_width: 3, ..Default::default() };
+    let run = |simd_on: bool| {
+        qgear_statevec::set_simd_enabled(simd_on);
+        let (_, snap) = instrumented_run(&GpuDevice::a100_40gb(), &opts);
+        qgear_statevec::set_simd_enabled(true);
+        snap
+    };
+
+    let snap = run(true);
+    assert!(
+        snap.counter(names::KERNEL_SIMD_F64X4) > 0,
+        "lane-eligible kernels should record f64x4 dispatches"
+    );
+    assert!(
+        snap.counter(names::KERNEL_SIMD_SCALAR) > 0,
+        "low-qubit kernels should record scalar fallback dispatches"
+    );
+    assert!(
+        snap.counter(names::SCRATCH_ALLOC) > 0,
+        "tiled sweeps should allocate scratch through the arena"
+    );
+
+    let scalar_snap = run(false);
+    assert_eq!(
+        scalar_snap.counter(names::KERNEL_SIMD_F64X4),
+        0,
+        "SIMD disabled must not record lane dispatches"
+    );
+    assert!(scalar_snap.counter(names::KERNEL_SIMD_SCALAR) > 0);
+
+    // Deterministic arena traffic: on a cleared pool the first request
+    // allocates, every same-size request after it is a pool hit.
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+    qgear_statevec::arena::clear_thread_pool();
+    qgear_statevec::arena::with_scratch::<f64, _>(128, |_| {});
+    qgear_statevec::arena::with_scratch::<f64, _>(128, |_| {});
+    qgear_telemetry::disable();
+    let arena_snap = qgear_telemetry::snapshot();
+    qgear_telemetry::reset();
+    assert_eq!(arena_snap.counter(names::SCRATCH_ALLOC), 1);
+    assert_eq!(arena_snap.counter(names::SCRATCH_REUSE), 1);
+
+    // A contiguous-prefix sweep takes the zero-copy tile path and says so.
+    let mut low = qgear_ir::Circuit::new(8);
+    for q in 0..6 {
+        low.h(q).ry(0.2 + 0.3 * f64::from(q), q);
+    }
+    for q in 0..5 {
+        low.cx(q, q + 1);
+    }
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+    let _: RunOutput<f64> = GpuDevice::a100_40gb()
+        .run(&low, &RunOptions { fusion_width: 2, sweep_width: 6, ..Default::default() })
+        .expect("run");
+    qgear_telemetry::disable();
+    let zc_snap = qgear_telemetry::snapshot();
+    qgear_telemetry::reset();
+    assert!(
+        zc_snap.counter(names::SWEEP_ZERO_COPY_TILES) > 0,
+        "contiguous-prefix sweep should count zero-copy tiles"
+    );
+
+    // Export round trip carries every new counter name.
+    let dir = std::env::temp_dir().join(format!("qgear-telemetry-simd-{}", std::process::id()));
+    let sink = JsonSink::new(&dir);
+    let path = sink.export("simd dispatch", &snap).expect("export").expect("a file");
+    let text = std::fs::read_to_string(&path).expect("read back");
+    let value: serde_json::Value = serde_json::from_str(&text).expect("valid JSON");
+    let counters = value["counters"].as_object().expect("counters object");
+    for key in [names::KERNEL_SIMD_F64X4, names::KERNEL_SIMD_SCALAR, names::SCRATCH_ALLOC] {
+        assert!(counters.iter().any(|(k, _)| k == key), "counter {key} missing from export");
+    }
+    assert_eq!(names::kernel_simd("f64x4"), names::KERNEL_SIMD_F64X4);
+    assert_eq!(names::kernel_simd("f32x8"), names::KERNEL_SIMD_F32X8);
+    let (_, back) = TelemetrySnapshot::from_value(&value).expect("schema decode");
+    assert_eq!(back, snap, "export round trip preserves the SIMD metrics");
+    std::fs::remove_dir_all(&dir).ok();
+}
