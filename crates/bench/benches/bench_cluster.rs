@@ -27,7 +27,7 @@ fn bench_cluster(c: &mut Criterion) {
             b.iter(|| {
                 let mut dist: DistributedState<f32> =
                     DistributedState::zero(12, devices, ClusterTopology::default());
-                dist.run_program(prog);
+                dist.run_program(prog).expect("healthy fabric");
                 std::hint::black_box(dist.swaps())
             })
         });
@@ -42,7 +42,7 @@ fn bench_cluster(c: &mut Criterion) {
                 b.iter(|| {
                     let a = vec![C64::ONE; amps];
                     let bbuf = vec![C64::ZERO; amps];
-                    let (x, y) = exchange_buffers(a, bbuf);
+                    let (x, y) = exchange_buffers(a, bbuf).expect("healthy exchange");
                     std::hint::black_box((x.len(), y.len()))
                 })
             },

@@ -100,7 +100,7 @@ fn main() {
     let (native, phase) = qgear_ir::transpile::decompose_to_native(&circ);
     let prog = fuse(&native, 5);
     let mut dist: DistributedState<f64> = DistributedState::zero(10, 4, topo);
-    dist.run_program(&prog);
+    dist.run_program(&prog).expect("healthy fabric");
     let mut expect = reference::run(&native);
     reference::apply_global_phase(&mut expect, 0.0);
     let got = dist.gather();

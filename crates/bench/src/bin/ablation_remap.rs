@@ -28,7 +28,7 @@ fn main() {
             let mut dist: DistributedState<f64> =
                 DistributedState::zero(10, 4, ClusterTopology::default());
             dist.set_restore_layout(restore);
-            dist.run_program(&prog);
+            dist.run_program(&prog).expect("healthy fabric");
             let policy = if restore { "restore" } else { "persist" };
             println!(
                 "{blocks:>8} {policy:>10} {:>16} {:>10}",

@@ -36,7 +36,43 @@ impl LinkClass {
             LinkClass::InterRack => "slingshot-inter-rack",
         }
     }
+
+    /// Telemetry suffix (`comm.bytes.<suffix>` / `comm.messages.<suffix>`),
+    /// following the `snake_case` quantity convention of
+    /// `qgear_telemetry::names`.
+    pub const fn metric_suffix(self) -> &'static str {
+        match self {
+            LinkClass::IntraNode => "intra_node",
+            LinkClass::InterNode => "inter_node",
+            LinkClass::InterRack => "inter_rack",
+        }
+    }
 }
+
+/// Why an exchange failed. Real fabrics surface both shapes: a peer (or
+/// its NIC) going away mid-transfer, and a transfer whose link-layer
+/// integrity check rejects the payload. Either way the amplitudes on the
+/// wire are lost — callers must treat the partitioned state as dead and
+/// recover from a checkpoint, never patch around a half-exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommError {
+    /// The partner endpoint disappeared before the rendezvous completed
+    /// (send or receive side found the channel closed).
+    Dropped,
+    /// The payload arrived but failed the link-layer integrity check.
+    Corrupted,
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Dropped => f.write_str("exchange dropped: partner endpoint died"),
+            CommError::Corrupted => f.write_str("exchange corrupted: payload failed integrity check"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 impl fmt::Display for LinkClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -135,7 +171,12 @@ impl TrafficStats {
 /// communication pattern observable and the endpoints symmetric (each side
 /// sends, then receives, like the MPI `sendrecv` the paper's pipeline
 /// uses).
-pub fn exchange_buffers<T: Send>(a: Vec<T>, b: Vec<T>) -> (Vec<T>, Vec<T>) {
+///
+/// The exchange is **fallible**: a partner that vanishes mid-rendezvous
+/// (closed channel, panicked endpoint) surfaces as [`CommError::Dropped`]
+/// rather than a panic, so callers on the serving path can run their
+/// recovery ladder instead of taking the whole process down.
+pub fn exchange_buffers<T: Send>(a: Vec<T>, b: Vec<T>) -> Result<(Vec<T>, Vec<T>), CommError> {
     let _span = qgear_telemetry::span!(qgear_telemetry::names::spans::EXCHANGE);
     // This rendezvous is the single choke point all simulated fabric
     // traffic passes through, so the fabric counters live here.
@@ -146,22 +187,24 @@ pub fn exchange_buffers<T: Send>(a: Vec<T>, b: Vec<T>) -> (Vec<T>, Vec<T>) {
     qgear_telemetry::counter_add(qgear_telemetry::names::FABRIC_MESSAGES, 2);
     let (to_b, from_a) = channel::bounded::<Vec<T>>(1);
     let (to_a, from_b) = channel::bounded::<Vec<T>>(1);
-    let mut recv_a: Option<Vec<T>> = None;
-    let mut recv_b: Option<Vec<T>> = None;
-    crossbeam::thread::scope(|s| {
-        let ha = s.spawn(|_| {
-            to_b.send(a).expect("partner alive");
-            from_b.recv().expect("partner alive")
+    let mut recv_a: Result<Vec<T>, CommError> = Err(CommError::Dropped);
+    let mut recv_b: Result<Vec<T>, CommError> = Err(CommError::Dropped);
+    let scope = crossbeam::thread::scope(|s| {
+        let ha = s.spawn(|_| -> Result<Vec<T>, CommError> {
+            to_b.send(a).map_err(|_| CommError::Dropped)?;
+            from_b.recv().map_err(|_| CommError::Dropped)
         });
-        let hb = s.spawn(|_| {
-            to_a.send(b).expect("partner alive");
-            from_a.recv().expect("partner alive")
+        let hb = s.spawn(|_| -> Result<Vec<T>, CommError> {
+            to_a.send(b).map_err(|_| CommError::Dropped)?;
+            from_a.recv().map_err(|_| CommError::Dropped)
         });
-        recv_a = Some(ha.join().expect("no panic in exchange"));
-        recv_b = Some(hb.join().expect("no panic in exchange"));
-    })
-    .expect("exchange scope");
-    (recv_a.unwrap(), recv_b.unwrap())
+        recv_a = ha.join().unwrap_or(Err(CommError::Dropped));
+        recv_b = hb.join().unwrap_or(Err(CommError::Dropped));
+    });
+    if scope.is_err() {
+        return Err(CommError::Dropped);
+    }
+    Ok((recv_a?, recv_b?))
 }
 
 #[cfg(test)]
@@ -206,15 +249,32 @@ mod tests {
     fn exchange_swaps_contents() {
         let a: Vec<u32> = (0..100).collect();
         let b: Vec<u32> = (100..200).collect();
-        let (na, nb) = exchange_buffers(a.clone(), b.clone());
+        let (na, nb) = exchange_buffers(a.clone(), b.clone()).expect("healthy exchange");
         assert_eq!(na, b);
         assert_eq!(nb, a);
     }
 
     #[test]
     fn exchange_empty_buffers() {
-        let (a, b) = exchange_buffers(Vec::<u8>::new(), vec![1u8]);
+        let (a, b) = exchange_buffers(Vec::<u8>::new(), vec![1u8]).expect("healthy exchange");
         assert_eq!(a, vec![1u8]);
         assert!(b.is_empty());
+    }
+
+    #[test]
+    fn comm_error_displays_both_shapes() {
+        assert!(CommError::Dropped.to_string().contains("dropped"));
+        assert!(CommError::Corrupted.to_string().contains("integrity"));
+        assert_ne!(CommError::Dropped, CommError::Corrupted);
+    }
+
+    #[test]
+    fn metric_suffixes_are_snake_case_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for class in LinkClass::ALL {
+            let s = class.metric_suffix();
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+            assert!(seen.insert(s));
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! swapping back, and the default; see [`DistributedState::set_restore_layout`]
 //! for the ablation).
 
-use crate::comm::{exchange_buffers, ClusterTopology, TrafficStats};
+use crate::comm::{exchange_buffers, ClusterTopology, CommError, TrafficStats};
 use crate::layout::QubitLayout;
 use qgear_ir::fusion::{FusedBlock, FusedProgram};
 use qgear_num::{Complex, Scalar};
@@ -34,6 +34,11 @@ pub struct DistributedState<T: Scalar> {
     traffic: TrafficStats,
     /// Number of global↔local bit swaps performed.
     swaps: u64,
+    /// Pairwise exchanges performed (each moves two messages).
+    exchanges: u64,
+    /// Injected link fault: fail the exchange with this index. Consulted
+    /// once; the fault fires on the matching exchange and is cleared.
+    inject: Option<(u64, CommError)>,
     /// Restore the identity layout after every block (ablation mode;
     /// costs extra exchanges).
     restore_layout: bool,
@@ -57,6 +62,8 @@ impl<T: Scalar> DistributedState<T> {
             topology,
             traffic: TrafficStats::default(),
             swaps: 0,
+            exchanges: 0,
+            inject: None,
             restore_layout: false,
         }
     }
@@ -91,6 +98,21 @@ impl<T: Scalar> DistributedState<T> {
         self.swaps
     }
 
+    /// Pairwise exchanges performed so far (each exchange carries two
+    /// messages, one per direction).
+    pub fn exchanges(&self) -> u64 {
+        self.exchanges
+    }
+
+    /// Arm a link-fault injection: the exchange with 0-based index
+    /// `at_exchange` (counting every pairwise exchange this state
+    /// performs) fails with `err` instead of moving amplitudes. The
+    /// injection fires at most once and is cleared afterwards. Exchanges
+    /// already performed are unaffected — arming a past index is a no-op.
+    pub fn inject_link_fault(&mut self, at_exchange: u64, err: CommError) {
+        self.inject = Some((at_exchange, err));
+    }
+
     /// Enable the remap-and-restore ablation: after each block, swap the
     /// layout back to identity (doubling exchange traffic on global-qubit
     /// blocks).
@@ -106,7 +128,13 @@ impl<T: Scalar> DistributedState<T> {
     /// Swap physical bit positions `a` (must be local) and `b` (must be
     /// global): pairwise half-exchange between partner devices, plus a
     /// local bit permutation. Updates the layout.
-    fn swap_local_global(&mut self, local: u32, global: u32) {
+    ///
+    /// On a [`CommError`] — real (partner channel died) or injected via
+    /// [`DistributedState::inject_link_fault`] — the partitioned state is
+    /// left **inconsistent** (some pairs may have exchanged, the failed
+    /// pair has not) and must be discarded; callers recover from a
+    /// checkpoint or restart.
+    fn swap_local_global(&mut self, local: u32, global: u32) -> Result<(), CommError> {
         let lw = self.local_width();
         debug_assert!(local < lw && global >= lw);
         let b = global - lw;
@@ -132,10 +160,29 @@ impl<T: Scalar> DistributedState<T> {
             }
             let bytes = (out0.len() as u128) * amp_bytes;
             let class = self.topology.link_class(r0, r1);
+            let this_exchange = self.exchanges;
+            self.exchanges += 1;
+            if let Some((at, err)) = self.inject {
+                if at == this_exchange {
+                    self.inject = None;
+                    return Err(err);
+                }
+            }
             // Two messages: r0→r1 and r1→r0.
-            let (recv0, recv1) = exchange_buffers(out0, out1);
+            let (recv0, recv1) = exchange_buffers(out0, out1)?;
             self.traffic.record(class, bytes);
             self.traffic.record(class, bytes);
+            // Per-class global counters for the *real* engine only — the
+            // dry-run `TrafficPlanner` twin records into its own
+            // `TrafficStats` without touching process-wide telemetry.
+            qgear_telemetry::counter_add(
+                &qgear_telemetry::names::comm_bytes(class.metric_suffix()),
+                2 * bytes,
+            );
+            qgear_telemetry::counter_add(
+                &qgear_telemetry::names::comm_messages(class.metric_suffix()),
+                2,
+            );
             // Scatter: r0 fills its bit=1 slots with r1's old bit=0 half;
             // r1 fills its bit=0 slots with r0's old bit=1 half.
             let mut k = 0usize;
@@ -149,6 +196,7 @@ impl<T: Scalar> DistributedState<T> {
         }
         self.swaps += 1;
         self.layout.note_swap(local, global);
+        Ok(())
     }
 
     /// Apply one fused kernel addressed in *logical* qubits.
@@ -158,14 +206,14 @@ impl<T: Scalar> DistributedState<T> {
     /// mix — pure controls and diagonal phases — stay global: each device
     /// applies the sub-block conditioned on its own rank bits, with zero
     /// communication (the cuQuantum-style control/diagonal optimization).
-    pub fn apply_block(&mut self, block: &FusedBlock) {
+    pub fn apply_block(&mut self, block: &FusedBlock) -> Result<(), CommError> {
         // Plan remaps on a layout clone (the shared mixing-aware policy in
         // `QubitLayout::plan_block_mixing`), then execute each planned
         // swap — the data movement updates `self.layout` to match.
         let mixing = block.mixing_mask();
         let mut planned = self.layout.clone();
         for swap in planned.plan_block_mixing(&block.qubits, &mixing) {
-            self.swap_local_global(swap.local, swap.global);
+            self.swap_local_global(swap.local, swap.global)?;
         }
         debug_assert_eq!(self.layout, planned, "execution diverged from plan");
         let lw = self.local_width();
@@ -219,8 +267,9 @@ impl<T: Scalar> DistributedState<T> {
             }
         }
         if self.restore_layout {
-            self.restore_identity_layout();
+            self.restore_identity_layout()?;
         }
+        Ok(())
     }
 
     /// Swap physical positions until the layout is the identity again.
@@ -229,26 +278,27 @@ impl<T: Scalar> DistributedState<T> {
     /// qubit and swap it home. Fixing `q` can only disturb the occupant of
     /// `q`'s home position, which is itself misplaced, so the fixed prefix
     /// grows monotonically and the loop terminates after ≤ n swaps.
-    fn restore_identity_layout(&mut self) {
+    pub(crate) fn restore_identity_layout(&mut self) -> Result<(), CommError> {
         let lw = self.local_width();
         while let Some(q) = (0..self.num_qubits).find(|&q| self.layout.physical(q) != q) {
             let cur = self.layout.physical(q);
             let home = q;
             match (cur < lw, home < lw) {
                 (true, true) => self.swap_local_local(cur, home),
-                (true, false) => self.swap_local_global(cur, home),
-                (false, true) => self.swap_local_global(home, cur),
+                (true, false) => self.swap_local_global(cur, home)?,
+                (false, true) => self.swap_local_global(home, cur)?,
                 (false, false) => {
                     // Route through any local bit f: swap(f,cur), swap(f,home),
                     // swap(f,cur) exchanges the two global positions and
                     // returns f's occupant.
                     let f = lw - 1;
-                    self.swap_local_global(f, cur);
-                    self.swap_local_global(f, home);
-                    self.swap_local_global(f, cur);
+                    self.swap_local_global(f, cur)?;
+                    self.swap_local_global(f, home)?;
+                    self.swap_local_global(f, cur)?;
                 }
             }
         }
+        Ok(())
     }
 
     /// Swap two *local* physical bit positions on every device (pure local
@@ -268,11 +318,12 @@ impl<T: Scalar> DistributedState<T> {
     }
 
     /// Run a whole fused program.
-    pub fn run_program(&mut self, program: &FusedProgram) {
+    pub fn run_program(&mut self, program: &FusedProgram) -> Result<(), CommError> {
         assert_eq!(program.num_qubits, self.num_qubits);
         for block in &program.blocks {
-            self.apply_block(block);
+            self.apply_block(block)?;
         }
+        Ok(())
     }
 
     /// Total squared norm across devices.
@@ -320,6 +371,27 @@ impl<T: Scalar> DistributedState<T> {
         }
         StateVector::from_amplitudes(amps)
     }
+
+    /// Partition a full state vector (logical amplitude order) across
+    /// `num_devices`, with the identity layout — the inverse of
+    /// [`DistributedState::gather`] on an identity-layout state. This is
+    /// how a migrated shard group re-scatters a restored checkpoint onto
+    /// replacement workers.
+    pub fn from_state(
+        state: &StateVector<T>,
+        num_devices: usize,
+        topology: ClusterTopology,
+    ) -> Self {
+        let num_qubits = state.num_qubits();
+        let mut dist = DistributedState::zero(num_qubits, num_devices, topology);
+        let lw = dist.local_width() as usize;
+        let amps = state.amplitudes();
+        for (r, part) in dist.parts.iter_mut().enumerate() {
+            let base = r << lw;
+            part.copy_from_slice(&amps[base..base + (1 << lw)]);
+        }
+        dist
+    }
 }
 
 #[cfg(test)]
@@ -362,7 +434,7 @@ mod tests {
         let prog = fuse(&c, width);
         let mut dist: DistributedState<f64> =
             DistributedState::zero(n, devices, ClusterTopology::default());
-        dist.run_program(&prog);
+        dist.run_program(&prog).expect("healthy fabric");
         let got = dist.gather();
         let expect = reference::run(&c);
         assert!(
@@ -403,7 +475,7 @@ mod tests {
         let prog = fuse(&c, 3);
         let mut dist: DistributedState<f64> =
             DistributedState::zero(6, 4, ClusterTopology::default());
-        dist.run_program(&prog);
+        dist.run_program(&prog).expect("healthy fabric");
         assert_eq!(dist.traffic().total_bytes(), 0);
         assert_eq!(dist.swaps(), 0);
         let expect = reference::run(&c);
@@ -418,7 +490,7 @@ mod tests {
         let prog = fuse(&c, 2);
         let mut dist: DistributedState<f64> =
             DistributedState::zero(6, 4, ClusterTopology::default());
-        dist.run_program(&prog);
+        dist.run_program(&prog).expect("healthy fabric");
         assert!(dist.swaps() >= 1);
         assert!(dist.traffic().total_bytes() > 0);
         let expect = reference::run(&c);
@@ -434,7 +506,7 @@ mod tests {
         let prog = fuse(&c, 2);
         let mut dist: DistributedState<f64> =
             DistributedState::zero(6, 4, ClusterTopology::default());
-        dist.run_program(&prog);
+        dist.run_program(&prog).expect("healthy fabric");
         assert_eq!(dist.swaps(), 0, "control-only global use must not swap");
         assert_eq!(dist.traffic().total_bytes(), 0);
         let expect = reference::run(&c);
@@ -453,7 +525,7 @@ mod tests {
         let prog = fuse(&c, 3);
         let mut dist: DistributedState<f64> =
             DistributedState::zero(6, 4, ClusterTopology::default());
-        dist.run_program(&prog);
+        dist.run_program(&prog).expect("healthy fabric");
         assert_eq!(dist.traffic().total_bytes(), 0);
         let expect = reference::run(&c);
         assert!(max_deviation(dist.gather().amplitudes(), &expect) < 1e-12);
@@ -468,7 +540,7 @@ mod tests {
         let prog = fuse(&c, 2);
         let mut dist: DistributedState<f64> =
             DistributedState::zero(6, 4, ClusterTopology::default());
-        dist.run_program(&prog);
+        dist.run_program(&prog).expect("healthy fabric");
         assert!(dist.swaps() > 0);
         let expect = reference::run(&c);
         assert!(max_deviation(dist.gather().amplitudes(), &expect) < 1e-11);
@@ -510,7 +582,7 @@ mod tests {
         // And the engine must still be correct.
         let mut dist: DistributedState<f64> =
             DistributedState::zero(8, 4, topo);
-        dist.run_program(&prog);
+        dist.run_program(&prog).expect("healthy fabric");
         let expect = reference::run(&circ);
         assert!(max_deviation(dist.gather().amplitudes(), &expect) < 1e-11);
         assert_eq!(dist.swaps(), smart.swaps(), "engine matches planner");
@@ -522,11 +594,11 @@ mod tests {
         let prog = fuse(&c, 2);
         let mut keep: DistributedState<f64> =
             DistributedState::zero(6, 4, ClusterTopology::default());
-        keep.run_program(&prog);
+        keep.run_program(&prog).expect("healthy fabric");
         let mut restore: DistributedState<f64> =
             DistributedState::zero(6, 4, ClusterTopology::default());
         restore.set_restore_layout(true);
-        restore.run_program(&prog);
+        restore.run_program(&prog).expect("healthy fabric");
         // Both are correct…
         let expect = reference::run(&c);
         assert!(max_deviation(keep.gather().amplitudes(), &expect) < 1e-11);
@@ -541,7 +613,7 @@ mod tests {
         let prog = fuse(&c, 3);
         let mut dist: DistributedState<f64> =
             DistributedState::zero(6, 4, ClusterTopology::default());
-        dist.run_program(&prog);
+        dist.run_program(&prog).expect("healthy fabric");
         let gathered = dist.gather();
         for qubits in [vec![0u32], vec![5, 1], vec![2, 4, 0]] {
             let got = dist.marginal(&qubits);
@@ -558,7 +630,7 @@ mod tests {
         let prog = fuse(&c, 2);
         let mut dist: DistributedState<f64> =
             DistributedState::zero(7, 8, ClusterTopology::default());
-        dist.run_program(&prog);
+        dist.run_program(&prog).expect("healthy fabric");
         assert!((dist.norm_sqr() - 1.0).abs() < 1e-10);
     }
 
@@ -575,5 +647,57 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_devices_rejected() {
         let _: DistributedState<f64> = DistributedState::zero(4, 3, ClusterTopology::default());
+    }
+
+    #[test]
+    fn injected_link_fault_surfaces_as_comm_error() {
+        use crate::comm::CommError;
+        let mut c = Circuit::new(6);
+        c.h(5).cx(5, 4).h(4); // several global-qubit blocks → several exchanges
+        let prog = fuse(&c, 1);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.inject_link_fault(0, CommError::Corrupted);
+        assert_eq!(dist.run_program(&prog), Err(CommError::Corrupted));
+        // The injection is one-shot: a fresh state with no injection runs clean.
+        let mut clean: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        clean.run_program(&prog).expect("healthy fabric");
+        assert!(clean.exchanges() > 0);
+    }
+
+    #[test]
+    fn link_fault_beyond_exchange_count_never_fires() {
+        let mut c = Circuit::new(6);
+        c.h(5);
+        let prog = fuse(&c, 1);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.inject_link_fault(1_000_000, crate::comm::CommError::Dropped);
+        dist.run_program(&prog).expect("fault index out of range is a no-op");
+    }
+
+    #[test]
+    fn messages_are_twice_the_exchanges() {
+        let c = random_native(6, 60, 21);
+        let prog = fuse(&c, 2);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.run_program(&prog).expect("healthy fabric");
+        assert_eq!(dist.traffic().total_messages(), 2 * dist.exchanges());
+    }
+
+    #[test]
+    fn scatter_gather_roundtrip_is_bit_exact() {
+        let c = random_native(6, 40, 17);
+        let prog = fuse(&c, 2);
+        let mut dist: DistributedState<f64> =
+            DistributedState::zero(6, 4, ClusterTopology::default());
+        dist.run_program(&prog).expect("healthy fabric");
+        let gathered = dist.gather();
+        let rescattered: DistributedState<f64> =
+            DistributedState::from_state(&gathered, 4, ClusterTopology::default());
+        let again = rescattered.gather();
+        assert_eq!(gathered.amplitudes(), again.amplitudes(), "bit-exact roundtrip");
     }
 }

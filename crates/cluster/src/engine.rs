@@ -128,7 +128,8 @@ impl<T: Scalar> Simulator<T> for ClusterEngine {
         };
         let mut dist: DistributedState<T> = DistributedState::zero(n, self.num_devices, self.topology);
         dist.set_restore_layout(self.restore_layout);
-        dist.run_program(&program);
+        dist.run_program(&program)
+            .map_err(|e| SimError::Interconnect(e.to_string()))?;
         drop(sim_span);
         stats.elapsed = self.clock.now().saturating_sub(start);
         stats.gates_applied = program.source_gate_count() as u64;

@@ -253,7 +253,7 @@ mod tests {
         let mut planner = TrafficPlanner::new(8, 4, topo, 16);
         planner.run_program(&prog);
         let mut real: DistributedState<f64> = DistributedState::zero(8, 4, topo);
-        real.run_program(&prog);
+        real.run_program(&prog).expect("healthy fabric");
         assert_eq!(planner.traffic(), real.traffic());
         assert_eq!(planner.swaps(), real.swaps());
         assert!(planner.swaps() > 0);

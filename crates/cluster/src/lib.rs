@@ -26,7 +26,7 @@ pub mod distributed;
 pub mod engine;
 pub mod layout;
 
-pub use comm::{ClusterTopology, LinkClass, TrafficStats};
+pub use comm::{exchange_buffers, ClusterTopology, CommError, LinkClass, TrafficStats};
 pub use distributed::DistributedState;
 pub use layout::{QubitLayout, TrafficPlanner};
 pub use engine::ClusterEngine;

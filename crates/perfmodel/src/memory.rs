@@ -77,6 +77,50 @@ pub fn cluster_feasible(gpu: &GpuSpec, precision: Precision, devices: usize, n: 
     n <= max_qubits_cluster(gpu, precision, devices)
 }
 
+/// Smallest power-of-two shard count (≥ 2) that partitions an `n`-qubit
+/// state across identical workers of `worker_bytes` device memory each,
+/// or `None` when no admissible count exists.
+///
+/// This is the serving layer's admission plan for jobs *beyond* the
+/// single-worker memory wall: each shard holds a `2^(n-p)`-amplitude
+/// slice (`p = log2(shards)`), so every doubling of the group buys one
+/// qubit. Two constraints bound the search:
+///
+/// * the local slice must fit one worker (`state_bytes(n) / shards ≤
+///   worker_bytes`), and
+/// * the local width `n - p` must stay at least `min_local_width` —
+///   fused kernels up to that many mixing operands must be remappable
+///   onto local bit positions (see `qgear-cluster`'s layout planner).
+///
+/// Registers of 100+ qubits are unconditionally infeasible (the shift in
+/// [`state_bytes`] would overflow, and no modelled farm approaches that
+/// scale), mirroring the dense admission guard.
+pub fn plan_shard_count(
+    n: u32,
+    precision: Precision,
+    worker_bytes: u128,
+    min_local_width: u32,
+    max_shards: u32,
+) -> Option<u32> {
+    if n >= 100 {
+        return None;
+    }
+    let total = state_bytes(n, precision);
+    let mut shards: u32 = 2;
+    while shards <= max_shards {
+        let p = shards.trailing_zeros();
+        if n < min_local_width.max(1) + p {
+            // Wider groups only shrink the local slice further.
+            return None;
+        }
+        if total / u128::from(shards) <= worker_bytes {
+            return Some(shards);
+        }
+        shards = shards.checked_mul(2)?;
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -128,6 +172,31 @@ mod tests {
         // Monotone in width, quadratic-ish growth.
         assert!(tableau_bytes(128) > tableau_bytes(64));
         assert_eq!(tableau_bytes(0), 17);
+    }
+
+    #[test]
+    fn shard_plan_picks_the_smallest_sufficient_group() {
+        // 4-qubit fp64 state = 256 B. Workers offering 192 B each: two
+        // shards of 128 B suffice; the planner must not over-provision.
+        assert_eq!(plan_shard_count(4, Precision::Fp64, 192, 2, 64), Some(2));
+        // 64-byte workers need four shards.
+        assert_eq!(plan_shard_count(4, Precision::Fp64, 64, 2, 64), Some(4));
+        // …but four shards leave a 2-qubit local slice, so a 3-wide
+        // kernel floor rules the job out entirely.
+        assert_eq!(plan_shard_count(4, Precision::Fp64, 64, 3, 64), None);
+    }
+
+    #[test]
+    fn shard_plan_respects_the_group_cap_and_scale_guards() {
+        // The group cap bounds the search even when memory would demand
+        // more shards.
+        assert_eq!(plan_shard_count(10, Precision::Fp64, 1024, 2, 2), None);
+        assert_eq!(plan_shard_count(10, Precision::Fp64, 1024, 2, 64), Some(16));
+        // 100+ qubits never shard (dense admission's overflow guard).
+        assert_eq!(plan_shard_count(100, Precision::Fp32, u128::MAX, 2, 64), None);
+        // A job that fits one worker still plans a (≥ 2)-shard group when
+        // asked — the caller gates on dense infeasibility, not this fn.
+        assert_eq!(plan_shard_count(3, Precision::Fp64, 1 << 20, 2, 64), Some(2));
     }
 
     #[test]

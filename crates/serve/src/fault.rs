@@ -112,6 +112,37 @@ pub enum FaultKind {
         /// death lands (0 = the batch dies before publishing anything).
         after_members: u32,
     },
+    /// One worker of a *shard group* dies after the group completes
+    /// `after_segments` segments of sharded execution. The whole
+    /// partitioned run is torn down (a shard is useless alone), the job
+    /// is requeued front-of-queue with its attempt ledger intact, and the
+    /// replacement dispatch — drawn from the elastic pool — restores the
+    /// newest verified checkpoint generation and resumes: a live-shard
+    /// migration. On a job that was not sharded this degrades to
+    /// [`FaultKind::WorkerDeath`] at the attempt boundary. Does not
+    /// consume a retry.
+    ShardWorkerDeath {
+        /// Shard rank whose worker dies (clamped to the group width).
+        shard: u32,
+        /// Segments the group completes before the death (≥ 1 to leave a
+        /// checkpoint behind; 0 forces a cold restart on migration).
+        after_segments: u32,
+    },
+    /// The `exchange`-th pairwise amplitude exchange of the struck
+    /// attempt fails: `corrupt` models a payload rejected by the
+    /// link-layer integrity check, otherwise the partner endpoint drops
+    /// mid-rendezvous. Either way the partitioned state is dead; the
+    /// attempt recovers *in place* from the newest verified checkpoint
+    /// generation (transient-like: same dispatch, consumes a retry). On a
+    /// job that was not sharded this degrades to
+    /// [`FaultKind::Transient`].
+    LinkFault {
+        /// Zero-based index of the pairwise exchange to strike, counted
+        /// across the whole attempt (out-of-range never fires).
+        exchange: u32,
+        /// `true` = corrupted payload, `false` = dropped partner.
+        corrupt: bool,
+    },
 }
 
 /// One scheduled fault: `kind` strikes `attempt` (0-based, cumulative
@@ -298,6 +329,23 @@ mod tests {
         assert!(!schedule.corrupts_checkpoint(4, 2));
         assert!(!schedule.corrupts_checkpoint(5, 1));
         assert!(!schedule.corrupts_cache(4), "checkpoint ≠ result cache");
+    }
+
+    #[test]
+    fn shard_fault_kinds_compose_like_the_rest() {
+        let schedule = FaultSchedule::none()
+            .with_event(1, 0, FaultKind::ShardWorkerDeath { shard: 1, after_segments: 2 })
+            .with_event(1, 1, FaultKind::LinkFault { exchange: 3, corrupt: true });
+        assert_eq!(
+            schedule.event_for(1, 0),
+            Some(FaultKind::ShardWorkerDeath { shard: 1, after_segments: 2 })
+        );
+        assert_eq!(
+            schedule.event_for(1, 1),
+            Some(FaultKind::LinkFault { exchange: 3, corrupt: true })
+        );
+        assert!(!schedule.corrupts_cache(1), "shard faults never corrupt the cache");
+        assert!(!schedule.corrupts_checkpoint(1, 0));
     }
 
     #[test]

@@ -67,6 +67,10 @@ pub enum Engine {
     /// Trajectory fan wrapping the stabilizer engine (Clifford + Pauli
     /// noise stays stabilizer-simulable).
     TrajectoryStabilizer,
+    /// Dense state vector partitioned across a shard group of workers
+    /// (pairwise amplitude exchange; admission plans the group width).
+    /// Routes jobs *beyond* the single-worker memory wall.
+    Sharded,
 }
 
 impl Engine {
@@ -77,6 +81,7 @@ impl Engine {
             Engine::Stabilizer => "stabilizer",
             Engine::Trajectory => "trajectory",
             Engine::TrajectoryStabilizer => "trajectory_stabilizer",
+            Engine::Sharded => "sharded",
         }
     }
 
@@ -87,6 +92,7 @@ impl Engine {
             Engine::Stabilizer => 1,
             Engine::Trajectory => 2,
             Engine::TrajectoryStabilizer => 3,
+            Engine::Sharded => 4,
         }
     }
 }

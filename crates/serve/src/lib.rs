@@ -55,8 +55,10 @@ pub mod checkpoint_store;
 pub mod fault;
 pub mod hashkey;
 pub mod job;
+pub mod pool;
 pub mod scheduler;
 pub mod service;
+pub mod shard;
 
 pub use batch::{BatchConfig, BatchKey, BatchMemberDisposition, BatchRecord};
 pub use cache::{MarginalCache, ResultCache};
@@ -66,5 +68,7 @@ pub use hashkey::CircuitKey;
 pub use job::{
     Admission, BackendVerdict, Engine, JobId, JobOutcome, JobResult, JobSpec, Priority, ServeError,
 };
+pub use pool::{PoolConfig, PoolDecision};
 pub use scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};
 pub use service::{BackendKind, SelectionPolicy, ServeConfig, Service};
+pub use shard::{ShardConfig, ShardRecord, ShardedRun};

@@ -14,14 +14,17 @@ use crate::checkpoint_store::{CheckpointRecord, CheckpointStore};
 use crate::fault::{FaultKind, FaultPlan, FaultSchedule};
 use crate::hashkey::CircuitKey;
 use crate::job::{Admission, BackendVerdict, Engine, JobId, JobOutcome, JobResult, JobSpec, ServeError};
+use crate::pool::{PoolConfig, PoolDecision};
 use crate::scheduler::{AdmissionQueue, DispatchRecord, QueuedJob};
+use crate::shard::{ShardConfig, ShardRecord, ShardedRun};
+use qgear_cluster::CommError;
 use qgear_ir::fusion::DEFAULT_FUSION_WIDTH;
 use qgear_ir::schedule::DEFAULT_SWEEP_WIDTH;
 use qgear_ir::transpile::decompose_to_native;
 use qgear_ir::{classify, clifford_projection, shape_digest, Circuit};
 use qgear_num::scalar::Precision;
 use qgear_num::Scalar;
-use qgear_perfmodel::memory::{state_bytes, tableau_bytes};
+use qgear_perfmodel::memory::{plan_shard_count, state_bytes, tableau_bytes};
 use qgear_stabilizer::{StabilizerBackend, MAX_MEASURED_QUBITS};
 use qgear_statevec::backend::{marginal_probs, sample_from_probs};
 use qgear_statevec::checkpoint::{decode as decode_checkpoint, encode as encode_checkpoint};
@@ -144,6 +147,16 @@ pub struct ServeConfig {
     /// only on the GPU backend with segmented execution off; see
     /// [`BatchConfig`] for why the two are mutually exclusive.
     pub batch: BatchConfig,
+    /// Sharded execution for jobs beyond one worker's memory (defaults
+    /// to `None` = such jobs stay [`Admission::RejectedInfeasible`]).
+    /// GPU backend only: the shard slices are device slices. Sharded
+    /// jobs always execute in checkpointed segments — the checkpoint is
+    /// the migration unit — using `checkpoint_interval` (floored at 1)
+    /// and `checkpoint_generations`.
+    pub shard: Option<ShardConfig>,
+    /// Elastic worker-pool policy (defaults to `None` = the fixed
+    /// `workers` count). See [`PoolConfig`].
+    pub pool: Option<PoolConfig>,
 }
 
 impl Default for ServeConfig {
@@ -166,6 +179,8 @@ impl Default for ServeConfig {
             clock: WallClock::shared(),
             selection: SelectionPolicy::default(),
             batch: BatchConfig::disabled(),
+            shard: None,
+            pool: None,
         }
     }
 }
@@ -190,6 +205,17 @@ struct State {
     /// One record per flushed batch (member ids + dispositions), in
     /// flush order — the coalescing-conservation oracle's evidence.
     batch_log: Vec<BatchRecord>,
+    /// Shard-group lifecycle audit: starts, faults, migrations,
+    /// completions, in worker order (see [`ShardRecord`]).
+    shard_log: Vec<ShardRecord>,
+    /// Elastic-pool decision audit, in decision order. Under a virtual
+    /// clock this log is exactly reproducible.
+    pool_log: Vec<PoolDecision>,
+    /// Worker threads currently alive (spawned minus retired). Only the
+    /// elastic pool moves it.
+    live_workers: usize,
+    /// Next worker-thread name index (monotonic across scale-ups).
+    next_worker_id: usize,
     next_id: u64,
     in_flight: usize,
     shutdown: bool,
@@ -226,6 +252,10 @@ impl Service {
                 checkpoints: CheckpointStore::new(cfg.checkpoint_generations),
                 checkpoint_log: Vec::new(),
                 batch_log: Vec::new(),
+                shard_log: Vec::new(),
+                pool_log: Vec::new(),
+                live_workers: worker_count,
+                next_worker_id: worker_count,
                 next_id: 0,
                 in_flight: 0,
                 shutdown: false,
@@ -315,7 +345,38 @@ impl Service {
         counter_inc(names::SERVE_JOBS_SUBMITTED);
         counter_inc(&names::admission_backend_chosen(engine.name()));
         histogram_record(names::SERVE_QUEUE_DEPTH, st.queue.len() as f64);
+
+        // Elastic pool: admission is where queue-depth telemetry turns
+        // into capacity. The decision is taken under the same lock that
+        // enqueued the job and stamped with the admission clock reading,
+        // so under a virtual clock the ScaleUp log is exact.
+        let mut spawn_worker = None;
+        if let Some(pool) = self.shared.cfg.pool {
+            let depth = st.queue.len();
+            if depth >= pool.scale_up_depth.max(1) && st.live_workers < pool.max_workers {
+                let from = st.live_workers;
+                st.live_workers += 1;
+                st.pool_log.push(PoolDecision::ScaleUp {
+                    at: submitted_at,
+                    from,
+                    to: from + 1,
+                    queue_depth: depth,
+                });
+                counter_inc(names::POOL_SCALE_UPS);
+                histogram_record(names::POOL_WORKERS, (from + 1) as f64);
+                spawn_worker = Some(st.next_worker_id);
+                st.next_worker_id += 1;
+            }
+        }
         drop(st);
+        if let Some(worker_id) = spawn_worker {
+            let shared = Arc::clone(&self.shared);
+            let handle = thread::Builder::new()
+                .name(format!("qgear-serve-worker-{worker_id}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn serve worker");
+            self.workers.lock().expect("worker list poisoned").push(handle);
+        }
         self.shared.jobs_cv.notify_one();
         Admission::Accepted(id)
     }
@@ -435,6 +496,38 @@ impl Service {
             .clone()
     }
 
+    /// The shard audit log so far — every group start, worker loss,
+    /// migration, link fault, cold restart, and completion in the order
+    /// the workers performed them. Empty when sharding is disabled. The
+    /// simtest exchange-conservation and migration-bit-identity oracles
+    /// replay this.
+    pub fn shard_log(&self) -> Vec<ShardRecord> {
+        self.shared
+            .state
+            .lock()
+            .expect("serve state poisoned")
+            .shard_log
+            .clone()
+    }
+
+    /// The elastic-pool decision log so far — every scale-up, scale-down,
+    /// and shard-replacement hand-off, stamped with the service clock.
+    /// Empty without a [`PoolConfig`]. Under a virtual clock the whole
+    /// log is exactly reproducible, which the simtest regression pins.
+    pub fn pool_log(&self) -> Vec<PoolDecision> {
+        self.shared
+            .state
+            .lock()
+            .expect("serve state poisoned")
+            .pool_log
+            .clone()
+    }
+
+    /// Worker threads currently alive (the fixed count without a pool).
+    pub fn live_workers(&self) -> usize {
+        self.shared.state.lock().expect("serve state poisoned").live_workers
+    }
+
     /// Stop admitting, drain the queue, and join the workers. Idempotent;
     /// also invoked by `Drop`.
     pub fn shutdown(&self) {
@@ -512,8 +605,12 @@ fn worker_loop(shared: &Shared) {
                 // weight now, whatever the outcome was.
                 st.checkpoints.clear(job.id.0);
                 st.in_flight -= 1;
+                let retire = pool_retire(shared, &mut st);
                 drop(st);
                 shared.done_cv.notify_all();
+                if retire {
+                    return;
+                }
             }
             ServeStep::WorkerDied { attempts_consumed } => {
                 counter_inc(names::SERVE_WORKER_DEATHS);
@@ -527,6 +624,29 @@ fn worker_loop(shared: &Shared) {
             }
         }
     }
+}
+
+/// Elastic-pool retirement, decided under the state lock right after a
+/// worker publishes an outcome: an empty queue with the pool above its
+/// floor means this worker is surplus and exits. Because every candidate
+/// passes through the same lock, concurrent retirements serialize into a
+/// strictly descending `(from, to)` chain regardless of thread timing.
+/// Returns `true` when the calling worker must exit its loop.
+fn pool_retire(shared: &Shared, st: &mut State) -> bool {
+    let Some(pool) = shared.cfg.pool else { return false };
+    if st.shutdown || !st.queue.is_empty() || st.live_workers <= pool.min_workers.max(1) {
+        return false;
+    }
+    let from = st.live_workers;
+    st.live_workers -= 1;
+    st.pool_log.push(PoolDecision::ScaleDown {
+        at: shared.cfg.clock.now(),
+        from,
+        to: from - 1,
+    });
+    counter_inc(names::POOL_SCALE_DOWNS);
+    histogram_record(names::POOL_WORKERS, (from - 1) as f64);
+    true
 }
 
 /// True when a cancel request for `id` has been recorded.
@@ -613,10 +733,12 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
     // different sampling knobs. Re-sample the cached exact marginal —
     // no device time, and bit-identical to what a cold run would draw
     // (both paths share `marginal_probs`/`sample_from_probs`). Only the
-    // dense ideal path produces or consumes marginals: the state key
+    // exact-dense paths produce or consume marginals: the state key
     // does not digest engine or noise knobs, so a tableau- or
-    // trajectory-routed job must never alias a dense entry.
-    let marginal = if job.engine == Engine::Dense {
+    // trajectory-routed job must never alias a dense entry. Sharded
+    // runs qualify — their gathered amplitudes are bit-identical to a
+    // single-device dense evolution of the same circuit.
+    let marginal = if matches!(job.engine, Engine::Dense | Engine::Sharded) {
         let st = shared.state.lock().expect("serve state poisoned");
         st.marginals.get(job.state_key)
     } else {
@@ -682,11 +804,26 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
                         | FaultKind::WorkerDeath
                         | FaultKind::WorkerDeathMidRun { .. }
                         | FaultKind::WorkerDeathMidBatch { .. }
+                        | FaultKind::ShardWorkerDeath { .. }
+                        | FaultKind::LinkFault { .. }
                 )
             })
             .or_else(|| {
                 shared.cfg.fault.strikes(job.id.0, attempt).then_some(FaultKind::Transient)
             });
+        // Shard faults scheduled against a job admission routed to a
+        // single worker degrade to their unsharded analogues, as
+        // documented on the variants: there is no group to tear down and
+        // no fabric to fault.
+        let fault = match fault {
+            Some(FaultKind::ShardWorkerDeath { .. }) if job.engine != Engine::Sharded => {
+                Some(FaultKind::WorkerDeath)
+            }
+            Some(FaultKind::LinkFault { .. }) if job.engine != Engine::Sharded => {
+                Some(FaultKind::Transient)
+            }
+            other => other,
+        };
         match fault {
             Some(FaultKind::WorkerDeath) => {
                 // The dying attempt is consumed: the replacement worker
@@ -718,6 +855,50 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
                 // the variant.
                 return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
             }
+            Some(FaultKind::ShardWorkerDeath { shard, after_segments }) => {
+                // A shard worker dies mid-run: the group executes
+                // `after_segments` segments (writing checkpoint
+                // generations at interior boundaries), then tears down
+                // and requeues. The requeued job's next dispatch is the
+                // replacement — its recovery ladder restores the newest
+                // verified generation onto a fresh group, which *is* the
+                // migration. The dying attempt coordinate is consumed so
+                // the immutable schedule cannot refire it, but a death
+                // never trips `RetriesExhausted`.
+                match execute_sharded_dispatch(shared, job, Some((shard, after_segments)), None) {
+                    Ok(ShardStep::Died) => {
+                        return ServeStep::WorkerDied { attempts_consumed: attempt + 1 };
+                    }
+                    Ok(ShardStep::Finished(done)) => {
+                        // Unreachable with a die budget, kept total.
+                        break Ok(*done);
+                    }
+                    Err(err) => break Err(ServeError::Sim(err)),
+                }
+            }
+            Some(FaultKind::LinkFault { exchange, corrupt }) => {
+                // A link fault costs a retry (the partial segment's work
+                // is discarded), but recovery happens *inside* the same
+                // dispatch: the run restores the newest verified
+                // generation in place and continues on the same worker.
+                attempt += 1;
+                if attempt >= max_attempts {
+                    break Err(ServeError::RetriesExhausted { attempts: attempt });
+                }
+                counter_inc(names::SERVE_RETRIES);
+                break match execute_sharded_dispatch(
+                    shared,
+                    job,
+                    None,
+                    Some((exchange, corrupt)),
+                ) {
+                    Ok(ShardStep::Finished(done)) => Ok(*done),
+                    Ok(ShardStep::Died) => {
+                        unreachable!("sharded run without a die budget cannot die")
+                    }
+                    Err(err) => Err(ServeError::Sim(err)),
+                };
+            }
             Some(FaultKind::Transient) => {
                 attempt += 1;
                 if attempt >= max_attempts {
@@ -736,6 +917,15 @@ fn serve_one(shared: &Shared, job: &QueuedJob) -> ServeStep {
                 continue;
             }
             Some(FaultKind::CorruptCache | FaultKind::CorruptCheckpoint { .. }) | None => {
+                if job.engine == Engine::Sharded {
+                    break match execute_sharded_dispatch(shared, job, None, None) {
+                        Ok(ShardStep::Finished(done)) => Ok(*done),
+                        Ok(ShardStep::Died) => {
+                            unreachable!("sharded run without a die budget cannot die")
+                        }
+                        Err(err) => Err(ServeError::Sim(err)),
+                    };
+                }
                 if segmented_enabled(&shared.cfg) && job.engine == Engine::Dense {
                     break match execute_segmented_dispatch(shared, job, None) {
                         Ok(SegmentedOutcome::Finished(done)) => Ok(*done),
@@ -1323,17 +1513,74 @@ fn select_engine(
     }
 
     if dense_feasible {
-        Ok(Selection { engine: dense_engine, canonical })
-    } else {
-        considered.push(verdict(
-            dense_engine,
-            dense_required,
-            device_bytes,
-            false,
-            "state vector exceeds device memory",
-        ));
-        Err(considered)
+        return Ok(Selection { engine: dense_engine, canonical });
     }
+    considered.push(verdict(
+        dense_engine,
+        dense_required,
+        device_bytes,
+        false,
+        "state vector exceeds device memory",
+    ));
+
+    // Beyond the single-worker memory wall: plan a shard group. Every
+    // doubling of the group buys one qubit (each worker then holds half
+    // the slice), so the smallest sufficient power-of-two group wins.
+    // Ideal GPU jobs only — a trajectory fan re-evolves per trajectory,
+    // and the shard slices are device slices.
+    if let Some(shard) = cfg.shard {
+        if noisy {
+            considered.push(verdict(
+                Engine::Sharded,
+                dense_required,
+                device_bytes,
+                false,
+                "noisy jobs cannot shard: the trajectory fan re-evolves per trajectory",
+            ));
+        } else if !matches!(cfg.backend, BackendKind::Gpu(_)) {
+            considered.push(verdict(
+                Engine::Sharded,
+                dense_required,
+                device_bytes,
+                false,
+                "sharding requires the GPU backend",
+            ));
+        } else {
+            match plan_shard_count(
+                n,
+                spec.precision,
+                device_bytes,
+                shard_min_local_width(cfg),
+                shard.max_shards,
+            ) {
+                Some(shards) => {
+                    counter_inc(names::SERVE_SHARD_JOBS);
+                    histogram_record(names::SERVE_SHARD_WIDTH, f64::from(shards));
+                    return Ok(Selection { engine: Engine::Sharded, canonical });
+                }
+                None => considered.push(verdict(
+                    Engine::Sharded,
+                    dense_required,
+                    device_bytes,
+                    false,
+                    format!(
+                        "no admissible shard group within the {}-worker cap",
+                        shard.max_shards
+                    ),
+                )),
+            }
+        }
+    }
+    Err(considered)
+}
+
+/// The narrowest local slice a shard may hold: every fused kernel must
+/// be remappable onto local bit positions, so the slice keeps at least
+/// `fusion_width` qubits (and at least 2 — the exchange planner swaps a
+/// local qubit against a device bit). Admission and execution both plan
+/// through this, so they always agree on the group width.
+fn shard_min_local_width(cfg: &ServeConfig) -> u32 {
+    cfg.fusion_width.max(2) as u32
 }
 
 /// Run the canonical circuit on the configured backend at the requested
@@ -1399,6 +1646,9 @@ fn execute(
                 Precision::Fp32 => run_counts::<f32, _>(&sim, job, &opts),
                 Precision::Fp64 => run_counts::<f64, _>(&sim, job, &opts),
             }
+        }
+        Engine::Sharded => {
+            unreachable!("sharded jobs route through execute_sharded_dispatch")
         }
     }
 }
@@ -1603,6 +1853,284 @@ fn execute_segmented<T: CheckpointScalar>(
     stats.sampling_elapsed += clock.now().saturating_sub(sample_start);
     let marginal = CachedMarginal { probs, measured: Arc::new(measured), stats: stats.clone() };
     Ok(SegmentedOutcome::Finished(Box::new((counts, stats, Some(marginal)))))
+}
+
+/// How one sharded dispatch ended: results to publish, or the whole
+/// group torn down by a shard-worker death (checkpoint generations left
+/// behind for the replacement dispatch to migrate from).
+enum ShardStep {
+    Finished(Box<(Option<Counts>, ExecStats, Option<CachedMarginal>)>),
+    Died,
+}
+
+/// Precision dispatch for [`execute_sharded`]. Caller guarantees the job
+/// was admitted as [`Engine::Sharded`], which implies `cfg.shard` is set
+/// and the backend is a GPU device.
+fn execute_sharded_dispatch(
+    shared: &Shared,
+    job: &QueuedJob,
+    die_after: Option<(u32, u32)>,
+    link_fault: Option<(u32, bool)>,
+) -> Result<ShardStep, SimError> {
+    match job.spec.precision {
+        Precision::Fp32 => execute_sharded::<f32>(shared, job, die_after, link_fault),
+        Precision::Fp64 => execute_sharded::<f64>(shared, job, die_after, link_fault),
+    }
+}
+
+/// Recovery ladder over the job's retained checkpoint generations,
+/// newest first — the sharded twin of the segmented ladder, sharing the
+/// store, the log, and the counters. A surviving generation is
+/// re-scattered onto a fresh `shards`-wide group. Returns the resumed
+/// run (with the cursor it restored to) and whether any generations
+/// existed at all (so the caller can log a cold restart).
+fn shard_ladder<T: CheckpointScalar>(
+    shared: &Shared,
+    job: &QueuedJob,
+    shards: u32,
+    shard_cfg: ShardConfig,
+) -> (Option<(ShardedRun<T>, u64)>, bool) {
+    let cfg = &shared.cfg;
+    let generations = {
+        let st = shared.state.lock().expect("serve state poisoned");
+        st.checkpoints.newest_first(job.id.0)
+    };
+    let had_generations = !generations.is_empty();
+    for generation in generations {
+        let restore_span = span!(spans::CHECKPOINT_RESTORE);
+        let verified = decode_checkpoint::<T>(&generation.bytes).and_then(|ck| {
+            ShardedRun::resume(&job.canonical, shards, shard_cfg.topology, cfg.fusion_width, ck)
+        });
+        drop(restore_span);
+        match verified {
+            Ok(run) => {
+                let cursor = run.cursor();
+                histogram_record(names::JOB_RESUMED_FROM, cursor as f64);
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.checkpoint_log.push(CheckpointRecord::Resumed {
+                    job: job.id.0,
+                    generation: generation.generation,
+                    cursor,
+                });
+                return (Some((run, cursor)), had_generations);
+            }
+            Err(_) => {
+                counter_inc(names::CHECKPOINT_VERIFY_FAILS);
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.checkpoints.drop_generation(job.id.0, generation.generation);
+                st.checkpoint_log.push(CheckpointRecord::VerifyFailed {
+                    job: job.id.0,
+                    generation: generation.generation,
+                });
+            }
+        }
+    }
+    (None, had_generations)
+}
+
+/// One sharded execution dispatch: partition the state over a planned
+/// worker group, advance the fused schedule in checkpointed segments,
+/// and survive the two shard-specific faults.
+///
+/// **Migration** (`die_after` set, from a scheduled
+/// [`FaultKind::ShardWorkerDeath`]): the group completes that many
+/// segments — writing QCKP generations at interior boundaries — then one
+/// shard's worker dies. A partitioned state with a hole in it is
+/// unusable, so the whole group tears down and the job requeues; *this
+/// same function*, on the replacement dispatch, finds the generations,
+/// restores the newest verified one onto a fresh group, and continues.
+/// The checkpoint is the migration unit.
+///
+/// **In-place recovery** (`link_fault` set, from a scheduled
+/// [`FaultKind::LinkFault`]): the armed exchange fails mid-segment,
+/// poisoning the group's partitioned state. The dispatch discards the
+/// group, runs the same ladder, and continues on a fresh group without
+/// leaving the worker.
+///
+/// Sharded execution always checkpoints (interval floored at 1): without
+/// generations there would be nothing to migrate. Both recovery paths
+/// are bit-exact — gathered amplitudes are layout- and width-independent
+/// and the schedule is deterministic — so a migrated or recovered run's
+/// counts are byte-identical to an unfaulted (or single-device dense)
+/// run of the same spec.
+fn execute_sharded<T: CheckpointScalar>(
+    shared: &Shared,
+    job: &QueuedJob,
+    die_after: Option<(u32, u32)>,
+    link_fault: Option<(u32, bool)>,
+) -> Result<ShardStep, SimError> {
+    let cfg = &shared.cfg;
+    let shard_cfg = cfg.shard.expect("sharded admission implies a shard config");
+    let n = job.canonical.num_qubits();
+    // Re-derive the group width admission planned: same pure function,
+    // same inputs.
+    let shards = plan_shard_count(
+        n,
+        job.spec.precision,
+        cfg.backend.memory_bytes(),
+        shard_min_local_width(cfg),
+        shard_cfg.max_shards,
+    )
+    .ok_or_else(|| {
+        SimError::Interconnect("admitted sharded job lost its shard plan".to_owned())
+    })?;
+    {
+        let mut st = shared.state.lock().expect("serve state poisoned");
+        st.shard_log.push(ShardRecord::Started { job: job.id.0, shards });
+    }
+    let sampling = SamplingConfig {
+        shots: job.spec.shots,
+        seed: job.spec.seed,
+        batch_shots: job.spec.shot_batch,
+    };
+
+    // Ladder first: generations here mean a previous dispatch's group
+    // died — restoring one onto this fresh group is the migration.
+    let (resumed, had_generations) = shard_ladder::<T>(shared, job, shards, shard_cfg);
+    let mut run = match resumed {
+        Some((run, cursor)) => {
+            counter_inc(names::SERVE_SHARD_MIGRATIONS);
+            let mut st = shared.state.lock().expect("serve state poisoned");
+            st.shard_log.push(ShardRecord::Migrated { job: job.id.0, resumed_from: cursor });
+            run
+        }
+        None => {
+            if had_generations {
+                let mut st = shared.state.lock().expect("serve state poisoned");
+                st.checkpoint_log.push(CheckpointRecord::ColdRestart { job: job.id.0 });
+                st.shard_log.push(ShardRecord::ColdRestarted { job: job.id.0 });
+            }
+            ShardedRun::new(&job.canonical, shards, shard_cfg.topology, cfg.fusion_width, sampling)
+        }
+    };
+
+    if let Some((exchange, corrupt)) = link_fault {
+        let err = if corrupt { CommError::Corrupted } else { CommError::Dropped };
+        run.inject_link_fault(u64::from(exchange), err);
+    }
+
+    let die_budget = die_after.map(|(_, segments)| segments);
+    let interval = cfg.checkpoint_interval.max(1);
+    let mut segments_done: u32 = 0;
+    while !run.is_done() {
+        match run.advance(interval) {
+            Ok(()) => {}
+            Err(err) => {
+                // A pairwise exchange failed mid-segment; the partitioned
+                // state is inconsistent. Discard the group and recover in
+                // place from the newest verified generation (or from
+                // |0…0⟩ if none survived — the injection was one-shot, so
+                // the rerun is clean either way).
+                counter_inc(names::SERVE_SHARD_LINK_FAULTS);
+                let corrupt = matches!(err, CommError::Corrupted);
+                let exchange = run.exchanges().saturating_sub(1);
+                let (recovered, had) = shard_ladder::<T>(shared, job, shards, shard_cfg);
+                let (next_run, resumed_from) = match recovered {
+                    Some((r, cursor)) => (r, Some(cursor)),
+                    None => {
+                        if had {
+                            let mut st = shared.state.lock().expect("serve state poisoned");
+                            st.checkpoint_log.push(CheckpointRecord::ColdRestart { job: job.id.0 });
+                            st.shard_log.push(ShardRecord::ColdRestarted { job: job.id.0 });
+                        }
+                        let fresh = ShardedRun::new(
+                            &job.canonical,
+                            shards,
+                            shard_cfg.topology,
+                            cfg.fusion_width,
+                            sampling,
+                        );
+                        (fresh, None)
+                    }
+                };
+                {
+                    let mut st = shared.state.lock().expect("serve state poisoned");
+                    st.shard_log.push(ShardRecord::LinkFault {
+                        job: job.id.0,
+                        exchange,
+                        corrupt,
+                        resumed_from,
+                    });
+                }
+                run = next_run;
+                continue;
+            }
+        }
+        segments_done += 1;
+        if !run.is_done() {
+            let write_span = span!(spans::CHECKPOINT_WRITE);
+            let mut bytes = encode_checkpoint(&run.checkpoint());
+            let cursor = run.cursor();
+            let mut st = shared.state.lock().expect("serve state poisoned");
+            let generation = st.checkpoints.next_generation(job.id.0);
+            if cfg.schedule.corrupts_checkpoint(job.id.0, generation) {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0x40;
+            }
+            st.checkpoints.record(job.id.0, cursor, bytes);
+            st.checkpoint_log.push(CheckpointRecord::Wrote { job: job.id.0, generation, cursor });
+            drop(st);
+            counter_inc(names::CHECKPOINT_WRITES);
+            drop(write_span);
+        }
+        if die_budget.is_some_and(|d| segments_done >= d) {
+            return Ok(shard_teardown(shared, job, die_after, segments_done));
+        }
+    }
+    if die_after.is_some() {
+        // The schedule ran out before the death budget did: the group
+        // still dies at the end of the run, result unpublished, so the
+        // accounting for a scheduled death stays exact for any plan size.
+        return Ok(shard_teardown(shared, job, die_after, segments_done));
+    }
+
+    // Completion: record the surviving instance's traffic (the
+    // conservation oracle checks messages == 2 × exchanges against it),
+    // then sample exactly like `evolve_and_sample`.
+    let mut stats = run.stats();
+    {
+        let mut st = shared.state.lock().expect("serve state poisoned");
+        st.shard_log.push(ShardRecord::Completed {
+            job: job.id.0,
+            shards,
+            exchanges: run.exchanges(),
+            messages: run.messages(),
+            bytes: run.bytes(),
+        });
+    }
+    let (_, measured) = job.canonical.split_measurements();
+    if measured.is_empty() {
+        return Ok(ShardStep::Finished(Box::new((None, stats, None))));
+    }
+    let clock = cfg.clock.as_ref();
+    let sample_start = clock.now();
+    let sample_span = span!(spans::SAMPLE);
+    let state = run.state();
+    let probs = Arc::new(marginal_probs(&state, &measured));
+    drop(state); // free the gathered full state before sampling bookkeeping
+    let counts = sample_from_probs(&probs, &measured, &sampling);
+    drop(sample_span);
+    stats.sampling_elapsed += clock.now().saturating_sub(sample_start);
+    let marginal = CachedMarginal { probs, measured: Arc::new(measured), stats: stats.clone() };
+    Ok(ShardStep::Finished(Box::new((counts, stats, Some(marginal)))))
+}
+
+/// Record a shard-group teardown: the lost shard in the shard log, and —
+/// when the pool is elastic — the replacement hand-off in the pool log.
+fn shard_teardown(
+    shared: &Shared,
+    job: &QueuedJob,
+    die_after: Option<(u32, u32)>,
+    after_segments: u32,
+) -> ShardStep {
+    let (shard, _) = die_after.expect("teardown implies a scheduled death");
+    let at = shared.cfg.clock.now();
+    let mut st = shared.state.lock().expect("serve state poisoned");
+    st.shard_log.push(ShardRecord::WorkerLost { job: job.id.0, shard, after_segments });
+    if shared.cfg.pool.is_some() {
+        st.pool_log.push(PoolDecision::Replace { at, job: job.id.0, shard });
+    }
+    ShardStep::Died
 }
 
 /// Telemetry bookkeeping shared by the cache-hit and cold-run paths.

@@ -25,8 +25,9 @@ use crate::scenario::{JobDef, Op, Scenario, TENANTS};
 use crate::trace::{counts_hash, ns, OutcomeSummary, Trace, TraceEvent};
 use qgear_ir::transpile::decompose_to_native;
 use qgear_serve::{
-    Admission, BatchConfig, BatchRecord, CheckpointRecord, FaultKind, FaultPlan, FaultSchedule,
-    JobId, JobOutcome, JobSpec, ServeConfig, ServeError, Service,
+    Admission, BackendKind, BatchConfig, BatchRecord, CheckpointRecord, FaultKind, FaultPlan,
+    FaultSchedule, JobId, JobOutcome, JobSpec, PoolDecision, ServeConfig, ServeError, Service,
+    ShardConfig, ShardRecord,
 };
 use qgear_statevec::{GpuDevice, RunOptions, RunOutput, Simulator};
 use std::collections::{BTreeMap, HashMap};
@@ -96,6 +97,11 @@ pub struct SimReport {
     /// The service's batch audit log (one record per coalesced flush),
     /// empty when the scenario ran without batching.
     pub batch_log: Vec<BatchRecord>,
+    /// The service's shard audit log (group starts, worker losses,
+    /// migrations, link faults, completions), empty without sharding.
+    pub shard_log: Vec<ShardRecord>,
+    /// The service's elastic-pool decision log, empty without a pool.
+    pub pool_log: Vec<PoolDecision>,
     /// Whether the release phase hit its real-time budget.
     pub timed_out: bool,
     /// Oracle violations (empty ⇔ the run was sound).
@@ -161,9 +167,28 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         },
         None => BatchConfig::disabled(),
     };
+    // A sharded scenario shrinks the per-worker device so 4-qubit jobs
+    // overflow it and route to a shard group; everything else is
+    // unchanged (the pin/release protocol still runs on one worker —
+    // the shard group is logical slices of that worker's dispatch, so
+    // determinism is preserved). No elastic pool here: pool scale-ups
+    // would add real threads and break the single-worker pinning model;
+    // the pool log is pinned by a dedicated virtual-time test instead.
+    let backend = match scenario.shard {
+        Some(p) => {
+            let mut dev = GpuDevice::a100_40gb();
+            dev.memory_bytes = p.worker_bytes;
+            BackendKind::Gpu(dev)
+        }
+        None => BackendKind::default(),
+    };
     let service = Service::start(ServeConfig {
         workers: 1,
         queue_capacity: 1024,
+        backend,
+        shard: scenario
+            .shard
+            .map(|p| ShardConfig { max_shards: p.max_shards, ..ShardConfig::default() }),
         fusion_width: HARNESS_FUSION_WIDTH,
         sweep_width: HARNESS_SWEEP_WIDTH,
         checkpoint_interval: if batch.enabled() { 0 } else { 1 },
@@ -266,6 +291,8 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
     let mut dispatch_counts = BTreeMap::new();
     let mut checkpoint_log = Vec::new();
     let mut batch_log = Vec::new();
+    let mut shard_log = Vec::new();
+    let mut pool_log = Vec::new();
     let mut clean_hashes = BTreeMap::new();
     if timed_out {
         // The worker may be parked on virtual time forever; joining it
@@ -288,6 +315,8 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         }
         checkpoint_log = service.checkpoint_log();
         batch_log = service.batch_log();
+        shard_log = service.shard_log();
+        pool_log = service.pool_log();
 
         // Fault-free mirror of every scenario job, memoized per def
         // (duplicated defs are common by construction).
@@ -311,6 +340,7 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         trace: &trace,
         checkpoint_log: &checkpoint_log,
         batch_log: &batch_log,
+        shard_log: &shard_log,
         clean_hashes: &clean_hashes,
         cancel_latency_bound: pin,
     }));
@@ -324,6 +354,8 @@ pub fn run_scenario(scenario: &Scenario) -> SimReport {
         accepted,
         checkpoint_log,
         batch_log,
+        shard_log,
+        pool_log,
         timed_out,
         violations,
     }

@@ -7,7 +7,7 @@
 
 use crate::scenario::{Op, Scenario};
 use crate::trace::{OutcomeSummary, Trace, TraceEvent};
-use qgear_serve::{BatchMemberDisposition, BatchRecord, CheckpointRecord, FaultKind};
+use qgear_serve::{BatchMemberDisposition, BatchRecord, CheckpointRecord, FaultKind, ShardRecord};
 use qgear_telemetry::TelemetrySnapshot;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Duration;
@@ -33,6 +33,9 @@ pub struct OracleInput<'a> {
     /// scenario ran without batch coalescing — the batch oracles are
     /// vacuous then.
     pub batch_log: &'a [BatchRecord],
+    /// The service's shard audit log, in worker order. Empty when the
+    /// scenario ran without sharding — the shard oracles are vacuous.
+    pub shard_log: &'a [ShardRecord],
     /// Expected counts hash of a *fault-free* run, by admission id —
     /// what every completion must reproduce byte-for-byte.
     pub clean_hashes: &'a BTreeMap<u64, u64>,
@@ -53,6 +56,8 @@ pub fn check(input: &OracleInput) -> Vec<String> {
     progress_monotonicity(input, &mut v);
     coalescing_conservation(input, &mut v);
     batch_attempt_ledger(input, &mut v);
+    shard_exchange_conservation(input, &mut v);
+    shard_migration(input, &mut v);
     v
 }
 
@@ -101,11 +106,14 @@ fn termination_times(input: &OracleInput, v: &mut Vec<String>) {
 fn dispatch_accounting(input: &OracleInput, v: &mut Vec<String>) {
     let mut death_budget: HashMap<u64, usize> = HashMap::new();
     for e in &input.scenario.events {
+        // `LinkFault` is deliberately absent: it recovers *inside* the
+        // same dispatch (transient-like) and must never license one.
         if matches!(
             e.kind,
             FaultKind::WorkerDeath
                 | FaultKind::WorkerDeathMidRun { .. }
                 | FaultKind::WorkerDeathMidBatch { .. }
+                | FaultKind::ShardWorkerDeath { .. }
         ) {
             *death_budget.entry(e.job + 1).or_insert(0) += 1;
         }
@@ -356,6 +364,89 @@ fn batch_attempt_ledger(input: &OracleInput, v: &mut Vec<String>) {
     }
 }
 
+/// **Shard exchange conservation**: every completed sharded run's
+/// traffic accounting closes exactly. A pairwise exchange moves two
+/// messages (one each direction), so `messages == 2 × exchanges`; and
+/// every message carries half of one shard's local slice, so with the
+/// harness's fp64 amplitudes (16 bytes each) the byte total is
+/// `messages × 2^(n − log2(shards) − 1) × 16`. Counters are read from
+/// the final (clean) incarnation of the run, so a recovered link fault
+/// never excuses an imbalance.
+fn shard_exchange_conservation(input: &OracleInput, v: &mut Vec<String>) {
+    // Admission id → register width, from the scenario's submit order
+    // (scenario job `k` is admission id `k + 1`; the width clamp
+    // mirrors `JobDef::circuit`).
+    let mut qubits: HashMap<u64, u32> = HashMap::new();
+    let mut next = 1u64;
+    for op in &input.scenario.ops {
+        if let Op::Submit(def) = op {
+            qubits.insert(next, def.qubits.clamp(2, 4));
+            next += 1;
+        }
+    }
+    for record in input.shard_log {
+        let ShardRecord::Completed { job, shards, exchanges, messages, bytes } = record else {
+            continue;
+        };
+        if *messages != 2 * *exchanges {
+            v.push(format!(
+                "shard conservation: job {job} completed with {messages} messages for \
+                 {exchanges} exchanges (expected exactly two per exchange)"
+            ));
+        }
+        let Some(&n) = qubits.get(job) else {
+            continue; // not a scenario job (blocker never shards)
+        };
+        if !shards.is_power_of_two() || shards.trailing_zeros() >= n {
+            v.push(format!(
+                "shard conservation: job {job} ran on an impossible group of {shards} \
+                 shards for {n} qubits"
+            ));
+            continue;
+        }
+        let per_message = (1u128 << (n - shards.trailing_zeros() - 1)) * 16;
+        let expected = u128::from(*messages) * per_message;
+        if *bytes != expected {
+            v.push(format!(
+                "shard conservation: job {job} moved {bytes} bytes in {messages} messages, \
+                 expected {expected} ({per_message} bytes per message at {n} qubits / \
+                 {shards} shards)"
+            ));
+        }
+    }
+}
+
+/// **Migration discipline**: replaying the shard log per job, a worker
+/// loss leaves the job in a torn-down state that only a recorded
+/// recovery — [`ShardRecord::Migrated`] (checkpoint restored on the
+/// replacement dispatch) or [`ShardRecord::ColdRestarted`] (no
+/// generation survived) — may clear. A completion while the teardown is
+/// still pending means the replacement dispatch silently skipped the
+/// restore path. The *result* of the migration is separately pinned by
+/// the resume bit-identity oracle against the fault-free mirror.
+fn shard_migration(input: &OracleInput, v: &mut Vec<String>) {
+    let mut pending: HashMap<u64, bool> = HashMap::new();
+    for record in input.shard_log {
+        match record {
+            ShardRecord::WorkerLost { job, .. } => {
+                pending.insert(*job, true);
+            }
+            ShardRecord::Migrated { job, .. } | ShardRecord::ColdRestarted { job } => {
+                pending.insert(*job, false);
+            }
+            ShardRecord::Completed { job, .. } => {
+                if pending.get(job).copied().unwrap_or(false) {
+                    v.push(format!(
+                        "shard migration: job {job} completed without a recorded \
+                         migration or cold restart after losing a shard worker"
+                    ));
+                }
+            }
+            ShardRecord::Started { .. } | ShardRecord::LinkFault { .. } => {}
+        }
+    }
+}
+
 /// **Span balance** (telemetry oracle): the recorded span tree is
 /// structurally sound and every `serve_job` span matches a dispatch.
 /// Run by tests that own the global telemetry collector.
@@ -422,6 +513,7 @@ mod tests {
             trace,
             checkpoint_log: &[],
             batch_log: &[],
+            shard_log: &[],
             clean_hashes: &NO_CLEAN_HASHES,
             cancel_latency_bound: Duration::from_millis(1),
         }
@@ -652,6 +744,79 @@ mod tests {
         let mut input = base(&scenario, &accepted, &outcomes_ok, &times, &dispatches, &trace);
         input.batch_log = &log;
         assert!(check(&input).is_empty(), "{:?}", check(&input));
+    }
+
+    #[test]
+    fn shard_conservation_and_migration_violations_are_flagged() {
+        let def = JobDef { qubits: 4, ..JobDef::bell() };
+        let scenario = Scenario::empty(0).op(Op::Submit(def));
+        let accepted = vec![1];
+        let outcomes: BTreeMap<u64, OutcomeSummary> = [(
+            1,
+            OutcomeSummary::Completed {
+                attempts: 1,
+                from_cache: false,
+                from_state_cache: false,
+                counts_hash: 7,
+            },
+        )]
+        .into_iter()
+        .collect();
+        let times: BTreeMap<u64, Duration> = [(1, Duration::ZERO)].into_iter().collect();
+        let dispatches: BTreeMap<u64, usize> = [(1, 2)].into_iter().collect();
+        let trace = Trace::default();
+        let licensed =
+            scenario.clone().event(0, 0, FaultKind::ShardWorkerDeath { shard: 0, after_segments: 1 });
+        let mut input = base(&licensed, &accepted, &outcomes, &times, &dispatches, &trace);
+
+        // Healthy: start, lose a worker, restart, migrate, complete with
+        // closed books — 3 exchanges × 2 messages × 64 bytes each
+        // (4 qubits on 2 shards ⇒ 2^(4−1−1) amplitudes × 16 bytes).
+        let healthy = [
+            ShardRecord::Started { job: 1, shards: 2 },
+            ShardRecord::WorkerLost { job: 1, shard: 0, after_segments: 1 },
+            ShardRecord::Started { job: 1, shards: 2 },
+            ShardRecord::Migrated { job: 1, resumed_from: 1 },
+            ShardRecord::Completed { job: 1, shards: 2, exchanges: 3, messages: 6, bytes: 384 },
+        ];
+        input.shard_log = &healthy;
+        assert!(check(&input).is_empty(), "{:?}", check(&input));
+
+        // An odd message count breaks pairwise conservation.
+        let unpaired = [ShardRecord::Completed {
+            job: 1,
+            shards: 2,
+            exchanges: 3,
+            messages: 5,
+            bytes: 320,
+        }];
+        input.shard_log = &unpaired;
+        let v = check(&input);
+        assert!(v.iter().any(|m| m.contains("two per exchange")), "{v:?}");
+
+        // A byte total that doesn't match the slice size is flagged.
+        let leaky = [ShardRecord::Completed {
+            job: 1,
+            shards: 2,
+            exchanges: 3,
+            messages: 6,
+            bytes: 385,
+        }];
+        input.shard_log = &leaky;
+        let v = check(&input);
+        assert!(v.iter().any(|m| m.contains("bytes per message")), "{v:?}");
+
+        // Completing after a worker loss without a recovery record means
+        // the replacement dispatch skipped the restore path.
+        let skipped = [
+            ShardRecord::Started { job: 1, shards: 2 },
+            ShardRecord::WorkerLost { job: 1, shard: 0, after_segments: 1 },
+            ShardRecord::Started { job: 1, shards: 2 },
+            ShardRecord::Completed { job: 1, shards: 2, exchanges: 3, messages: 6, bytes: 384 },
+        ];
+        input.shard_log = &skipped;
+        let v = check(&input);
+        assert!(v.iter().any(|m| m.contains("shard migration")), "{v:?}");
     }
 
     #[test]

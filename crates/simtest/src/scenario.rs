@@ -136,6 +136,27 @@ pub struct BatchParams {
     pub window_us: u64,
 }
 
+/// Sharding knobs a scenario may switch on (in [`Scenario`]'s `shard`
+/// field). Setting this shrinks the service device to `worker_bytes` and
+/// attaches a `ShardConfig`, so 4-qubit jobs overflow a single worker
+/// and admission routes them to a shard group; 2–3-qubit jobs stay
+/// dense. `None` keeps the legacy single-device behavior byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardParams {
+    /// Per-worker device memory in bytes. The harness default (192)
+    /// makes a 4-qubit fp64 state (256 B) infeasible dense but
+    /// feasible on 2 shards of 128 B each.
+    pub worker_bytes: u128,
+    /// Cap on the shard-group width admission may plan.
+    pub max_shards: u32,
+}
+
+impl Default for ShardParams {
+    fn default() -> Self {
+        ShardParams { worker_bytes: 192, max_shards: 8 }
+    }
+}
+
 /// A complete, replayable failure scenario.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
@@ -153,17 +174,34 @@ pub struct Scenario {
     /// one job per dispatch. The harness disables segmented execution
     /// when this is set (the service refuses the combination anyway).
     pub batch: Option<BatchParams>,
+    /// Sharded-serving configuration; `None` (the legacy default) keeps
+    /// the full-size single device, under which every scenario job is
+    /// dense-feasible and no shard machinery engages.
+    pub shard: Option<ShardParams>,
 }
 
 impl Scenario {
     /// An empty scenario to build on.
     pub fn empty(seed: u64) -> Self {
-        Scenario { seed, ops: Vec::new(), events: Vec::new(), fault_rate: 0.0, batch: None }
+        Scenario {
+            seed,
+            ops: Vec::new(),
+            events: Vec::new(),
+            fault_rate: 0.0,
+            batch: None,
+            shard: None,
+        }
     }
 
     /// Builder: switch on batch coalescing.
     pub fn batched(mut self, max_size: usize, window_us: u64) -> Self {
         self.batch = Some(BatchParams { max_size, window_us });
+        self
+    }
+
+    /// Builder: switch on sharded serving with the default tiny device.
+    pub fn sharded(mut self) -> Self {
+        self.shard = Some(ShardParams::default());
         self
     }
 
@@ -275,7 +313,7 @@ impl Scenario {
             }
         }
         let fault_rate = if rng.chance(1, 4) { 0.3 } else { 0.0 };
-        Scenario { seed, ops, events, fault_rate, batch: None }
+        Scenario { seed, ops, events, fault_rate, batch: None, shard: None }
     }
 
     /// Generate a random *batched* scenario: [`Scenario::generate`]'s
@@ -302,6 +340,79 @@ impl Scenario {
             });
         }
         scenario
+    }
+
+    /// Generate a random *sharded* scenario: a tiny per-worker device so
+    /// 4-qubit jobs overflow a single worker and route to a shard group,
+    /// with a fault script aimed at the shard machinery — worker deaths
+    /// mid-group, link faults mid-exchange, and background transients on
+    /// the dense jobs. A distinct generator (not a decorator over
+    /// [`Scenario::generate`]) because sharded coverage needs a
+    /// guaranteed quota of 4-qubit jobs.
+    pub fn generate_sharded(seed: u64) -> Self {
+        let mut rng = SimRng::new(seed ^ 0x5AAD_ED00_5EED_0002);
+        let n_jobs = 3 + rng.below(3);
+        let mut ops = Vec::new();
+        let mut defs: Vec<JobDef> = Vec::new();
+        while (defs.len() as u64) < n_jobs {
+            // The first two jobs are always 4-qubit (sharded); the rest
+            // mix widths so dense and sharded dispatches interleave.
+            let qubits = if defs.len() < 2 { 4 } else { 2 + rng.below(3) as u32 };
+            let def = JobDef {
+                shape: rng.below(6) as u8,
+                qubits,
+                shots: 16 + rng.below(200),
+                seed: rng.below(4),
+                tenant: rng.below(3) as u8,
+                priority: rng.below(3) as u8,
+                deadline_us: None,
+                max_retries: None,
+            };
+            defs.push(def);
+            ops.push(Op::Submit(def));
+            if rng.chance(1, 3) {
+                ops.push(Op::Advance(Duration::from_micros(1 + rng.below(1000))));
+            }
+        }
+        // Fault script: every sharded job gets a shard fault on its
+        // first dispatch; some get a second on the replacement dispatch
+        // (death-then-death and death-then-link-fault compositions).
+        let mut events = Vec::new();
+        for (job, def) in defs.iter().enumerate() {
+            let job = job as u64;
+            if def.qubits >= 4 {
+                let kind = if rng.chance(1, 2) {
+                    FaultKind::ShardWorkerDeath {
+                        shard: rng.below(2) as u32,
+                        after_segments: 1 + rng.below(2) as u32,
+                    }
+                } else {
+                    FaultKind::LinkFault {
+                        exchange: rng.below(4) as u32,
+                        corrupt: rng.chance(1, 2),
+                    }
+                };
+                events.push(FaultEvent { job, attempt: 0, kind });
+                if rng.chance(1, 3) {
+                    let kind = if rng.chance(1, 2) {
+                        FaultKind::ShardWorkerDeath { shard: 0, after_segments: 1 }
+                    } else {
+                        FaultKind::LinkFault { exchange: rng.below(2) as u32, corrupt: false }
+                    };
+                    events.push(FaultEvent { job, attempt: 1, kind });
+                }
+            } else if rng.chance(1, 3) {
+                events.push(FaultEvent { job, attempt: 0, kind: FaultKind::Transient });
+            }
+        }
+        Scenario {
+            seed,
+            ops,
+            events,
+            fault_rate: 0.0,
+            batch: None,
+            shard: Some(ShardParams::default()),
+        }
     }
 }
 

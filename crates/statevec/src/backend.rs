@@ -24,6 +24,10 @@ pub enum SimError {
     UnsupportedGate(String),
     /// Register too wide for this build's address space.
     TooManyQubits(u32),
+    /// A multi-device engine lost an inter-device exchange (partner died
+    /// or the payload failed its integrity check). The partitioned state
+    /// is unusable; callers recover from a checkpoint or restart.
+    Interconnect(String),
 }
 
 impl fmt::Display for SimError {
@@ -34,6 +38,7 @@ impl fmt::Display for SimError {
             }
             SimError::UnsupportedGate(g) => write!(f, "unsupported gate: {g}"),
             SimError::TooManyQubits(n) => write!(f, "{n} qubits exceed the address space"),
+            SimError::Interconnect(msg) => write!(f, "interconnect failure: {msg}"),
         }
     }
 }

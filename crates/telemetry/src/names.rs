@@ -27,6 +27,21 @@ pub const FABRIC_BYTES_MOVED: &str = "fabric.bytes_moved";
 /// Messages exchanged across the simulated inter-GPU fabric.
 pub const FABRIC_MESSAGES: &str = "fabric.messages";
 
+/// Bytes moved over the intra-node (NVLink) link class by the *real*
+/// distributed engine — per-class split of `fabric.bytes_moved`; the
+/// dry-run traffic planner never increments these.
+pub const COMM_BYTES_INTRA_NODE: &str = "comm.bytes.intra_node";
+/// Bytes over the inter-node (Slingshot NIC) link class.
+pub const COMM_BYTES_INTER_NODE: &str = "comm.bytes.inter_node";
+/// Bytes over the inter-rack (dragonfly global) link class.
+pub const COMM_BYTES_INTER_RACK: &str = "comm.bytes.inter_rack";
+/// Messages over the intra-node link class (two per pairwise exchange).
+pub const COMM_MESSAGES_INTRA_NODE: &str = "comm.messages.intra_node";
+/// Messages over the inter-node link class.
+pub const COMM_MESSAGES_INTER_NODE: &str = "comm.messages.inter_node";
+/// Messages over the inter-rack link class.
+pub const COMM_MESSAGES_INTER_RACK: &str = "comm.messages.inter_rack";
+
 /// Measurement shots drawn from final distributions.
 pub const SHOTS_SAMPLED: &str = "shots.sampled";
 
@@ -209,6 +224,47 @@ pub const SCRATCH_ALLOC: &str = "scratch.alloc";
 /// contiguous low qubits, so the tile *is* a contiguous state slice and
 /// the gather/scatter round-trip through scratch is skipped entirely.
 pub const SWEEP_ZERO_COPY_TILES: &str = "sweep.tiles.zero_copy";
+
+// --- sharded serving: shard groups, migration, elastic pool ---------------
+
+/// Jobs admitted past the single-worker feasibility cutoff into a shard
+/// group (`qgear-serve` sharded dispatch).
+pub const SERVE_SHARD_JOBS: &str = "serve.shard.jobs";
+
+/// Live-shard migrations: a shard worker died mid-run and the newest
+/// verified checkpoint generation was restored onto a replacement worker.
+pub const SERVE_SHARD_MIGRATIONS: &str = "serve.shard.migrations";
+
+/// Link faults hit by sharded executions (dropped or corrupted pairwise
+/// exchanges), each recovered through the checkpoint ladder.
+pub const SERVE_SHARD_LINK_FAULTS: &str = "serve.shard.link_faults";
+
+/// Histogram of shard counts chosen at admission (workers per shard group).
+pub const SERVE_SHARD_WIDTH: &str = "serve.shard.width";
+
+/// Elastic-pool scale-up decisions (queue depth crossed the threshold and
+/// a worker was added).
+pub const POOL_SCALE_UPS: &str = "serve.pool.scale_up";
+
+/// Elastic-pool scale-down decisions (idle worker retired at an empty
+/// queue).
+pub const POOL_SCALE_DOWNS: &str = "serve.pool.scale_down";
+
+/// Histogram of the live worker count, sampled at every pool decision.
+pub const POOL_WORKERS: &str = "serve.pool.workers";
+
+/// Per-link-class counter name for bytes the real distributed engine
+/// moved, e.g. `comm.bytes.intra_node` (see the `COMM_BYTES_*` constants
+/// for the fixed forms the exporter schema tests pin down).
+pub fn comm_bytes(class: &str) -> String {
+    format!("comm.bytes.{class}")
+}
+
+/// Per-link-class counter name for messages moved, e.g.
+/// `comm.messages.inter_rack`.
+pub fn comm_messages(class: &str) -> String {
+    format!("comm.messages.{class}")
+}
 
 /// Per-lane-width counter name for kernel SIMD dispatch, e.g.
 /// `kernel.simd.f64x4` (see the `KERNEL_SIMD_*` constants for the fixed

@@ -47,6 +47,17 @@ cargo run --release -p qgear-bench --bin bench_backends -- --smoke
 echo "==> bench_serve_batch smoke (coalescing throughput + cross-mode bit identity)"
 cargo run --release -p qgear-bench --bin bench_serve_batch -- --smoke
 
+# Sharded-serving smoke: a beyond-one-worker job served on an
+# undersized group, with bitwise count identity against the dense
+# service asserted under clean, worker-death (checkpoint migration onto
+# a replacement group), and link-fault (in-place recovery) runs; emits
+# BENCH_shard_smoke.json (docs/SHARDING.md). The named simtest run
+# pins the migration path under three derived scenario seeds.
+echo "==> bench_shard smoke (shard migration + cross-mode bit identity)"
+cargo run --release -p qgear-bench --bin bench_shard -- --smoke
+echo "==> cargo test -q --test simtest shard_worker_death (named migration gate)"
+cargo test -q --test simtest shard_worker_death_migrates_onto_a_fresh_group_and_completes_bit_identically
+
 # Deterministic simulation matrix: the simtest suite re-runs under four
 # fixed scenario seeds so the oracle properties — including the
 # checkpoint-recovery acceptance scenario (die mid-run, newest

@@ -206,6 +206,59 @@ proptest! {
             prop_assert!((acc - t).abs() < 1e-9);
         }
     }
+
+    /// The sharded engine's layout bookkeeping: after *any* sequence of
+    /// physical-position swaps, `physical` and `logical_at` stay mutual
+    /// inverses — the invariant that lets `DistributedState` and the
+    /// `TrafficPlanner` agree on where every amplitude lives.
+    #[test]
+    fn qubit_layout_maps_stay_mutual_inverses_under_any_swaps(
+        case in (2u32..=8).prop_flat_map(|n| {
+            let swap = (0..n, 0..n);
+            (Just(n), proptest::collection::vec(swap, 0..48))
+        })
+    ) {
+        use qgear_cluster::QubitLayout;
+        let (n, swaps) = case;
+        let lw = n / 2;
+        let mut layout = QubitLayout::identity(n, lw);
+        let mut applied = Vec::new();
+        for (a, b) in swaps {
+            layout.note_swap(a, b);
+            applied.push((a, b));
+            prop_assert_eq!(layout.local_width(), lw);
+            // Mutual inverses after every single step, not just at the end.
+            for q in 0..n {
+                prop_assert_eq!(layout.logical_at(layout.physical(q)), q);
+                prop_assert_eq!(layout.physical(layout.logical_at(q)), q);
+            }
+        }
+        // `is_identity` ⇔ the permutation really is the identity.
+        let identity = (0..n).all(|q| layout.physical(q) == q);
+        prop_assert_eq!(layout.is_identity(), identity);
+        // Undoing the swaps in reverse order restores the identity layout.
+        for (a, b) in applied.into_iter().rev() {
+            layout.note_swap(a, b);
+        }
+        prop_assert!(layout.is_identity());
+        prop_assert_eq!(layout, QubitLayout::identity(n, lw));
+    }
+
+    /// A single swap of distinct positions must break identity; swapping a
+    /// position with itself must not.
+    #[test]
+    fn qubit_layout_identity_flag_tracks_the_permutation(
+        n in 2u32..=8, a in 0u32..8, b in 0u32..8,
+    ) {
+        use qgear_cluster::QubitLayout;
+        let (a, b) = (a % n, b % n);
+        let mut layout = QubitLayout::identity(n, n);
+        prop_assert!(layout.is_identity());
+        layout.note_swap(a, b);
+        prop_assert_eq!(layout.is_identity(), a == b);
+        layout.note_swap(a, b);
+        prop_assert!(layout.is_identity());
+    }
 }
 
 // A deterministic regression companion: the proptest strategies above

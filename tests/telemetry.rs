@@ -444,3 +444,61 @@ fn simd_and_scratch_metrics_flow_into_the_json_export() {
     assert_eq!(back, snap, "export round trip preserves the SIMD metrics");
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// Per-class interconnect counters: every pairwise exchange the real
+/// distributed engine performs lands in `comm.bytes.<class>` /
+/// `comm.messages.<class>`, and the global totals agree exactly with
+/// the engine's own `TrafficStats` — the byte-level accounting the
+/// sharded serving path exports per job.
+#[test]
+fn distributed_exchange_traffic_flows_into_per_class_comm_counters() {
+    let _l = LOCK.lock().unwrap();
+    use qgear_cluster::{ClusterTopology, DistributedState, LinkClass};
+    use qgear_ir::fusion::fuse;
+
+    // 4 qubits on 4 devices (local width 2): the CX ladder and the
+    // final H touch global qubits, forcing layout remaps and exchanges.
+    let mut c = qgear_ir::Circuit::new(4);
+    c.h(0).cx(0, 1).cx(1, 2).cx(2, 3).h(3);
+    let program = fuse(&c, 2);
+
+    qgear_telemetry::reset();
+    qgear_telemetry::enable();
+    let mut dist = DistributedState::<f64>::zero(4, 4, ClusterTopology::default());
+    for block in &program.blocks {
+        dist.apply_block(block).expect("no faults armed");
+    }
+    qgear_telemetry::disable();
+    let snap = qgear_telemetry::snapshot();
+    qgear_telemetry::reset();
+
+    let traffic = dist.traffic();
+    assert!(dist.exchanges() > 0, "the ladder must cross shard boundaries");
+    assert_eq!(traffic.total_messages(), 2 * dist.exchanges(), "two messages per exchange");
+    let mut bytes_total = 0u128;
+    let mut messages_total = 0u128;
+    for class in LinkClass::ALL {
+        let bytes = snap.counter(&names::comm_bytes(class.metric_suffix()));
+        let messages = snap.counter(&names::comm_messages(class.metric_suffix()));
+        assert_eq!(bytes, traffic.bytes_over(class), "comm.bytes.{}", class.metric_suffix());
+        assert_eq!(
+            messages,
+            u128::from(traffic.messages[class as usize]),
+            "comm.messages.{}",
+            class.metric_suffix()
+        );
+        bytes_total += bytes;
+        messages_total += messages;
+    }
+    assert_eq!(bytes_total, traffic.total_bytes(), "per-class counters cover all traffic");
+    assert_eq!(messages_total, u128::from(traffic.total_messages()));
+    assert!(bytes_total > 0, "amplitude halves actually moved");
+
+    // A 4-device group under the default topology spans more than one
+    // link class, so the per-class split is non-trivial.
+    let classes_hit = LinkClass::ALL
+        .iter()
+        .filter(|&&cl| traffic.messages[cl as usize] > 0)
+        .count();
+    assert!(classes_hit >= 1, "at least one link class carried traffic");
+}
